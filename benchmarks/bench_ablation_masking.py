@@ -1,0 +1,29 @@
+"""Ablation A benchmarks: masking vs gather-scatter primitive application.
+
+The paper's first "significant free choice" (Section 2): masking executes
+every lane and discards inactive results; gather-scatter executes only
+active lanes but pays index-based data movement.
+"""
+
+import pytest
+
+from common import NUTS_ARGS, fib, fib_inputs, gaussian_kernel
+
+
+@pytest.mark.parametrize("mode", ("mask", "gather"))
+@pytest.mark.parametrize("machine", ("local", "pc"))
+def test_fib_mode(benchmark, machine, mode):
+    inputs = fib_inputs(32)
+    if machine == "local":
+        benchmark(lambda: fib.run_local(inputs, mode=mode))
+    else:
+        benchmark(lambda: fib.run_pc(inputs, mode=mode, max_stack_depth=32))
+    benchmark.extra_info.update(machine=machine, mode=mode)
+
+
+@pytest.mark.parametrize("mode", ("mask", "gather"))
+def test_nuts_mode(benchmark, mode):
+    kernel = gaussian_kernel()
+    q0 = kernel.target.initial_state(16, seed=0)
+    benchmark(lambda: kernel.run(q0, strategy="pc", mode=mode, **NUTS_ARGS))
+    benchmark.extra_info["mode"] = mode

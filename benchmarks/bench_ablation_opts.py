@@ -1,0 +1,45 @@
+"""Ablation C benchmarks: the Section 3 lowering optimizations.
+
+``optimize=False`` disables block-local temporaries (optimization 2),
+stack-free registers (optimization 3) and Pop;Push cancellation
+(optimization 5), forcing every variable onto a gathered/scattered stack.
+``top_cache=False`` disables the runtime top-of-stack cache
+(optimization 4).  Stack-traffic counters are recorded alongside the times.
+"""
+
+import pytest
+
+from common import NUTS_ARGS, fib, fib_inputs, gaussian_kernel
+from repro.vm.instrumentation import Instrumentation
+
+
+@pytest.mark.parametrize("optimize", (True, False), ids=("optimized", "unoptimized"))
+def test_fib_lowering(benchmark, optimize):
+    inputs = fib_inputs(32)
+    benchmark(lambda: fib.run_pc(inputs, optimize=optimize, max_stack_depth=64))
+    instr = Instrumentation()
+    fib.run_pc(inputs, optimize=optimize, max_stack_depth=64, instrumentation=instr)
+    benchmark.extra_info.update(
+        optimize=optimize,
+        stacked_writes=instr.stacked_writes,
+        register_writes=instr.register_writes,
+        push_lanes=instr.push_lanes,
+    )
+
+
+@pytest.mark.parametrize("optimize", (True, False), ids=("optimized", "unoptimized"))
+def test_nuts_lowering(benchmark, optimize):
+    kernel = gaussian_kernel()
+    q0 = kernel.target.initial_state(16, seed=0)
+    strategy = "pc" if optimize else "pc_noopt"
+    benchmark(lambda: kernel.run(q0, strategy=strategy, **NUTS_ARGS))
+    benchmark.extra_info["optimize"] = optimize
+
+
+@pytest.mark.parametrize("top_cache", (True, False), ids=("cached", "uncached"))
+def test_fib_top_cache(benchmark, top_cache):
+    inputs = fib_inputs(32)
+    benchmark(
+        lambda: fib.run_pc(inputs, top_cache=top_cache, max_stack_depth=32)
+    )
+    benchmark.extra_info["top_cache"] = top_cache

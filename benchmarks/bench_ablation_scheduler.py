@@ -1,0 +1,27 @@
+"""Ablation B benchmarks: block-selection heuristics.
+
+The paper's second "significant free choice": which runnable block to
+execute next.  All heuristics are correct (no starvation); they differ in
+step count and batching quality on divergent workloads.
+"""
+
+import pytest
+
+from common import NUTS_ARGS, fib, fib_inputs, gaussian_kernel
+
+SCHEDULERS = ("earliest", "most_active", "round_robin")
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_fib_scheduler(benchmark, scheduler):
+    inputs = fib_inputs(32)
+    benchmark(lambda: fib.run_pc(inputs, scheduler=scheduler, max_stack_depth=32))
+    benchmark.extra_info["scheduler"] = scheduler
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_nuts_scheduler(benchmark, scheduler):
+    kernel = gaussian_kernel()
+    q0 = kernel.target.initial_state(16, seed=0)
+    benchmark(lambda: kernel.run(q0, strategy="pc", scheduler=scheduler, **NUTS_ARGS))
+    benchmark.extra_info["scheduler"] = scheduler

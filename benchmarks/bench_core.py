@@ -1,0 +1,61 @@
+"""Core machinery micro-benchmarks: compilation, machines, stacks, fusion.
+
+Not tied to a paper figure; these catch performance regressions in the
+substrate that every experiment sits on.
+"""
+
+import numpy as np
+import pytest
+
+from common import fib, fib_inputs
+from repro.backend.fusion import run_fused
+from repro.vm.stack import BatchedStack
+
+
+def test_compile_pipeline(benchmark):
+    """Full frontend + lowering pipeline on the recursive Fibonacci."""
+    from repro.frontend.api import AutobatchFunction
+    from repro.lowering.pipeline import lower_program
+
+    program = fib.program  # frontend compile (cached) outside the loop
+    benchmark(lambda: lower_program(program, optimize=True))
+
+
+@pytest.mark.parametrize("machine", ("reference", "local", "pc", "pc_fused"))
+def test_fib_machines(benchmark, machine):
+    inputs = fib_inputs(64)
+    if machine == "reference":
+        benchmark(lambda: fib.run_reference(inputs))
+    elif machine == "local":
+        benchmark(lambda: fib.run_local(inputs))
+    elif machine == "pc":
+        benchmark(lambda: fib.run_pc(inputs, max_stack_depth=32))
+    else:
+        benchmark(
+            lambda: run_fused(
+                fib.stack_program(optimize=True), [inputs], max_stack_depth=32
+            )
+        )
+    benchmark.extra_info["machine"] = machine
+
+
+def test_batched_stack_push_pop(benchmark):
+    stack = BatchedStack(batch_size=256, depth=32, event_shape=(8,))
+    mask = np.ones(256, dtype=bool)
+    mask[::3] = False
+    value = np.random.RandomState(0).randn(256, 8)
+
+    def cycle():
+        stack.push(mask, value)
+        stack.pop(mask)
+
+    benchmark(cycle)
+
+
+def test_gradient_primitive_dispatch(benchmark):
+    """Cost of one batched gradient kernel (the Figure 5 unit of work)."""
+    from repro.targets.logistic import BayesianLogisticRegression
+
+    target = BayesianLogisticRegression(n_data=500, n_features=16, seed=0)
+    q = target.initial_state(64, seed=1)
+    benchmark(lambda: target.grad_log_prob(q))

@@ -1,0 +1,42 @@
+"""Figure 5 cells as pytest benchmarks: NUTS throughput per strategy.
+
+Each benchmark is one (strategy, batch size) cell of the paper's Figure 5
+sweep on a laptop-scale Bayesian logistic regression.  The benchmark's
+``extra_info`` records the gradient-evaluation count so grads/sec can be
+derived from the pytest-benchmark output; the full sweep with the simulated
+CPU/GPU devices is ``python -m repro.bench.figure5``.
+"""
+
+import pytest
+
+from common import NUTS_ARGS, logistic_kernel
+
+BATCH_SIZES = (4, 32)
+STRATEGIES = ("reference", "local", "hybrid", "pc", "pc_fused", "stan")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_nuts_throughput(benchmark, strategy, batch_size):
+    kernel = logistic_kernel()
+    target = kernel.target
+    q0 = target.initial_state(batch_size, seed=0)
+
+    if strategy == "stan":
+        from repro.baselines.stan_like import StanLikeSampler
+
+        sampler = StanLikeSampler(
+            target,
+            NUTS_ARGS["step_size"],
+            max_depth=NUTS_ARGS["max_depth"],
+            n_leapfrog=NUTS_ARGS["n_leapfrog"],
+        )
+        run = benchmark(
+            sampler.run, q0, NUTS_ARGS["n_trajectories"], NUTS_ARGS["seed"]
+        )
+        benchmark.extra_info["grad_evals"] = run.grad_evals
+    else:
+        result = benchmark(lambda: kernel.run(q0, strategy=strategy, **NUTS_ARGS))
+        benchmark.extra_info["grad_evals"] = result.total_grad_evals
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["strategy"] = strategy

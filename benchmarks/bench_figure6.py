@@ -1,0 +1,36 @@
+"""Figure 6 cells as pytest benchmarks: gradient utilization per machine.
+
+Each benchmark runs the instrumented multi-trajectory NUTS chain on the
+correlated Gaussian and records the batch gradient utilization in
+``extra_info`` — the Figure 6 metric.  The full sweep is
+``python -m repro.bench.figure6``.
+"""
+
+import pytest
+
+from common import gaussian_kernel
+from repro.vm.instrumentation import Instrumentation
+
+ARGS = dict(step_size=0.05, n_trajectories=5, max_depth=6, n_leapfrog=4, seed=0)
+BATCH_SIZES = (2, 16)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("strategy", ("local", "pc"))
+def test_gradient_utilization(benchmark, strategy, batch_size):
+    kernel = gaussian_kernel()
+    q0 = kernel.target.initial_state(batch_size, seed=0)
+
+    def run():
+        return kernel.run(q0, strategy=strategy, instrument=True, **ARGS)
+
+    result = benchmark(run)
+    counter = result.instrumentation.count(tag="gradient")
+    benchmark.extra_info["utilization"] = round(counter.utilization(), 4)
+    benchmark.extra_info["useful_grads"] = result.total_grad_evals
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["batch_size"] = batch_size
+    # The paper's Figure 6 invariants, asserted on every benchmark run:
+    assert 0.0 < counter.utilization() <= 1.0
+    if batch_size == 1:
+        assert counter.utilization() == 1.0

@@ -1,0 +1,48 @@
+"""Shared fixtures and workloads for the pytest-benchmark suites.
+
+Sizes here are laptop-scale on purpose: each benchmark cell runs in well
+under a second so the whole ``pytest benchmarks/ --benchmark-only`` sweep
+finishes in minutes.  The figure-scale sweeps (bigger problems, more batch
+sizes) live in ``repro.bench`` and are run via ``python -m``.
+"""
+
+import numpy as np
+
+from repro import autobatch
+from repro.nuts.kernel import NutsKernel
+from repro.targets.gaussian import CorrelatedGaussian
+from repro.targets.logistic import BayesianLogisticRegression
+
+
+@autobatch
+def fib(n):
+    if n <= 1:
+        return 1
+    return fib(n - 2) + fib(n - 1)
+
+
+def fib_inputs(batch_size: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    return rng.randint(6, 16, size=batch_size).astype(np.int64)
+
+
+_KERNELS = {}
+
+
+def logistic_kernel() -> NutsKernel:
+    """A shared small logistic-regression NUTS kernel (compiled once)."""
+    if "logistic" not in _KERNELS:
+        target = BayesianLogisticRegression(n_data=500, n_features=16, seed=0)
+        _KERNELS["logistic"] = NutsKernel(target)
+    return _KERNELS["logistic"]
+
+
+def gaussian_kernel() -> NutsKernel:
+    """A shared correlated-Gaussian NUTS kernel (compiled once)."""
+    if "gaussian" not in _KERNELS:
+        target = CorrelatedGaussian(dim=16, rho=0.9)
+        _KERNELS["gaussian"] = NutsKernel(target)
+    return _KERNELS["gaussian"]
+
+
+NUTS_ARGS = dict(step_size=0.1, n_trajectories=1, max_depth=5, n_leapfrog=4, seed=0)

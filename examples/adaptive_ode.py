@@ -1,0 +1,109 @@
+"""Batched adaptive ODE integration — the paper's "what else could we do?".
+
+The introduction motivates autobatching with the classical algorithms people
+struggle to batch by hand: tree searches, optimization routines, and
+**ordinary differential equation solvers** (Chen et al. 2018).  An adaptive
+step-size integrator is control-intensive in exactly the troublesome way:
+each solution trajectory accepts/rejects steps and grows/shrinks its step
+size depending on its own local error, so a batch of initial conditions
+diverges immediately.
+
+Here an adaptive RK2 (midpoint with step-doubling error control) is written
+once, single-example, in the autobatchable subset — then run on a whole
+batch of (y0, stiffness) pairs under program-counter autobatching, and
+validated against scipy's reference integrator.
+
+Run: ``python examples/adaptive_ode.py``
+"""
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro import autobatch, ops
+from repro.bench.report import format_table
+
+
+@autobatch
+def decay_rhs(t, y, k):
+    """dy/dt = -k y + sin(t): linear decay with periodic forcing."""
+    return 0.0 - k * y + ops.sin(t)
+
+
+@autobatch
+def rk2_step(t, y, k, h):
+    """One midpoint step of size h."""
+    f1 = decay_rhs(t, y, k)
+    f2 = decay_rhs(t + 0.5 * h, y + 0.5 * h * f1, k)
+    return y + h * f2
+
+
+@autobatch
+def integrate_adaptive(y0, k, t_end, tol):
+    """Integrate to t_end with step-doubling error control.
+
+    Returns the final value, the number of attempted steps, and the number
+    of rejected steps — the latter two differ wildly across batch members.
+    """
+    t = 0.0
+    y = y0
+    h = 0.1
+    attempts = 0.0
+    rejects = 0.0
+    while t < t_end:
+        if t + h > t_end:
+            h = t_end - t
+        full = rk2_step(t, y, k, h)
+        half = rk2_step(t, y, k, 0.5 * h)
+        two_half = rk2_step(t + 0.5 * h, half, k, 0.5 * h)
+        err = abs(two_half - full)
+        attempts = attempts + 1.0
+        if err <= tol:
+            # Accept the more accurate two-half-steps value; grow the step.
+            y = two_half
+            t = t + h
+            h = min(h * 1.5, 0.5)
+        else:
+            rejects = rejects + 1.0
+            h = h * 0.5
+    return y, attempts, rejects
+
+
+def main():
+    rng = np.random.RandomState(0)
+    z = 12
+    y0 = rng.uniform(0.5, 2.0, size=z)
+    k = rng.uniform(0.1, 30.0, size=z)          # stiffness varies 300x
+    t_end = np.full(z, 4.0)
+    tol = np.full(z, 1e-6)
+
+    print("Integrating dy/dt = -k*y + sin(t) to t=4, adaptive RK2, "
+          f"{z} members, stiffness k in [{k.min():.2f}, {k.max():.2f}]\n")
+
+    y_pc, attempts, rejects = integrate_adaptive.run_pc(
+        y0, k, t_end, tol, max_stack_depth=16
+    )
+    y_ref, _, _ = integrate_adaptive.run_reference(y0, k, t_end, tol)
+
+    rows = []
+    for b in range(z):
+        exact = solve_ivp(
+            lambda t, y, kk=k[b]: -kk * y + np.sin(t),
+            (0.0, 4.0), [y0[b]], rtol=1e-10, atol=1e-12,
+        ).y[0, -1]
+        rows.append([
+            b, f"{k[b]:.2f}", int(attempts[b]), int(rejects[b]),
+            f"{y_pc[b]:.6f}", f"{exact:.6f}", f"{abs(y_pc[b] - exact):.2e}",
+        ])
+    print(format_table(
+        ["member", "k", "steps", "rejected", "autobatched", "scipy", "abs err"],
+        rows,
+    ))
+
+    assert np.allclose(y_pc, y_ref), "strategies disagree!"
+    print("\nbatched == member-at-a-time reference:", np.allclose(y_pc, y_ref))
+    print(f"step counts range {int(attempts.min())}..{int(attempts.max())} — "
+          "each member adapted independently, in one SIMD program.")
+
+
+if __name__ == "__main__":
+    main()

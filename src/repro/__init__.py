@@ -1,0 +1,42 @@
+"""Reproduction of "Automatically Batching Control-Intensive Programs for
+Modern Accelerators" (Radul, Patton, Maclaurin, Hoffman, Saurous;
+MLSys 2020; arXiv:1910.11141).
+
+Public API
+----------
+
+* :func:`autobatch` — decorate a single-example Python function; run it on a
+  whole batch with ``.run_local(...)`` (Algorithm 1, local static
+  autobatching) or ``.run_pc(...)`` (Algorithm 2, program-counter
+  autobatching).  The decorated function stays callable from plain Python.
+* :func:`primitive` — register a batched numpy function as an opaque kernel.
+* :mod:`repro.ops` — built-in primitives (arithmetic, reductions, RNG).
+* :mod:`repro.nuts` — the No U-Turn Sampler written in the autobatchable
+  subset, plus baselines and diagnostics.
+* :mod:`repro.bench` — the harness regenerating the paper's Figures 5 and 6.
+"""
+
+from repro.frontend import (
+    AutobatchFunction,
+    Primitive,
+    PrimitiveRegistry,
+    autobatch,
+    default_registry,
+    primitive,
+)
+from repro.vm import Instrumentation
+from repro import ops
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutobatchFunction",
+    "Primitive",
+    "PrimitiveRegistry",
+    "autobatch",
+    "default_registry",
+    "primitive",
+    "Instrumentation",
+    "ops",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Static analyses shared by the lowering pipeline and the virtual machines.
+
+* :mod:`repro.analysis.cfg` — successor/predecessor maps and orderings.
+* :mod:`repro.analysis.liveness` — backward dataflow liveness, block-level
+  and per-operation (used for call-site save sets and temporary detection).
+* :mod:`repro.analysis.call_graph` — call graph, transitive closures, and
+  recursion (cycle) detection, including mutual recursion.
+* :mod:`repro.analysis.storage` — storage-class assignment implementing the
+  paper's optimizations 2 (temporaries) and 3 (stack-free variables).
+"""
+
+from repro.analysis.cfg import predecessors, successors, reverse_postorder
+from repro.analysis.liveness import (
+    LivenessInfo,
+    compute_liveness,
+    call_save_sets,
+    op_defs,
+    op_uses,
+)
+from repro.analysis.call_graph import CallGraphInfo, analyze_call_graph
+from repro.analysis.storage import StorageAssignment, assign_storage
+
+__all__ = [
+    "predecessors",
+    "successors",
+    "reverse_postorder",
+    "LivenessInfo",
+    "compute_liveness",
+    "call_save_sets",
+    "op_defs",
+    "op_uses",
+    "CallGraphInfo",
+    "analyze_call_graph",
+    "StorageAssignment",
+    "assign_storage",
+]

@@ -1,0 +1,220 @@
+"""Backward dataflow liveness on callable-IR functions.
+
+Liveness drives two of the paper's Section 3 optimizations:
+
+* **Temporaries** (optimization 2): a variable that is never live across a
+  block boundary *or across a function call* exists only inside one basic
+  block execution and bypasses the batching machinery entirely.  (Calls count
+  as boundaries because lowering splits blocks at every ``CallOp``.)
+
+* **Save sets** (caller-saves discipline, optimization 1): at each call site
+  the caller must preserve exactly the variables that are live after the call
+  and may be clobbered by the (transitive) callee — which is only possible
+  under recursion, since every function's locals are alpha-renamed apart.
+
+``Return`` terminators use the function's declared output variables, so
+results are automatically live at function exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import reverse_postorder, successors
+from repro.ir.instructions import (
+    Block,
+    Branch,
+    CallOp,
+    ConstOp,
+    Function,
+    PrimOp,
+    Return,
+)
+
+
+def op_uses(op) -> Tuple[str, ...]:
+    """Variable names an operation reads."""
+    return tuple(getattr(op, "inputs", ()))
+
+
+def op_defs(op) -> Tuple[str, ...]:
+    """Variable names an operation writes."""
+    return tuple(getattr(op, "outputs", ()))
+
+
+def _terminator_uses(fn: Function, block: Block) -> Tuple[str, ...]:
+    term = block.terminator
+    if isinstance(term, Branch):
+        return (term.cond,)
+    if isinstance(term, Return):
+        return tuple(fn.outputs)
+    return ()
+
+
+@dataclass
+class LivenessInfo:
+    """Result of liveness analysis on one function."""
+
+    live_in: Dict[str, FrozenSet[str]]
+    live_out: Dict[str, FrozenSet[str]]
+    #: (block label, op index) -> variables live immediately *after* that op.
+    live_after_op: Dict[Tuple[str, int], FrozenSet[str]]
+
+    def live_across_blocks(self) -> FrozenSet[str]:
+        """Variables live at some block entry (i.e. across a block boundary)."""
+        out: Set[str] = set()
+        for vs in self.live_in.values():
+            out |= vs
+        return frozenset(out)
+
+    def live_across_calls(self, fn: Function) -> FrozenSet[str]:
+        """Variables live immediately after some ``CallOp``."""
+        out: Set[str] = set()
+        for blk in fn.blocks:
+            for i, op in enumerate(blk.ops):
+                if isinstance(op, CallOp):
+                    out |= self.live_after_op[(blk.label, i)]
+        return frozenset(out)
+
+
+def compute_liveness(fn: Function) -> LivenessInfo:
+    """Standard backward may-liveness, to fixpoint."""
+    succ = successors(fn)
+    order = reverse_postorder(fn)  # iterate in postorder for backward flow
+    gen: Dict[str, Set[str]] = {}
+    kill: Dict[str, Set[str]] = {}
+    for blk in fn.blocks:
+        g: Set[str] = set()
+        k: Set[str] = set()
+        for op in blk.ops:
+            for v in op_uses(op):
+                if v not in k:
+                    g.add(v)
+            for v in op_defs(op):
+                k.add(v)
+        for v in _terminator_uses(fn, blk):
+            if v not in k:
+                g.add(v)
+        gen[blk.label] = g
+        kill[blk.label] = k
+
+    live_in: Dict[str, Set[str]] = {b.label: set() for b in fn.blocks}
+    live_out: Dict[str, Set[str]] = {b.label: set() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(order):
+            out: Set[str] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            inn = gen[label] | (out - kill[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+
+    # Per-op liveness: walk each block backward from live_out.
+    live_after_op: Dict[Tuple[str, int], FrozenSet[str]] = {}
+    for blk in fn.blocks:
+        live: Set[str] = set(live_out[blk.label])
+        live |= set(_terminator_uses(fn, blk))
+        for i in range(len(blk.ops) - 1, -1, -1):
+            op = blk.ops[i]
+            live_after_op[(blk.label, i)] = frozenset(live)
+            live -= set(op_defs(op))
+            live |= set(op_uses(op))
+
+    return LivenessInfo(
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+        live_after_op=live_after_op,
+    )
+
+
+def call_save_sets(
+    fn: Function,
+    liveness: LivenessInfo,
+    clobbers: Dict[str, FrozenSet[str]],
+) -> Dict[Tuple[str, int], FrozenSet[str]]:
+    """Caller-saves set for every call site in ``fn``.
+
+    ``clobbers`` maps callee name -> set of variables the callee's transitive
+    closure writes in place (by masked update).  The save set is the
+    intersection of that with the variables live after the call, minus the
+    call's own outputs (whose pre-call values are dead by definition).
+    Formals of recursive callees are bound by *pushing a fresh frame*, which
+    protects the caller's value automatically, so they never appear in
+    ``clobbers``.
+    """
+    saves: Dict[Tuple[str, int], FrozenSet[str]] = {}
+    for blk in fn.blocks:
+        for i, op in enumerate(blk.ops):
+            if not isinstance(op, CallOp):
+                continue
+            live_after = liveness.live_after_op[(blk.label, i)]
+            clobber = clobbers.get(op.func, frozenset())
+            saves[(blk.label, i)] = frozenset(
+                (live_after - set(op.outputs)) & clobber
+            )
+    return saves
+
+
+def definitely_assigned_check(fn: Function) -> List[str]:
+    """Report variables that may be read before assignment on some path.
+
+    Forward must-analysis: a use is suspicious if the variable is not
+    definitely assigned on every path reaching it.  Plain Python would raise
+    ``UnboundLocalError`` for these; under batching they would silently read
+    a stale activation's value, so the pipeline rejects them.
+    """
+    succ = successors(fn)
+    order = reverse_postorder(fn)
+    all_vars = set(fn.variables())
+    entry = fn.blocks[0].label
+    assigned_in: Dict[str, Set[str]] = {b.label: set(all_vars) for b in fn.blocks}
+    assigned_in[entry] = set(fn.params)
+    preds: Dict[str, List[str]] = {b.label: [] for b in fn.blocks}
+    for b in fn.blocks:
+        for t in (b.terminator.targets() if b.terminator else ()):
+            preds[t].append(b.label)
+
+    def block_out(label: str) -> Set[str]:
+        out = set(assigned_in[label])
+        for op in fn.block(label).ops:
+            out |= set(op_defs(op))
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            if preds[label]:
+                inn = set(all_vars)
+                for p in preds[label]:
+                    inn &= block_out(p)
+            else:
+                inn = set(fn.params)
+            if inn != assigned_in[label]:
+                assigned_in[label] = inn
+                changed = True
+
+    problems: List[str] = []
+    for blk in fn.blocks:
+        have = set(assigned_in[blk.label])
+        for op in blk.ops:
+            for v in op_uses(op):
+                if v not in have:
+                    problems.append(
+                        f"{fn.name}/{blk.label}: {v!r} may be used before assignment"
+                    )
+            have |= set(op_defs(op))
+        for v in _terminator_uses(fn, blk):
+            if v not in have:
+                problems.append(
+                    f"{fn.name}/{blk.label}: {v!r} may be used before assignment "
+                    "(at terminator)"
+                )
+    return problems

@@ -1,0 +1,94 @@
+"""Storage-class assignment (paper Section 3, optimizations 2 and 3).
+
+Classifies every variable of every function into one of three classes:
+
+* ``TEMP`` — never live across a block boundary or a call; exists only
+  during one basic-block execution and is untouched by the batching system.
+* ``REGISTER`` — live across blocks, but never needs two simultaneous
+  activations' values; stored as a flat ``(Z, ...)`` array with masked
+  updates and no stack.
+* ``STACKED`` — a formal parameter of a recursive function (every call
+  pushes a fresh argument frame) or a member of some call-site save set
+  (live across a call that can clobber it at a different stack depth).
+
+The classification is computed on the *callable* IR, before call lowering,
+because the call-lowering pass introduces reads (return-value moves, argument
+staging) that must not perturb the save sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.call_graph import CallGraphInfo, analyze_call_graph
+from repro.analysis.liveness import LivenessInfo, call_save_sets, compute_liveness
+from repro.ir.instructions import Program, VarKind
+
+
+@dataclass
+class StorageAssignment:
+    """Variable kinds plus the per-call-site save sets that imply them."""
+
+    kinds: Dict[str, VarKind]
+    #: (function, block label, op index) -> caller-saved variables.
+    save_sets: Dict[Tuple[str, str, int], FrozenSet[str]]
+    call_graph: CallGraphInfo
+    liveness: Dict[str, LivenessInfo] = field(default_factory=dict)
+
+    def kind(self, var: str) -> VarKind:
+        """The storage class assigned to ``name``."""
+        return self.kinds[var]
+
+
+def assign_storage(
+    program: Program,
+    temp_opt: bool = True,
+    register_opt: bool = True,
+) -> StorageAssignment:
+    """Compute storage classes for a (renamed, collision-free) program.
+
+    ``temp_opt=False`` disables optimization 2 (temporaries become
+    registers); ``register_opt=False`` disables optimization 3 (registers
+    become stacked).  Both toggles exist for the ablation benchmarks.
+    """
+    cg = analyze_call_graph(program)
+    kinds: Dict[str, VarKind] = {}
+    save_sets: Dict[Tuple[str, str, int], FrozenSet[str]] = {}
+    liveness_by_fn: Dict[str, LivenessInfo] = {}
+
+    for fn in program.functions.values():
+        liveness = compute_liveness(fn)
+        liveness_by_fn[fn.name] = liveness
+        saves = call_save_sets(fn, liveness, cg.clobbers)
+        for (label, i), s in saves.items():
+            save_sets[(fn.name, label, i)] = s
+
+        stacked: Set[str] = set()
+        for s in saves.values():
+            stacked |= s
+        if fn.name in cg.recursive:
+            stacked |= set(fn.params)
+
+        cross = liveness.live_across_blocks() | liveness.live_across_calls(fn)
+        for var in fn.variables():
+            if var in stacked:
+                kinds[var] = VarKind.STACKED
+            elif var in cross or var in fn.params or var in fn.outputs:
+                # Parameters and outputs must exist outside any single block
+                # (they are bound at call sites and read at return moves).
+                kinds[var] = VarKind.REGISTER
+            else:
+                kinds[var] = VarKind.TEMP if temp_opt else VarKind.REGISTER
+
+    if not register_opt:
+        for var, kind in kinds.items():
+            if kind is VarKind.REGISTER:
+                kinds[var] = VarKind.STACKED
+
+    return StorageAssignment(
+        kinds=kinds,
+        save_sets=save_sets,
+        call_graph=cg,
+        liveness=liveness_by_fn,
+    )

@@ -1,0 +1,23 @@
+"""Tape-based reverse-mode automatic differentiation over numpy.
+
+The paper's system gets gradients from TensorFlow; NUTS only needs the
+gradient of the target log-density.  This substrate provides that capability
+from scratch: a :class:`~repro.autodiff.tape.Variable` wrapper with operator
+overloads, a gradient tape, and :func:`grad` / :func:`value_and_grad` for
+scalar (or per-batch-member) objectives.
+
+::
+
+    from repro.autodiff import grad, ops as ad
+
+    def log_prob(q):                      # q: (Z, d)
+        return -0.5 * ad.sum(q * q, axis=-1)
+
+    grad_log_prob = grad(log_prob)        # (Z, d) -> (Z, d)
+"""
+
+from repro.autodiff.tape import Tape, Variable
+from repro.autodiff.grad import check_grad, grad, value_and_grad
+from repro.autodiff import ops
+
+__all__ = ["Tape", "Variable", "grad", "value_and_grad", "check_grad", "ops"]

@@ -1,0 +1,185 @@
+"""The gradient tape and the :class:`Variable` wrapper.
+
+Reverse mode in ~150 lines: forward execution records, for every produced
+variable, its parent variables and one vector-Jacobian-product (VJP) closure
+per parent; the backward pass walks the records in reverse, accumulating
+cotangents.  Broadcasting is handled by summing cotangents back down to each
+parent's shape (:func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    grad = np.asarray(grad)
+    # Sum away leading axes numpy added.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Node:
+    __slots__ = ("output_id", "parents", "vjps")
+
+    def __init__(self, output_id: int, parents: Tuple["Variable", ...], vjps):
+        self.output_id = output_id
+        self.parents = parents
+        self.vjps = vjps
+
+
+class Tape:
+    """Records operations while active; replayable backward."""
+
+    _active: List["Tape"] = []
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+
+    def __enter__(self) -> "Tape":
+        Tape._active.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        Tape._active.pop()
+
+    @classmethod
+    def current(cls) -> Optional["Tape"]:
+        """The innermost active tape, or None outside any tape."""
+        return cls._active[-1] if cls._active else None
+
+    def record(self, output: "Variable", parents, vjps) -> None:
+        """Record one op: its output id, parents, and per-parent VJPs."""
+        self.nodes.append(Node(id(output), tuple(parents), tuple(vjps)))
+
+    def gradient(
+        self,
+        output: "Variable",
+        sources: Sequence["Variable"],
+        seed: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Cotangents of ``sources`` for one backward pass from ``output``."""
+        cotangents: Dict[int, np.ndarray] = {}
+        if seed is None:
+            seed = np.ones_like(np.asarray(output.value, dtype=np.float64))
+        cotangents[id(output)] = np.asarray(seed, dtype=np.float64)
+        for node in reversed(self.nodes):
+            out_ct = cotangents.pop(node.output_id, None)
+            if out_ct is None:
+                continue
+            for parent, vjp in zip(node.parents, node.vjps):
+                if vjp is None:
+                    continue
+                contrib = unbroadcast(vjp(out_ct), np.shape(parent.value))
+                pid = id(parent)
+                if pid in cotangents:
+                    cotangents[pid] = cotangents[pid] + contrib
+                else:
+                    cotangents[pid] = contrib
+        return [
+            cotangents.get(id(s), np.zeros_like(np.asarray(s.value, dtype=np.float64)))
+            for s in sources
+        ]
+
+
+class Variable:
+    """A numpy value participating in tape recording via operator overloads."""
+
+    __slots__ = ("value",)
+    __array_priority__ = 100  # our reflected ops beat ndarray's
+
+    def __init__(self, value) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def ndim(self):
+        return self.value.ndim
+
+    def __repr__(self) -> str:
+        return f"Variable({self.value!r})"
+
+    # Operator overloads delegate to repro.autodiff.ops (imported lazily to
+    # avoid a module cycle).
+
+    def _ops(self):
+        from repro.autodiff import ops
+
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        return self._ops().mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        return self._ops().sub(self, other)
+
+    def __rsub__(self, other):
+        return self._ops().sub(other, self)
+
+    def __truediv__(self, other):
+        return self._ops().div(self, other)
+
+    def __rtruediv__(self, other):
+        return self._ops().div(other, self)
+
+    def __neg__(self):
+        return self._ops().neg(self)
+
+    def __pow__(self, exponent):
+        return self._ops().power(self, exponent)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __rmatmul__(self, other):
+        return self._ops().matmul(other, self)
+
+    def sum(self, axis=None):
+        """Tape-aware sum (see :func:`repro.autodiff.ops.sum`)."""
+        return self._ops().sum(self, axis=axis)
+
+
+def ensure_variable(x) -> Variable:
+    """Wrap ``x`` in a :class:`Variable` unless it already is one."""
+    return x if isinstance(x, Variable) else Variable(x)
+
+
+def defvjp(forward: Callable[..., np.ndarray], *vjp_makers) -> Callable[..., Variable]:
+    """Build a differentiable op from a forward fn and per-argument VJP makers.
+
+    Each ``vjp_maker(result, *arg_values)`` returns ``vjp(cotangent)`` for
+    its positional argument, or is ``None`` for non-differentiable arguments.
+    """
+
+    def op(*args) -> Variable:
+        variables = [ensure_variable(a) for a in args]
+        values = [v.value for v in variables]
+        result = Variable(forward(*values))
+        tape = Tape.current()
+        if tape is not None:
+            vjps = [
+                maker(result.value, *values) if maker is not None else None
+                for maker in vjp_makers
+            ]
+            tape.record(result, variables, vjps)
+        return result
+
+    return op

@@ -1,0 +1,99 @@
+"""Deterministic device cost models.
+
+Real wall-clock measurements of this reproduction depend on the host Python;
+to make the *shape* of Figure 5 reproducible bit-for-bit, we also evaluate
+every strategy under an analytic device model:
+
+    time = (number of dispatches) * dispatch_overhead
+         + sum over kernels of element_time * ceil(work / parallel_width)
+
+where ``work`` is the kernel's abstract flop count (cost weight x elements x
+batch lanes) taken from :class:`~repro.vm.instrumentation.Instrumentation`.
+A CPU-like model has a small parallel width (vector units) and low dispatch
+overhead; a GPU-like model has huge width and large per-launch overhead —
+which is what makes batching pay off so dramatically there, and is the
+mechanism behind Figure 5's GPU curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.vm.instrumentation import Instrumentation
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """An analytic accelerator: overheads and throughput."""
+
+    name: str
+    dispatch_overhead: float        # seconds per eager kernel launch
+    fused_dispatch_overhead: float  # seconds per fused-block launch
+    element_time: float             # seconds per weighted element (width 1)
+    parallel_width: int             # weighted elements processed concurrently
+
+    def kernel_seconds(self, flops_per_call: float) -> float:
+        """Compute time of one kernel call, excluding dispatch.
+
+        The device executes up to ``parallel_width`` weighted elements per
+        "wave" of duration ``element_time``; a call costs one wave per
+        ceiling-division of its work by the width.
+        """
+        waves = max(1.0, math.ceil(flops_per_call / self.parallel_width))
+        return self.element_time * waves
+
+    def estimate(self, instr: Instrumentation, strategy: str = "eager") -> float:
+        """Simulated seconds for a run summarized by ``instr``.
+
+        ``strategy`` chooses the dispatch accounting:
+
+        * ``"eager"`` — one dispatch per primitive execution (TF Eager);
+        * ``"fused"`` — one dispatch per basic-block execution (XLA);
+        * ``"hybrid"`` — fused blocks driven by an eager control loop: one
+          fused dispatch per block plus one eager dispatch per block for the
+          host-side control step.
+        """
+        compute = 0.0
+        total_kernel_calls = 0
+        for counter in instr.by_prim.values():
+            if counter.executions == 0:
+                continue
+            flops_per_call = counter.flops / counter.executions
+            compute += counter.executions * self.kernel_seconds(flops_per_call)
+            total_kernel_calls += counter.executions
+
+        if strategy == "eager":
+            dispatch = total_kernel_calls * self.dispatch_overhead
+        elif strategy == "fused":
+            dispatch = instr.steps * self.fused_dispatch_overhead
+        elif strategy == "hybrid":
+            dispatch = instr.steps * (
+                self.fused_dispatch_overhead + self.dispatch_overhead
+            )
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        # Stack traffic: pushes/pops are scatters/gathers, charged as one
+        # extra kernel each (they are part of the fused program under XLA,
+        # but their memory traffic is real either way).
+        stack_seconds = (instr.pushes + instr.pops) * self.element_time * 4
+        return dispatch + compute + stack_seconds
+
+
+#: A CPU-like device: cheap dispatch, narrow vector units.
+CPU_DEVICE = DeviceModel(
+    name="cpu",
+    dispatch_overhead=4e-6,
+    fused_dispatch_overhead=4e-7,
+    element_time=2e-9,
+    parallel_width=16,
+)
+
+#: A GPU-like device (Tesla-P100-flavored): expensive launches, massive width.
+GPU_DEVICE = DeviceModel(
+    name="gpu",
+    dispatch_overhead=1.2e-5,
+    fused_dispatch_overhead=2e-6,
+    element_time=2e-10,
+    parallel_width=1 << 16,
+)

@@ -1,0 +1,205 @@
+"""Basic-block fusion: compile each block to one generated Python function.
+
+The interpreted program-counter machine dispatches every primitive through a
+plan loop — the analog of TensorFlow Eager's per-kernel dispatch.  This
+module plays the role of XLA: for each basic block it *generates source
+code* executing the block's whole operation sequence as straight-line Python
+with temporaries as local variables, storage handles and kernel functions
+pre-bound in the closure, and the terminator inlined.  The machine then
+makes one call per block execution instead of one per operation.
+
+The same generated executors serve two strategies from the paper's Figure 5:
+
+* ``pc_xla`` — the program-counter VM with every block fused;
+* ``hybrid`` — local static autobatching driving fused straight-line blocks
+  (see :mod:`repro.bench.figure5`), which the paper found fastest at very
+  large batch sizes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.frontend.registry import PrimitiveRegistry, default_registry
+from repro.ir.instructions import (
+    Branch,
+    ConstOp,
+    Jump,
+    PopOp,
+    PrimOp,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+    VarKind,
+)
+from repro.vm.program_counter import ProgramCounterVM
+
+
+class FusionUnsupported(ValueError):
+    """Raised when a program/configuration cannot be fused."""
+
+
+def _const_expr(value, batch_size: int) -> np.ndarray:
+    if isinstance(value, bool):
+        return np.full(batch_size, value, dtype=bool)
+    if isinstance(value, int):
+        return np.full(batch_size, value, dtype=np.int64)
+    return np.full(batch_size, value, dtype=np.float64)
+
+
+class _BlockCompiler:
+    """Generates the fused executor source for one basic block."""
+
+    def __init__(self, program: StackProgram, registry: PrimitiveRegistry, vm: ProgramCounterVM):
+        self.program = program
+        self.registry = registry
+        self.vm = vm
+        self.namespace: Dict[str, object] = {"np": np}
+        self._mangle: Dict[str, str] = {}
+        self._n = 0
+
+    def _bind(self, prefix: str, obj: object) -> str:
+        name = f"{prefix}{self._n}"
+        self._n += 1
+        self.namespace[name] = obj
+        return name
+
+    def _temp_local(self, var: str) -> str:
+        if var not in self._mangle:
+            self._mangle[var] = f"t{len(self._mangle)}"
+        return self._mangle[var]
+
+    def _read_expr(self, var: str) -> str:
+        if self.program.kind(var) is VarKind.TEMP:
+            return self._temp_local(var)
+        storage_name = self._bind("s", self.vm.storage(var))
+        return f"{storage_name}.read()"
+
+    def compile(self, block_index: int) -> Callable:
+        """Compile block ``block_index`` into one fused callable."""
+        block = self.program.blocks[block_index]
+        lines: List[str] = []
+
+        for op in block.ops:
+            if isinstance(op, ConstOp):
+                const = self._bind("c", _const_expr(op.value, self.vm.batch_size))
+                if self.program.kind(op.output) is VarKind.TEMP:
+                    lines.append(f"{self._temp_local(op.output)} = {const}")
+                else:
+                    s = self._bind("s", self.vm.storage(op.output))
+                    lines.append(f"{s}.write(mask, {const})")
+            elif isinstance(op, PrimOp):
+                prim = self.registry.get(op.fn)
+                k = self._bind("k", prim.fn)
+                args = ", ".join(self._read_expr(v) for v in op.inputs)
+                if len(op.outputs) == 1:
+                    out = op.outputs[0]
+                    if self.program.kind(out) is VarKind.TEMP:
+                        lines.append(f"{self._temp_local(out)} = {k}({args})")
+                    else:
+                        s = self._bind("s", self.vm.storage(out))
+                        lines.append(f"{s}.write(mask, np.asarray({k}({args})))")
+                else:
+                    tmps = [f"o{block_index}_{i}" for i in range(len(op.outputs))]
+                    lines.append(f"{', '.join(tmps)} = {k}({args})")
+                    for tmp, out in zip(tmps, op.outputs):
+                        if self.program.kind(out) is VarKind.TEMP:
+                            lines.append(f"{self._temp_local(out)} = {tmp}")
+                        else:
+                            s = self._bind("s", self.vm.storage(out))
+                            lines.append(f"{s}.write(mask, np.asarray({tmp}))")
+            elif isinstance(op, PushOp):
+                prim = self.registry.get(op.fn)
+                k = self._bind("k", prim.fn)
+                args = ", ".join(self._read_expr(v) for v in op.inputs)
+                s = self._bind("s", self.vm.storage(op.output))
+                lines.append(f"{s}.push(mask, np.asarray({k}({args})))")
+            elif isinstance(op, PopOp):
+                s = self._bind("s", self.vm.storage(op.var))
+                lines.append(f"{s}.pop(mask)")
+            else:
+                raise FusionUnsupported(f"cannot fuse op {op!r}")
+
+        term = block.terminator
+        if isinstance(term, Jump):
+            lines.append(f"vm.pcreg[mask] = {term.target}")
+        elif isinstance(term, Branch):
+            cond = self._read_expr(term.cond)
+            lines.append(f"_c = np.asarray({cond}, dtype=bool)")
+            lines.append(
+                f"vm.pcreg[mask] = np.where(_c, {term.true_target}, "
+                f"{term.false_target})[mask]"
+            )
+        elif isinstance(term, PushJump):
+            ret = self._bind(
+                "r",
+                np.full(self.vm.batch_size, term.return_target, dtype=np.int64),
+            )
+            lines.append(f"vm.addr_stack.push(mask, {ret})")
+            lines.append(f"vm.pcreg[mask] = {term.jump_target}")
+        elif isinstance(term, Return):
+            lines.append("_p = vm.addr_stack.pop(mask)")
+            lines.append("vm.pcreg[mask] = _p[mask]")
+        else:
+            raise FusionUnsupported(f"cannot fuse terminator {term!r}")
+
+        body = textwrap.indent("\n".join(lines) or "pass", "    ")
+        source = f"def _fused_block_{block_index}(vm, mask, idx):\n{body}\n"
+        exec(compile(source, f"<fused block {block_index}>", "exec"), self.namespace)
+        fn = self.namespace[f"_fused_block_{block_index}"]
+        fn.__fused_source__ = source  # type: ignore[attr-defined]
+        return fn
+
+
+def compile_block_executors(
+    vm: ProgramCounterVM,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> List[Callable]:
+    """Compile fused executors for every block of ``vm``'s program.
+
+    Only the masking execution mode is supported (the paper notes that the
+    statically-indeterminate intermediate sizes of gather-scatter defeat
+    XLA-style compilation, which is exactly the constraint here).
+    """
+    if vm.mode != "mask":
+        raise FusionUnsupported(
+            "block fusion requires masking mode (gather-scatter has "
+            "statically indeterminate intermediate shapes)"
+        )
+    registry = registry or vm.registry
+    return [
+        _BlockCompiler(vm.program, registry, vm).compile(i)
+        for i in range(len(vm.program.blocks))
+    ]
+
+
+def run_fused(
+    program: StackProgram,
+    inputs: Sequence[np.ndarray],
+    registry: Optional[PrimitiveRegistry] = None,
+    max_stack_depth: int = 32,
+    scheduler="earliest",
+    max_steps: int = 10 ** 9,
+):
+    """Run a stack program with every block fused (the ``pc_xla`` strategy)."""
+    arrays = [np.asarray(x) for x in inputs]
+    vm = ProgramCounterVM(
+        program,
+        batch_size=arrays[0].shape[0],
+        registry=registry,
+        mode="mask",
+        scheduler=scheduler,
+        max_stack_depth=max_stack_depth,
+        max_steps=max_steps,
+    )
+    vm.block_executors = compile_block_executors(vm, registry)
+    old = np.seterr(all="ignore")
+    try:
+        outputs = vm.run(arrays)
+    finally:
+        np.seterr(**old)
+    return outputs[0] if len(outputs) == 1 else tuple(outputs)

@@ -1,0 +1,66 @@
+"""Kernel-dispatch accounting.
+
+A :class:`KernelLibrary` wraps a primitive registry so that every kernel
+invocation is counted (and optionally charged simulated dispatch time).  The
+benchmarks use it to report dispatch counts per strategy without touching the
+VM hot paths: wrapping happens once, at registry construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.frontend.registry import Primitive, PrimitiveRegistry
+
+
+@dataclass
+class DispatchStats:
+    calls: int = 0
+    by_kernel: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str) -> None:
+        """Accumulate one dispatch of ``lanes`` lanes."""
+        self.calls += 1
+        self.by_kernel[name] = self.by_kernel.get(name, 0) + 1
+
+
+class KernelLibrary:
+    """A counting view over a primitive registry.
+
+    ``library.registry`` is a child registry whose primitives report into
+    ``library.stats`` on every call; pass it anywhere a registry is accepted.
+    """
+
+    def __init__(self, base: PrimitiveRegistry):
+        self.base = base
+        self.stats = DispatchStats()
+        self.registry = PrimitiveRegistry()
+        for name in base.names():
+            prim = base.get(name)
+            self.registry.register(self._counting(prim))
+
+    def _counting(self, prim: Primitive) -> Primitive:
+        stats = self.stats
+
+        def fn(*args, _inner=prim.fn, _name=prim.name):
+            stats.record(_name)
+            return _inner(*args)
+
+        return Primitive(
+            name=prim.name,
+            fn=fn,
+            n_inputs=prim.n_inputs,
+            n_outputs=prim.n_outputs,
+            cost_weight=prim.cost_weight,
+            tags=prim.tags,
+        )
+
+    def reset(self) -> None:
+        """Zero all per-kernel dispatch statistics."""
+        self.stats = DispatchStats()
+        for name in self.registry.names():
+            # Rebind the closure's stats object.
+            prim = self.registry.get(name)
+            base_prim = self.base.get(name)
+            self.registry.register(self._counting(base_prim), overwrite=True)

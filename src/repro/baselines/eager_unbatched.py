@@ -1,0 +1,69 @@
+"""The "Eager mode without autobatching" line of Figure 5.
+
+The paper's baseline runs *the same user program* directly in TensorFlow
+Eager, perforce one batch member at a time: every primitive dispatches a
+kernel over a single example, so throughput is flat in batch size and every
+dispatch's overhead is amortized over just one lane.
+
+Our analog executes the single-example Python NUTS (the exact function the
+autobatching strategies compile) member by member via
+:meth:`~repro.frontend.api.AutobatchFunction.run_reference`, with each
+primitive called on unbatched values — one "kernel dispatch" per primitive
+per member.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nuts.kernel import NutsKernel
+from repro.targets.base import Target
+
+
+@dataclass
+class EagerUnbatchedRun:
+    positions: np.ndarray   #: final states, (Z, dim)
+    grad_evals: float
+    wall_time: float
+
+    def gradients_per_second(self) -> float:
+        return self.grad_evals / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class EagerUnbatchedSampler:
+    """Member-at-a-time execution of the autobatchable NUTS program."""
+
+    def __init__(
+        self,
+        target: Target,
+        step_size: float,
+        max_depth: int = 6,
+        n_leapfrog: int = 4,
+        kernel: NutsKernel = None,
+    ):
+        self.kernel = kernel or NutsKernel(target)
+        self.step_size = step_size
+        self.max_depth = max_depth
+        self.n_leapfrog = n_leapfrog
+
+    def run(self, q0: np.ndarray, n_trajectories: int, seed: int = 0) -> EagerUnbatchedRun:
+        """Run every member through plain Python, one at a time."""
+        start = time.perf_counter()
+        result = self.kernel.run(
+            q0,
+            step_size=self.step_size,
+            n_trajectories=n_trajectories,
+            max_depth=self.max_depth,
+            n_leapfrog=self.n_leapfrog,
+            seed=seed,
+            strategy="reference",
+        )
+        wall = time.perf_counter() - start
+        return EagerUnbatchedRun(
+            positions=result.positions,
+            grad_evals=result.total_grad_evals,
+            wall_time=wall,
+        )

@@ -1,0 +1,69 @@
+"""The "Stan" line of Figure 5: an optimized, unbatched single-chain sampler.
+
+Stan is a long-optimized C++ NUTS implementation; what matters for the
+paper's comparison is its *architecture*: one chain at a time, no batching,
+so total throughput is flat in the number of requested chains.  The closest
+faithful analog buildable offline is our hand-derived iterative NUTS
+(:class:`~repro.nuts.iterative.IterativeNuts`) run serially per chain — it
+shares Stan's recursion-free inner loop and evaluates one gradient per
+kernel invocation with no batching machinery in the way.
+
+The paper scaled Stan's throughput against a calibration run on common
+hardware; analogously, :meth:`StanLikeSampler.calibrated_grads_per_second`
+lets benches scale this baseline by an externally supplied speed ratio
+(default 1.0 = "as fast per-gradient as our numpy substrate").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nuts.iterative import IterativeNuts
+from repro.targets.base import Target
+
+
+@dataclass
+class StanLikeRun:
+    positions: np.ndarray   #: final states, (Z, dim)
+    grad_evals: int
+    wall_time: float
+
+    def gradients_per_second(self) -> float:
+        return self.grad_evals / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class StanLikeSampler:
+    """Serial multi-chain driver over the iterative single-chain NUTS."""
+
+    def __init__(
+        self,
+        target: Target,
+        step_size: float,
+        max_depth: int = 6,
+        n_leapfrog: int = 4,
+        speed_ratio: float = 1.0,
+    ):
+        self.sampler = IterativeNuts(
+            target, step_size, max_depth=max_depth, n_leapfrog=n_leapfrog
+        )
+        if speed_ratio <= 0:
+            raise ValueError(f"speed_ratio must be positive, got {speed_ratio}")
+        self.speed_ratio = float(speed_ratio)
+
+    def run(self, q0: np.ndarray, n_trajectories: int, seed: int = 0) -> StanLikeRun:
+        """Sample every chain serially; returns positions, counts, time."""
+        start = time.perf_counter()
+        finals, grads = self.sampler.sample_batch(q0, n_trajectories, seed=seed)
+        wall = time.perf_counter() - start
+        return StanLikeRun(positions=finals, grad_evals=grads, wall_time=wall)
+
+    def calibrated_grads_per_second(self, run: StanLikeRun) -> float:
+        """Throughput scaled by the external calibration ratio.
+
+        Mirrors the paper's procedure of scaling the Stan measurement taken
+        on different hardware against a common calibration run.
+        """
+        return run.gradients_per_second() * self.speed_ratio

@@ -1,0 +1,21 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+* :mod:`repro.bench.figure5` — NUTS throughput (gradient evaluations per
+  second) versus batch size on Bayesian logistic regression, for every
+  execution strategy plus the two baselines; also extracts the Section 4.1
+  crossover claims.
+* :mod:`repro.bench.figure6` — batch gradient utilization versus batch size
+  on the correlated Gaussian, local-static versus program-counter.
+* :mod:`repro.bench.ablations` — the paper's two "significant free choices"
+  (masking vs gather-scatter; block-selection heuristic) and the Section 3
+  lowering optimizations, measured head-to-head.
+* :mod:`repro.bench.timing` / :mod:`repro.bench.report` — shared best-of-k
+  timing and table/series rendering.
+
+Each figure module is runnable: ``python -m repro.bench.figure5``.
+"""
+
+from repro.bench.timing import best_of, timed
+from repro.bench.report import format_series, format_table
+
+__all__ = ["best_of", "timed", "format_table", "format_series"]

@@ -1,0 +1,175 @@
+"""Figure 6: batch gradient utilization on the correlated Gaussian.
+
+**Utilization** is the fraction of gradient-kernel lanes that computed
+useful work: ``active / slots`` summed over every execution of a
+``"gradient"``-tagged primitive (see
+:class:`~repro.vm.instrumentation.Instrumentation`).  It is 1.0 at batch
+size 1 and decays as batch members choose different tree sizes.
+
+The experiment contrasts the paper's two synchronization regimes across a
+multi-trajectory chain (10 trajectories, as in Section 4.2):
+
+* **local static** — recursion lives on the Python stack, so gradients can
+  only batch between members at identical call paths; members that finish a
+  subtree/trajectory early stall.  The paper reads the asymptote of this
+  line as "the longest trajectory NUTS chooses tends to be about four times
+  longer than the average" (utilization → ~0.25).
+* **program counter** — one flat machine; the gradient leaf is a single
+  block shared by every call site and stack depth, so members in different
+  trajectories (or different subtrees) batch together.
+
+Run as ``python -m repro.bench.figure6``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.report import format_series, format_table
+from repro.nuts.kernel import NutsKernel
+from repro.targets.gaussian import CorrelatedGaussian
+
+
+@dataclass(frozen=True)
+class Figure6Config:
+    dim: int = 100
+    rho: float = 0.9
+    min_scale: float = 0.1
+    max_scale: float = 1.0
+    batch_sizes: Tuple[int, ...] = (1, 2, 3, 5, 10, 30, 100)
+    n_trajectories: int = 10
+    step_size: float = 0.05
+    max_depth: int = 7
+    n_leapfrog: int = 4
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "Figure6Config":
+        return cls(
+            dim=8,
+            batch_sizes=(1, 2, 4, 8),
+            n_trajectories=3,
+            max_depth=4,
+            step_size=0.1,
+        )
+
+
+@dataclass
+class Figure6Point:
+    batch_size: int
+    strategy: str
+    utilization: float          #: useful gradient lanes / executed lanes
+    grad_evals: float           #: useful gradients (in-program count)
+    gradient_kernel_calls: int  #: how many gradient kernels were dispatched
+
+
+@dataclass
+class Figure6Result:
+    config: Figure6Config
+    points: List[Figure6Point]
+
+    def series(self) -> Tuple[List[int], Dict[str, List[Optional[float]]]]:
+        """(batch sizes, {strategy: utilization column})."""
+        xs = sorted({p.batch_size for p in self.points})
+        out: Dict[str, List[Optional[float]]] = {}
+        for strategy in ("local", "pc"):
+            column = []
+            for x in xs:
+                match = [
+                    p for p in self.points
+                    if p.strategy == strategy and p.batch_size == x
+                ]
+                column.append(match[0].utilization if match else None)
+            out[strategy] = column
+        return xs, out
+
+    def recovery_factor(self, batch_size: int) -> Optional[float]:
+        """PC utilization / local utilization at one batch size."""
+        local = [p for p in self.points if p.strategy == "local" and p.batch_size == batch_size]
+        pc = [p for p in self.points if p.strategy == "pc" and p.batch_size == batch_size]
+        if not local or not pc or local[0].utilization == 0:
+            return None
+        return pc[0].utilization / local[0].utilization
+
+    def render(self) -> str:
+        """The full markdown report: table, chart, recovery factors."""
+        headers = ["batch", "strategy", "utilization", "useful grads", "gradient kernels"]
+        rows = [
+            [p.batch_size, p.strategy, p.utilization, p.grad_evals, p.gradient_kernel_calls]
+            for p in sorted(self.points, key=lambda p: (p.batch_size, p.strategy))
+        ]
+        xs, series = self.series()
+        recovery = [
+            f"* batch {x}: PC recovers {self.recovery_factor(x):.2f}x of local-static utilization"
+            for x in xs
+            if self.recovery_factor(x) is not None
+        ]
+        chart = format_series(
+            xs,
+            {k: v for k, v in series.items()},
+            x_label="batch",
+            y_label="utilization",
+            log_y=False,
+        )
+        return (
+            "## Figure 6 sweep\n\n"
+            + format_table(headers, rows)
+            + "\n\n### Utilization vs batch size\n\n```\n"
+            + chart
+            + "\n```\n\n### PC-over-local recovery\n\n"
+            + "\n".join(recovery)
+        )
+
+
+def run_figure6(config: Figure6Config = Figure6Config()) -> Figure6Result:
+    """Execute the utilization sweep and collect every cell."""
+    target = CorrelatedGaussian(
+        dim=config.dim,
+        rho=config.rho,
+        min_scale=config.min_scale,
+        max_scale=config.max_scale,
+    )
+    kernel = NutsKernel(target)
+    points: List[Figure6Point] = []
+    for z in config.batch_sizes:
+        q0 = target.initial_state(z, seed=config.seed)
+        for strategy in ("local", "pc"):
+            result = kernel.run(
+                q0,
+                step_size=config.step_size,
+                n_trajectories=config.n_trajectories,
+                max_depth=config.max_depth,
+                n_leapfrog=config.n_leapfrog,
+                seed=config.seed,
+                strategy=strategy,
+                instrument=True,
+            )
+            counter = result.instrumentation.count(tag="gradient")
+            points.append(
+                Figure6Point(
+                    batch_size=z,
+                    strategy=strategy,
+                    utilization=counter.utilization(),
+                    grad_evals=result.total_grad_evals,
+                    gradient_kernel_calls=counter.executions,
+                )
+            )
+    return Figure6Result(config=config, points=points)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point for the Figure 6 sweep."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny smoke-test sizes")
+    args = parser.parse_args(argv)
+    config = Figure6Config.smoke() if args.smoke else Figure6Config()
+    result = run_figure6(config)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

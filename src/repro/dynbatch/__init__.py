@@ -1,0 +1,30 @@
+"""A miniature dynamic batcher (paper Section 5, Neubig et al. 2017).
+
+The related-work survey contrasts two architectures: the *static* batching
+this repository is about (local and program-counter — schedules computed
+before execution), and **dynamic batching**, "exemplified by Neubig et al.
+and Looks et al.", where "the runtime performs batching dynamically, by
+running parallel evaluations of the user program against a scheduler that
+manages the execution and batches opportunistically".
+
+This subpackage implements the smallest faithful version of that runtime:
+user programs build per-example **lazy expression graphs** (no control-flow
+restrictions — each example's Python runs independently, branching on
+concrete values whenever it likes by forcing a node); a scheduler then
+executes all pending graphs together, grouping ready nodes by operation so
+each group becomes one batched kernel call.
+
+The paper's architectural claims, verified by ``tests/test_dynbatch.py``:
+
+* dynamic batching can recover batching *across* examples with different
+  control flow — even within a single execution when there is no data
+  dependence;
+* forcing a value mid-graph (data-dependent control) fragments batches;
+* the price is per-node runtime scheduling overhead that the static
+  architectures pay once, at extraction time.
+"""
+
+from repro.dynbatch.graph import Lazy, LazyContext
+from repro.dynbatch.scheduler import DynamicBatcher
+
+__all__ = ["Lazy", "LazyContext", "DynamicBatcher"]

@@ -1,0 +1,129 @@
+"""Lazy per-example expression graphs for the dynamic batcher.
+
+A :class:`Lazy` node records an operation name and argument nodes instead
+of computing.  Each user program builds its own graph; the scheduler later
+executes many graphs' nodes together.  Forcing (:meth:`Lazy.value`) — which
+data-dependent control flow requires — flushes the owning context's agenda
+up to that node, fragmenting the opportunistic batches; that trade-off is
+the paper's point about dynamic batching's relationship to control flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+_ids = itertools.count()
+
+
+class LazyContext:
+    """Owns the pending nodes of one dynamic-batching session."""
+
+    def __init__(self, batcher: "Any" = None):
+        from repro.dynbatch.scheduler import DynamicBatcher
+
+        self.batcher = batcher if batcher is not None else DynamicBatcher()
+        self.pending: Dict[int, Lazy] = {}
+
+    # -- node construction -------------------------------------------------------
+
+    def constant(self, value) -> "Lazy":
+        """A pre-forced node holding a concrete value."""
+        node = Lazy(self, "const", (), payload=np.asarray(value))
+        node._value = np.asarray(value)
+        return node
+
+    def apply(self, op: str, *args: "Lazy") -> "Lazy":
+        """A deferred application of registry primitive ``op``."""
+        coerced = tuple(
+            a if isinstance(a, Lazy) else self.constant(a) for a in args
+        )
+        node = Lazy(self, op, coerced)
+        self.pending[node.node_id] = node
+        return node
+
+    # -- forcing --------------------------------------------------------------------
+
+    def force(self, node: "Lazy") -> np.ndarray:
+        """Make ``node`` concrete, flushing the agenda as needed."""
+        if node._value is None:
+            self.batcher.flush(self, target=node)
+        assert node._value is not None
+        return node._value
+
+
+class Lazy:
+    """One deferred operation in a per-example graph."""
+
+    __slots__ = ("context", "op", "args", "payload", "node_id", "_value")
+
+    def __init__(
+        self,
+        context: LazyContext,
+        op: str,
+        args: Tuple["Lazy", ...],
+        payload: Optional[np.ndarray] = None,
+    ):
+        self.context = context
+        self.op = op
+        self.args = args
+        self.payload = payload
+        self.node_id = next(_ids)
+        self._value: Optional[np.ndarray] = None
+
+    @property
+    def ready(self) -> bool:
+        """True when every argument is already concrete."""
+        return all(a._value is not None for a in self.args)
+
+    def value(self) -> np.ndarray:
+        """Force this node (and everything it needs) to a concrete value."""
+        return self.context.force(self)
+
+    # -- operator sugar (maps onto the shared primitive registry names) --------
+
+    def _binop(self, other, op):
+        return self.context.apply(op, self, other)
+
+    def __add__(self, other):
+        return self._binop(other, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binop(other, "sub")
+
+    def __rsub__(self, other):
+        return self.context.apply("sub", self.context.constant(other), self)
+
+    def __mul__(self, other):
+        return self._binop(other, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binop(other, "div")
+
+    def __mod__(self, other):
+        return self._binop(other, "mod")
+
+    def __floordiv__(self, other):
+        return self._binop(other, "floordiv")
+
+    def __le__(self, other):
+        return self._binop(other, "le")
+
+    def __lt__(self, other):
+        return self._binop(other, "lt")
+
+    def __gt__(self, other):
+        return self._binop(other, "gt")
+
+    def __ge__(self, other):
+        return self._binop(other, "ge")
+
+    def __repr__(self) -> str:
+        state = "forced" if self._value is not None else "pending"
+        return f"Lazy({self.op}, id={self.node_id}, {state})"

@@ -1,0 +1,72 @@
+"""The opportunistic batching scheduler.
+
+Agenda algorithm (the core of Neubig et al.'s on-the-fly batching, distilled):
+repeatedly collect every pending node whose inputs are all concrete, group
+them by operation name, stack each group's inputs into one array, make one
+batched kernel call per group, and scatter the outputs back to the nodes.
+``kernel_calls`` vs ``nodes_executed`` quantifies the recovered batching.
+
+Only same-event-shape scalars batch here (sufficient for the comparison;
+the real systems add shape buckets).  Kernels come from the same primitive
+registry the static machines use, so all three architectures run literally
+the same numpy code.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.frontend.registry import PrimitiveRegistry, default_registry
+
+
+class DynamicBatcher:
+    """Executes pending lazy nodes in opportunistic batches."""
+
+    def __init__(self, registry: Optional[PrimitiveRegistry] = None):
+        self.registry = registry or default_registry
+        self.kernel_calls = 0
+        self.nodes_executed = 0
+        self.waves = 0
+
+    def batching_factor(self) -> float:
+        """Average nodes served per kernel call (1.0 = no batching won)."""
+        return self.nodes_executed / self.kernel_calls if self.kernel_calls else 0.0
+
+    def flush(self, context, target=None) -> None:
+        """Run the agenda until ``target`` (or everything) is concrete."""
+        pending = context.pending
+        while pending if target is None else (target._value is None):
+            ready: Dict[str, List] = defaultdict(list)
+            for node in pending.values():
+                if node._value is None and node.ready:
+                    ready[node.op].append(node)
+            if not ready:
+                if target is not None and target._value is None:
+                    raise RuntimeError(
+                        "dynamic batcher wedged: target not computable "
+                        "(cycle or foreign-context argument?)"
+                    )
+                break
+            self.waves += 1
+            for op, nodes in ready.items():
+                prim = self.registry.get(op)
+                stacked = [
+                    np.stack([np.asarray(n.args[i]._value) for n in nodes])
+                    for i in range(prim.n_inputs)
+                ]
+                with np.errstate(all="ignore"):
+                    out = prim.fn(*stacked)
+                outs = out if prim.n_outputs > 1 else (out,)
+                self.kernel_calls += 1
+                self.nodes_executed += len(nodes)
+                for b, node in enumerate(nodes):
+                    node._value = (
+                        outs[0][b]
+                        if prim.n_outputs == 1
+                        else tuple(o[b] for o in outs)
+                    )
+                    pending.pop(node.node_id, None)
+        # Forced-target flush keeps other pending nodes for later waves.

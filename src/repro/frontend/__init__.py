@@ -1,0 +1,21 @@
+"""The Python-embedded compiler frontend.
+
+This is the analog of the paper's AutoGraph-based frontend: a user-invoked
+AST transformation that converts a (restricted) Python function into the
+callable control-flow-graph IR of Figure 2.  All of the user's actual
+computations become ``Primitive`` operations; ``if``/``while``/``return`` and
+function calls are encoded in ``Jump``/``Branch``/``Call``/``Return``.
+"""
+
+from repro.frontend.registry import Primitive, PrimitiveRegistry, default_registry, primitive
+from repro.frontend.api import AutobatchFunction, autobatch
+from repro.frontend import primitives as _primitives  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "Primitive",
+    "PrimitiveRegistry",
+    "default_registry",
+    "primitive",
+    "AutobatchFunction",
+    "autobatch",
+]

@@ -1,0 +1,172 @@
+"""User-facing autobatching API.
+
+::
+
+    from repro import autobatch
+
+    @autobatch
+    def fib(n):
+        if n <= 1:
+            return 1
+        return fib(n - 2) + fib(n - 1)
+
+    fib.run_local(np.array([3, 7, 4, 5]))   # Algorithm 1
+    fib.run_pc(np.array([6, 7, 8, 9]))      # Algorithm 2
+    fib(10)                                  # plain single-example Python
+
+Compilation is lazy (triggered by the first use of ``.ir`` or a run method)
+so that recursive and mutually recursive references resolve against fully
+populated module globals.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.cfg_builder import CompiledFunction, lower_function
+from repro.frontend.parser import function_namespace, get_function_ast
+from repro.frontend.registry import PrimitiveRegistry, default_registry
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import Function, Program, StackProgram
+from repro.ir.validate import validate_program
+
+
+class AutobatchFunction:
+    """A Python function plus its compiled autobatchable forms."""
+
+    def __init__(
+        self,
+        pyfunc: Callable[..., Any],
+        registry: Optional[PrimitiveRegistry] = None,
+        name: Optional[str] = None,
+    ):
+        self.pyfunc = pyfunc
+        self.name = name or pyfunc.__name__
+        self.registry = registry or default_registry
+        self._compiled: Optional[CompiledFunction] = None
+        self._program: Optional[Program] = None
+        self._callee_objects: Dict[str, "AutobatchFunction"] = {}
+        self._stack_programs: Dict[Tuple, StackProgram] = {}
+        functools.update_wrapper(self, pyfunc, updated=())
+
+    # -- plain Python execution (the reference semantics) --------------------
+
+    def __call__(self, *args: Any) -> Any:
+        return self.pyfunc(*args)
+
+    def run_reference(self, *inputs: np.ndarray) -> Any:
+        """Run each batch member through plain Python, one at a time.
+
+        This is the paper's "Eager mode without autobatching" baseline and
+        the differential-testing oracle.
+        """
+        batch = [np.asarray(x) for x in inputs]
+        if not batch:
+            raise ValueError("at least one input is required")
+        z = batch[0].shape[0]
+        results = [self.pyfunc(*(x[b] for x in batch)) for b in range(z)]
+        if results and isinstance(results[0], tuple):
+            n = len(results[0])
+            return tuple(np.stack([np.asarray(r[i]) for r in results]) for i in range(n))
+        return np.stack([np.asarray(r) for r in results])
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> CompiledFunction:
+        if self._compiled is None:
+            node = get_function_ast(self.pyfunc)
+            namespace = function_namespace(self.pyfunc)
+            self._compiled = lower_function(
+                self.name, node, namespace, self.registry, self_object=self
+            )
+        return self._compiled
+
+    @property
+    def ir(self) -> Function:
+        """This function's callable-IR control flow graph."""
+        return self._compile().ir
+
+    @property
+    def program(self) -> Program:
+        """The whole callable-IR program: this function plus its transitive callees."""
+        if self._program is None:
+            builder = ProgramBuilder(main=self.name)
+            seen: Dict[str, AutobatchFunction] = {}
+            frontier = [self]
+            while frontier:
+                fn = frontier.pop()
+                if fn.name in seen:
+                    if seen[fn.name] is not fn:
+                        raise ValueError(
+                            f"two distinct autobatched functions share the name "
+                            f"{fn.name!r}; rename one of them"
+                        )
+                    continue
+                seen[fn.name] = fn
+                compiled = fn._compile()
+                builder.add(compiled.ir)
+                frontier.extend(compiled.callees.values())
+            program = builder.build()
+            validate_program(program)
+            self._program = program
+            self._callee_objects = seen
+        return self._program
+
+    def stack_program(self, optimize: bool = True) -> StackProgram:
+        """The lowered stack-dialect program for the program-counter machine."""
+        key = (optimize,)
+        if key not in self._stack_programs:
+            from repro.lowering.pipeline import lower_program
+
+            self._stack_programs[key] = lower_program(self.program, optimize=optimize)
+        return self._stack_programs[key]
+
+    # -- batched execution ----------------------------------------------------
+
+    def run_local(self, *inputs: np.ndarray, **options: Any) -> Any:
+        """Run under local static autobatching (paper Algorithm 1)."""
+        from repro.vm.local_static import run_local_static
+
+        registry = options.pop("registry", self.registry)
+        return run_local_static(
+            self.program, list(inputs), registry=registry, **options
+        )
+
+    def run_pc(self, *inputs: np.ndarray, **options: Any) -> Any:
+        """Run under program-counter autobatching (paper Algorithm 2)."""
+        from repro.vm.program_counter import run_program_counter
+
+        optimize = options.pop("optimize", True)
+        registry = options.pop("registry", self.registry)
+        return run_program_counter(
+            self.stack_program(optimize=optimize),
+            list(inputs),
+            registry=registry,
+            **options,
+        )
+
+    def __repr__(self) -> str:
+        return f"AutobatchFunction({self.name!r})"
+
+
+def autobatch(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    registry: Optional[PrimitiveRegistry] = None,
+    name: Optional[str] = None,
+) -> Any:
+    """Decorator marking a Python function for autobatching.
+
+    The decorated object remains directly callable with single-example
+    (unbatched) arguments, exactly like the original function.
+    """
+
+    def wrap(f: Callable[..., Any]) -> AutobatchFunction:
+        return AutobatchFunction(f, registry=registry, name=name)
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

@@ -1,0 +1,564 @@
+"""Lowering of the autobatchable Python subset to callable IR.
+
+Supported statements: assignment (including tuple unpacking and augmented
+assignment), ``if``/``elif``/``else``, ``while`` (with ``break`` /
+``continue``), ``for _ in range(...)``, ``return``, ``pass``.
+
+Supported expressions: names, numeric/bool constants, unary and binary
+arithmetic, comparisons (including chains), ``and``/``or``/``not``
+(elementwise, **non-short-circuit** — both sides are evaluated, as is
+necessary under batching), conditional expressions ``a if c else b``
+(lowered to a ``select``; both arms are evaluated), and calls to registered
+primitives or other autobatched functions.
+
+Everything the transformation cannot represent raises :class:`FrontendError`
+with a pointer at the offending construct.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.frontend.parser import FrontendError, check_signature
+from repro.frontend.registry import Primitive, PrimitiveRegistry
+from repro.ir.builder import BlockHandle, FunctionBuilder
+from repro.ir.instructions import Function
+
+_BINOPS = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.Div: "div",
+    ast.FloorDiv: "floordiv",
+    ast.Mod: "mod",
+    ast.Pow: "pow",
+}
+
+_CMPOPS = {
+    ast.Lt: "lt",
+    ast.LtE: "le",
+    ast.Gt: "gt",
+    ast.GtE: "ge",
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+}
+
+_BOOLOPS = {ast.And: "logical_and", ast.Or: "logical_or"}
+
+# Python builtins transparently mapped onto primitives.
+_BUILTIN_PRIMS = {
+    abs: "abs",
+    float: "to_float",
+    int: "to_int",
+    bool: "to_bool",
+    min: "minimum",
+    max: "maximum",
+}
+
+
+@dataclass
+class CompiledFunction:
+    """Result of frontend compilation: the IR plus callee references."""
+
+    ir: Function
+    #: IR callee name -> the AutobatchFunction object it refers to.
+    callees: Dict[str, Any] = field(default_factory=dict)
+
+
+class _Lowerer:
+    """Single-function AST -> callable-IR compiler."""
+
+    def __init__(
+        self,
+        name: str,
+        node: ast.FunctionDef,
+        namespace: Dict[str, Any],
+        registry: PrimitiveRegistry,
+        self_object: Any,
+    ):
+        check_signature(node)
+        self.node = node
+        self.namespace = namespace
+        self.registry = registry
+        self.self_object = self_object
+        self.params = tuple(a.arg for a in node.args.args)
+        self.builder = FunctionBuilder(name, params=self.params)
+        self.callees: Dict[str, Any] = {}
+        self.n_returns: Optional[int] = None
+        self._tmp = 0
+        # Stack of (loop_head_label, loop_after_label) for break/continue.
+        self._loops: List[Tuple[BlockHandle, BlockHandle]] = []
+        self.current: Optional[BlockHandle] = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _err(self, node: ast.AST, msg: str) -> FrontendError:
+        line = getattr(node, "lineno", "?")
+        return FrontendError(f"{self.builder.name} (line {line}): {msg}")
+
+    def fresh(self, hint: str = "t") -> str:
+        """A unique temporary variable name."""
+        self._tmp += 1
+        return f"__{hint}{self._tmp}"
+
+    def _require_block(self, node: ast.AST) -> BlockHandle:
+        if self.current is None:
+            raise self._err(node, "unreachable code after return/break/continue")
+        return self.current
+
+    def _resolve(self, node: ast.expr) -> Any:
+        """Resolve a Name or dotted Attribute against the defining namespace."""
+        if isinstance(node, ast.Name):
+            if node.id in self.namespace:
+                return self.namespace[node.id]
+            if node.id == self.node.name and self.self_object is not None:
+                return self.self_object
+            import builtins
+
+            if hasattr(builtins, node.id):
+                return getattr(builtins, node.id)
+            raise self._err(node, f"cannot resolve name {node.id!r}")
+        if isinstance(node, ast.Attribute):
+            base = self._resolve(node.value)
+            try:
+                return getattr(base, node.attr)
+            except AttributeError:
+                raise self._err(node, f"cannot resolve attribute {node.attr!r}")
+        raise self._err(node, "callee must be a name or dotted attribute")
+
+    # -- compilation entry point ----------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        """Compile the whole function body into its CFG."""
+        self.current = self.builder.block("entry")
+        self.compile_body(self.node.body)
+        if self.current is not None:
+            # The dangling block is fine iff it is unreachable (e.g. the
+            # after-block of an if/elif/else in which every branch returns).
+            label = self.current.label
+            by_label = {b.label: b for b in self.builder._blocks}
+            reachable = set()
+            stack = ["entry"]
+            while stack:
+                cur = stack.pop()
+                if cur in reachable:
+                    continue
+                reachable.add(cur)
+                term = by_label[cur].terminator
+                if term is not None:
+                    stack.extend(t for t in term.targets() if isinstance(t, str))
+            if label in reachable:
+                raise self._err(
+                    self.node,
+                    "control may reach the end of the function without return",
+                )
+            self.builder._blocks = [
+                b for b in self.builder._blocks if b.label != label
+            ]
+            self.current = None
+        if self.n_returns is None:
+            raise self._err(self.node, "function never returns a value")
+        self.builder.outputs = tuple(f"__ret{i}" for i in range(self.n_returns))
+        ir = self.builder.build()
+        ir = _prune_unreachable(ir)
+        return CompiledFunction(ir=ir, callees=self.callees)
+
+    def compile_body(self, body: List[ast.stmt]) -> None:
+        """Compile a statement list into the current block chain."""
+        for stmt in body:
+            self.compile_stmt(stmt)
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        """Compile one statement (dispatching on AST node type)."""
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return  # docstring / bare literal: no-op
+        if isinstance(stmt, ast.Pass):
+            self._require_block(stmt)
+            return
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is None:
+            raise self._err(stmt, f"unsupported statement {type(stmt).__name__}")
+        handler(stmt)
+
+    def _assign_names(self, node: ast.stmt, targets: ast.expr) -> Tuple[str, ...]:
+        if isinstance(targets, ast.Name):
+            return (targets.id,)
+        if isinstance(targets, ast.Tuple) and all(
+            isinstance(e, ast.Name) for e in targets.elts
+        ):
+            return tuple(e.id for e in targets.elts)  # type: ignore[union-attr]
+        raise self._err(node, "assignment targets must be names or tuples of names")
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._err(stmt, "chained assignment is not supported")
+        names = self._assign_names(stmt, stmt.targets[0])
+        self._compile_binding(stmt, names, stmt.value)
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        if stmt.value is None:
+            raise self._err(stmt, "bare annotations are not supported")
+        names = self._assign_names(stmt, stmt.target)
+        self._compile_binding(stmt, names, stmt.value)
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            raise self._err(stmt, "augmented assignment target must be a name")
+        if type(stmt.op) not in _BINOPS:
+            raise self._err(stmt, f"unsupported operator {type(stmt.op).__name__}")
+        blk = self._require_block(stmt)
+        rhs = self.compile_expr(stmt.value)
+        blk.prim((stmt.target.id,), _BINOPS[type(stmt.op)], (stmt.target.id, rhs))
+
+    def _compile_binding(
+        self, stmt: ast.stmt, names: Tuple[str, ...], value: ast.expr
+    ) -> None:
+        blk = self._require_block(stmt)
+        if len(names) == 1:
+            src = self.compile_expr(value)
+            blk.prim((names[0],), "id", (src,))
+            return
+        # Tuple target: multi-output call, or a tuple literal of expressions.
+        if isinstance(value, ast.Call):
+            self.compile_call(value, outputs=names)
+            return
+        if isinstance(value, ast.Tuple):
+            if len(value.elts) != len(names):
+                raise self._err(stmt, "tuple assignment arity mismatch")
+            # Evaluate all sources into fresh temporaries before writing any
+            # target, so `a, b = b, a` swaps correctly.
+            srcs = []
+            for e in value.elts:
+                tmp = self.fresh("tup")
+                blk.prim((tmp,), "id", (self.compile_expr(e),))
+                srcs.append(tmp)
+            for name, src in zip(names, srcs):
+                blk.prim((name,), "id", (src,))
+            return
+        raise self._err(
+            stmt, "tuple assignment requires a call or a tuple literal on the right"
+        )
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        blk = self._require_block(stmt)
+        if stmt.value is None:
+            raise self._err(stmt, "functions must return a value")
+        if isinstance(stmt.value, ast.Tuple):
+            values = list(stmt.value.elts)
+        else:
+            values = [stmt.value]
+        if self.n_returns is None:
+            self.n_returns = len(values)
+        elif self.n_returns != len(values):
+            raise self._err(
+                stmt,
+                f"inconsistent return arity: expected {self.n_returns}, "
+                f"got {len(values)}",
+            )
+        if len(values) == 1 and isinstance(values[0], ast.Call):
+            # `return f(x)` may itself be a multi-output call result forwarded
+            # whole; treat single-value calls uniformly through compile_expr.
+            pass
+        srcs = [self.compile_expr(v) for v in values]
+        for i, src in enumerate(srcs):
+            blk.prim((f"__ret{i}",), "id", (src,))
+        blk.ret()
+        self.current = None
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        blk = self._require_block(stmt)
+        cond = self.compile_expr(stmt.test)
+        then_blk = self.builder.block(self.builder.fresh_label("then"))
+        else_blk = self.builder.block(self.builder.fresh_label("else")) if stmt.orelse else None
+        after_blk = self.builder.block(self.builder.fresh_label("after"))
+        blk.branch(cond, then_blk, else_blk if else_blk is not None else after_blk)
+
+        self.current = then_blk
+        self.compile_body(stmt.body)
+        if self.current is not None:
+            self.current.jump(after_blk)
+
+        if else_blk is not None:
+            self.current = else_blk
+            self.compile_body(stmt.orelse)
+            if self.current is not None:
+                self.current.jump(after_blk)
+
+        self.current = after_blk
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self._err(stmt, "while/else is not supported")
+        blk = self._require_block(stmt)
+        head = self.builder.block(self.builder.fresh_label("loop_head"))
+        blk.jump(head)
+        # The condition is (re)evaluated in the head block each iteration.
+        self.current = head
+        cond = self.compile_expr(stmt.test)
+        cond_blk = self.current  # condition evaluation may not branch blocks,
+        body = self.builder.block(self.builder.fresh_label("loop_body"))
+        after = self.builder.block(self.builder.fresh_label("loop_after"))
+        cond_blk.branch(cond, body, after)
+
+        self._loops.append((head, after))
+        self.current = body
+        self.compile_body(stmt.body)
+        if self.current is not None:
+            self.current.jump(head)
+        self._loops.pop()
+
+        self.current = after
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        """``for i in range(...)`` desugared to a while loop."""
+        if stmt.orelse:
+            raise self._err(stmt, "for/else is not supported")
+        if not isinstance(stmt.target, ast.Name):
+            raise self._err(stmt, "for target must be a single name")
+        it = stmt.iter
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and 1 <= len(it.args) <= 3
+            and not it.keywords
+        ):
+            raise self._err(stmt, "only `for _ in range(...)` loops are supported")
+        blk = self._require_block(stmt)
+        var = stmt.target.id
+        if len(it.args) == 1:
+            start_src, stop_node, step_node = None, it.args[0], None
+        else:
+            start_src, stop_node = it.args[0], it.args[1]
+            step_node = it.args[2] if len(it.args) == 3 else None
+
+        if start_src is None:
+            blk.const(var, 0)
+        else:
+            blk.prim((var,), "id", (self.compile_expr(start_src),))
+        stop = self.fresh("stop")
+        blk.prim((stop,), "id", (self.compile_expr(stop_node),))
+        step = self.fresh("step")
+        if step_node is None:
+            blk.const(step, 1)
+        else:
+            blk.prim((step,), "id", (self.compile_expr(step_node),))
+
+        head = self.builder.block(self.builder.fresh_label("for_head"))
+        blk.jump(head)
+        cond = self.fresh("forcond")
+        head.prim((cond,), "lt", (var, stop))
+        body = self.builder.block(self.builder.fresh_label("for_body"))
+        after = self.builder.block(self.builder.fresh_label("for_after"))
+        head.branch(cond, body, after)
+
+        # `continue` must advance the induction variable, so it targets a
+        # dedicated increment block rather than the head.
+        incr = self.builder.block(self.builder.fresh_label("for_incr"))
+        incr.prim((var,), "add", (var, step)).jump(head)
+
+        self._loops.append((incr, after))
+        self.current = body
+        self.compile_body(stmt.body)
+        if self.current is not None:
+            self.current.jump(incr)
+        self._loops.pop()
+
+        self.current = after
+
+    def _stmt_Break(self, stmt: ast.Break) -> None:
+        blk = self._require_block(stmt)
+        if not self._loops:
+            raise self._err(stmt, "break outside loop")
+        blk.jump(self._loops[-1][1])
+        self.current = None
+
+    def _stmt_Continue(self, stmt: ast.Continue) -> None:
+        blk = self._require_block(stmt)
+        if not self._loops:
+            raise self._err(stmt, "continue outside loop")
+        blk.jump(self._loops[-1][0])
+        self.current = None
+
+    # -- expressions -----------------------------------------------------------
+
+    def compile_expr(self, node: ast.expr) -> str:
+        """Compile an expression; returns the variable holding its value."""
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is None:
+            raise self._err(node, f"unsupported expression {type(node).__name__}")
+        return handler(node)
+
+    def _expr_Name(self, node: ast.Name) -> str:
+        return node.id
+
+    def _expr_Constant(self, node: ast.Constant) -> str:
+        if not isinstance(node.value, (bool, int, float)):
+            raise self._err(node, f"unsupported constant {node.value!r}")
+        blk = self._require_block(node)
+        tmp = self.fresh("c")
+        blk.const(tmp, node.value)
+        return tmp
+
+    def _expr_BinOp(self, node: ast.BinOp) -> str:
+        if type(node.op) not in _BINOPS:
+            raise self._err(node, f"unsupported operator {type(node.op).__name__}")
+        lhs = self.compile_expr(node.left)
+        rhs = self.compile_expr(node.right)
+        blk = self._require_block(node)
+        tmp = self.fresh()
+        blk.prim((tmp,), _BINOPS[type(node.op)], (lhs, rhs))
+        return tmp
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp) -> str:
+        if isinstance(node.op, ast.UAdd):
+            return self.compile_expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            fn = "neg"
+        elif isinstance(node.op, ast.Not):
+            fn = "logical_not"
+        else:
+            raise self._err(node, f"unsupported operator {type(node.op).__name__}")
+        src = self.compile_expr(node.operand)
+        blk = self._require_block(node)
+        tmp = self.fresh()
+        blk.prim((tmp,), fn, (src,))
+        return tmp
+
+    def _expr_Compare(self, node: ast.Compare) -> str:
+        operands = [self.compile_expr(node.left)]
+        operands += [self.compile_expr(c) for c in node.comparators]
+        blk = self._require_block(node)
+        parts = []
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            if type(op) not in _CMPOPS:
+                raise self._err(node, f"unsupported comparison {type(op).__name__}")
+            tmp = self.fresh("cmp")
+            blk.prim((tmp,), _CMPOPS[type(op)], (lhs, rhs))
+            parts.append(tmp)
+        result = parts[0]
+        for part in parts[1:]:
+            tmp = self.fresh("cmp")
+            blk.prim((tmp,), "logical_and", (result, part))
+            result = tmp
+        return result
+
+    def _expr_BoolOp(self, node: ast.BoolOp) -> str:
+        # Elementwise, non-short-circuit: every operand is evaluated.  This
+        # is the correct semantics under batching (different members may need
+        # different operands) but differs from host Python for effectful
+        # operands — which the subset does not have.
+        fn = _BOOLOPS[type(node.op)]
+        srcs = [self.compile_expr(v) for v in node.values]
+        blk = self._require_block(node)
+        result = srcs[0]
+        for src in srcs[1:]:
+            tmp = self.fresh("b")
+            blk.prim((tmp,), fn, (result, src))
+            result = tmp
+        return result
+
+    def _expr_IfExp(self, node: ast.IfExp) -> str:
+        # Both arms are evaluated; select masks the result per member.
+        cond = self.compile_expr(node.test)
+        then = self.compile_expr(node.body)
+        other = self.compile_expr(node.orelse)
+        blk = self._require_block(node)
+        tmp = self.fresh("sel")
+        blk.prim((tmp,), "where", (cond, then, other))
+        return tmp
+
+    def _expr_Call(self, node: ast.Call) -> str:
+        outputs = self.compile_call(node, outputs=(self.fresh("call"),))
+        return outputs[0]
+
+    # -- calls -------------------------------------------------------------
+
+    def compile_call(self, node: ast.Call, outputs: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Compile a call to a primitive or autobatched function."""
+        if node.keywords:
+            raise self._err(node, "keyword arguments are not supported")
+        target = self._resolve(node.func)
+        try:
+            builtin_name = _BUILTIN_PRIMS.get(target)
+        except TypeError:  # unhashable resolution result
+            builtin_name = None
+        if builtin_name is not None:
+            target = self.registry.get(builtin_name)
+        args = tuple(self.compile_expr(a) for a in node.args)
+        blk = self._require_block(node)
+
+        if isinstance(target, Primitive):
+            if target.name not in self.registry:
+                # A primitive from a foreign registry: make it resolvable.
+                self.registry.register(target)
+            if len(args) != target.n_inputs:
+                raise self._err(
+                    node,
+                    f"primitive {target.name!r} takes {target.n_inputs} "
+                    f"arguments, got {len(args)}",
+                )
+            if len(outputs) != target.n_outputs:
+                raise self._err(
+                    node,
+                    f"primitive {target.name!r} returns {target.n_outputs} "
+                    f"values, bound to {len(outputs)} targets",
+                )
+            blk.prim(outputs, target.name, args)
+            return outputs
+
+        # Autobatched function (including self-recursion).  Import here to
+        # avoid a cycle with api.py.
+        from repro.frontend.api import AutobatchFunction
+
+        if isinstance(target, AutobatchFunction):
+            existing = self.callees.get(target.name)
+            if existing is not None and existing is not target:
+                raise self._err(
+                    node,
+                    f"two distinct autobatched functions share the name "
+                    f"{target.name!r}; rename one of them",
+                )
+            self.callees[target.name] = target
+            blk.call(outputs, target.name, args)
+            return outputs
+
+        raise self._err(
+            node,
+            f"call target {ast.dump(node.func)} resolves to {target!r}, which is "
+            "neither a registered primitive nor an autobatched function; "
+            "decorate it with @primitive or @autobatch",
+        )
+
+
+def _prune_unreachable(fn: Function) -> Function:
+    """Drop blocks unreachable from the entry (e.g. after `while True`)."""
+    reachable = set()
+    stack = [fn.blocks[0].label]
+    by_label = {b.label: b for b in fn.blocks}
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        term = by_label[label].terminator
+        if term is not None:
+            stack.extend(t for t in term.targets() if isinstance(t, str))
+    fn.blocks = [b for b in fn.blocks if b.label in reachable]
+    fn.reindex()
+    return fn
+
+
+def lower_function(
+    name: str,
+    node: ast.FunctionDef,
+    namespace: Dict[str, Any],
+    registry: PrimitiveRegistry,
+    self_object: Any = None,
+) -> CompiledFunction:
+    """Compile one Python function AST to callable IR."""
+    return _Lowerer(name, node, namespace, registry, self_object).compile()

@@ -1,0 +1,67 @@
+"""Source extraction and subset validation for autobatched Python functions."""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable, Dict
+
+
+class FrontendError(ValueError):
+    """Raised when a Python function falls outside the autobatchable subset."""
+
+
+def get_function_ast(pyfunc: Callable[..., Any]) -> ast.FunctionDef:
+    """Parse ``pyfunc``'s source into its ``FunctionDef`` node."""
+    try:
+        source = inspect.getsource(pyfunc)
+    except (OSError, TypeError) as exc:
+        raise FrontendError(
+            f"cannot retrieve source for {pyfunc!r}; autobatching requires a "
+            "plain def written in a source file"
+        ) from exc
+    source = textwrap.dedent(source)
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - getsource already parsed it
+        raise FrontendError(f"could not re-parse source of {pyfunc!r}") from exc
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise FrontendError(f"no function definition found in source of {pyfunc!r}")
+
+
+def check_signature(node: ast.FunctionDef) -> None:
+    """Reject signature features the batching transformation cannot encode."""
+    args = node.args
+    problems = []
+    if args.vararg is not None:
+        problems.append("*args")
+    if args.kwarg is not None:
+        problems.append("**kwargs")
+    if args.kwonlyargs:
+        problems.append("keyword-only arguments")
+    if args.defaults or args.kw_defaults:
+        problems.append("default values")
+    if getattr(args, "posonlyargs", None):
+        problems.append("positional-only markers")
+    if problems:
+        raise FrontendError(
+            f"function {node.name!r} uses unsupported signature features: "
+            + ", ".join(problems)
+        )
+
+
+def function_namespace(pyfunc: Callable[..., Any]) -> Dict[str, Any]:
+    """The name resolution environment of ``pyfunc``: globals plus closure."""
+    namespace: Dict[str, Any] = dict(getattr(pyfunc, "__globals__", {}))
+    closure = getattr(pyfunc, "__closure__", None)
+    freevars = getattr(pyfunc.__code__, "co_freevars", ())
+    if closure:
+        for name, cell in zip(freevars, closure):
+            try:
+                namespace[name] = cell.cell_contents
+            except ValueError:
+                pass  # unfilled cell (e.g. self-reference during decoration)
+    return namespace

@@ -1,0 +1,155 @@
+"""Batched-primitive registry.
+
+A *primitive* is the unit of computation the autobatching machinery does not
+look inside: a function over numpy arrays that operates elementwise across a
+leading batch dimension (the standard kernel contract the paper relies on:
+"kernels accept extra input dimensions and operate elementwise across
+them").  The registry maps primitive names appearing in ``PrimOp``
+instructions to their implementations, plus metadata used by the simulated
+device (cost weights) and the instrumentation (tags such as ``"gradient"``
+for Figure 6's utilization accounting).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Optional, Tuple
+
+
+@dataclass
+class Primitive:
+    """A named batched operation.
+
+    ``fn`` takes ``n_inputs`` arrays, each with a leading batch dimension (or
+    unbatched scalars, when called from plain Python for reference execution)
+    and returns one array, or a tuple of ``n_outputs`` arrays.
+
+    ``cost_weight`` is an abstract per-element flop count used by the
+    deterministic cost-model device; ``tags`` lets instrumentation identify
+    classes of primitives (e.g. the target-density gradient for Figure 6).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    n_inputs: int
+    n_outputs: int = 1
+    cost_weight: float = 1.0
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        self.tags = frozenset(self.tags)
+
+    def __call__(self, *args: Any) -> Any:
+        """Run the primitive directly (usable from plain, unbatched Python)."""
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name!r}, in={self.n_inputs}, out={self.n_outputs})"
+
+
+class PrimitiveRegistry:
+    """Mutable name -> :class:`Primitive` mapping, optionally layered.
+
+    A registry may have a ``parent``; lookups fall through to it.  The global
+    :data:`default_registry` holds the built-ins; user programs usually
+    register their model-specific primitives (like a target density gradient)
+    into a child registry or directly into the default one.
+    """
+
+    def __init__(self, parent: Optional["PrimitiveRegistry"] = None):
+        self._prims: Dict[str, Primitive] = {}
+        self._parent = parent
+
+    def register(self, prim: Primitive, overwrite: bool = False) -> Primitive:
+        """Register ``prim``; raises on duplicate names unless ``overwrite``."""
+        if not overwrite and prim.name in self._prims:
+            raise ValueError(f"primitive {prim.name!r} already registered")
+        self._prims[prim.name] = prim
+        return prim
+
+    def get(self, name: str) -> Primitive:
+        """Look up a primitive by name, consulting parent registries."""
+        reg: Optional[PrimitiveRegistry] = self
+        while reg is not None:
+            if name in reg._prims:
+                return reg._prims[name]
+            reg = reg._parent
+        raise KeyError(f"unknown primitive {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+            return True
+        except KeyError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        seen = set()
+        reg: Optional[PrimitiveRegistry] = self
+        while reg is not None:
+            for name in reg._prims:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            reg = reg._parent
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered primitive names, including inherited ones."""
+        return tuple(self)
+
+    def child(self) -> "PrimitiveRegistry":
+        """A new registry layered on top of this one."""
+        return PrimitiveRegistry(parent=self)
+
+
+#: The process-global registry holding the built-in primitives.
+default_registry = PrimitiveRegistry()
+
+
+def primitive(
+    name: Optional[str] = None,
+    n_inputs: Optional[int] = None,
+    n_outputs: int = 1,
+    cost_weight: float = 1.0,
+    tags: Tuple[str, ...] = (),
+    registry: Optional[PrimitiveRegistry] = None,
+) -> Callable[[Callable[..., Any]], Primitive]:
+    """Decorator registering a batched numpy function as a primitive.
+
+    ::
+
+        @primitive(tags=("gradient",), cost_weight=200.0)
+        def grad_log_prob(q):        # q: (Z, d) -> (Z, d)
+            return -q @ precision
+
+    The wrapped function must accept arrays with a leading batch dimension
+    and treat batch members independently.  The returned object is the
+    :class:`Primitive` itself, which remains directly callable, so decorated
+    functions still work in plain single-example Python code.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Primitive:
+        nin = n_inputs
+        if nin is None:
+            import inspect
+
+            params = [
+                p
+                for p in inspect.signature(fn).parameters.values()
+                if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            ]
+            nin = len(params)
+        prim = Primitive(
+            name=name or fn.__name__,
+            fn=fn,
+            n_inputs=nin,
+            n_outputs=n_outputs,
+            cost_weight=cost_weight,
+            tags=frozenset(tags),
+        )
+        functools.update_wrapper(prim, fn, updated=())
+        (registry or default_registry).register(prim)
+        return prim
+
+    return decorate

@@ -1,0 +1,69 @@
+"""Intermediate representations for autobatching.
+
+Two dialects, mirroring the paper's Figures 2 and 4:
+
+* The **callable IR** (:class:`Function`, :class:`Program`): each function is
+  its own control-flow graph; function calls are explicit :class:`CallOp`
+  instructions.  This is the language of *local static autobatching*
+  (Algorithm 1) and the input to the lowering pipeline.
+
+* The **stack IR** (:class:`StackProgram`): all control-flow graphs are merged
+  into one flat block list; calls are compiled into per-variable stack
+  operations (:class:`PushOp` / :class:`PopOp`) and program-counter stack
+  operations (:class:`PushJump` / :class:`Return`).  This is the language of
+  *program-counter autobatching* (Algorithm 2).
+
+Both dialects are n-ary (multiple inputs and outputs per operation); the
+paper presents unary syntax "for succinctness" and notes that the n-ary
+generalization is standard.
+"""
+
+from repro.ir.types import TensorType, scalar, vector
+from repro.ir.instructions import (
+    Block,
+    Branch,
+    CallOp,
+    ConstOp,
+    Function,
+    Jump,
+    PopOp,
+    PrimOp,
+    Program,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+    VarKind,
+)
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.validate import IRValidationError, validate_function, validate_program, validate_stack_program
+from repro.ir.pretty import format_function, format_program, format_stack_program
+
+__all__ = [
+    "TensorType",
+    "scalar",
+    "vector",
+    "Block",
+    "Branch",
+    "CallOp",
+    "ConstOp",
+    "Function",
+    "Jump",
+    "PopOp",
+    "PrimOp",
+    "Program",
+    "PushJump",
+    "PushOp",
+    "Return",
+    "StackProgram",
+    "VarKind",
+    "FunctionBuilder",
+    "ProgramBuilder",
+    "IRValidationError",
+    "validate_function",
+    "validate_program",
+    "validate_stack_program",
+    "format_function",
+    "format_program",
+    "format_stack_program",
+]

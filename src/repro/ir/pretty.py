@@ -1,0 +1,63 @@
+"""Human-readable formatting (disassembly) of IR objects.
+
+The formatters are used in error messages, the Figure 1 / Figure 3 runtime
+snapshot demos, and by tests that assert on program structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import Function, Program, StackProgram, VarKind
+
+
+def format_function(fn: Function, indent: str = "") -> str:
+    """Disassemble one callable-IR function to readable text."""
+    header = (
+        f"{indent}function {fn.name}({', '.join(fn.params)}) "
+        f"-> ({', '.join(fn.outputs)})"
+    )
+    lines: List[str] = [header]
+    for i, blk in enumerate(fn.blocks):
+        lines.append(f"{indent}  [{i}] {blk.label}:")
+        for op in blk.ops:
+            lines.append(f"{indent}    {op}")
+        lines.append(f"{indent}    {blk.terminator}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Disassemble a whole callable-IR program."""
+    lines = [f"program (main = {program.main})"]
+    for fn in program.functions.values():
+        lines.append(format_function(fn, indent="  "))
+    return "\n".join(lines)
+
+
+_KIND_ABBREV = {
+    VarKind.TEMP: "t",
+    VarKind.REGISTER: "r",
+    VarKind.STACKED: "s",
+}
+
+
+def format_stack_program(program: StackProgram) -> str:
+    """Disassemble a stack-dialect program, with storage-class annotations."""
+    lines = [
+        f"stack program: inputs=({', '.join(program.inputs)}) "
+        f"outputs=({', '.join(program.outputs)}) exit={program.exit_index}"
+    ]
+    if program.var_kinds:
+        kinds = ", ".join(
+            f"{v}:{_KIND_ABBREV[k]}" for v, k in sorted(program.var_kinds.items())
+        )
+        lines.append(f"  vars: {kinds}")
+    entry_of = {idx: name for name, idx in program.function_entries.items()}
+    for i, blk in enumerate(program.blocks):
+        if i in entry_of:
+            lines.append(f"  ; ---- {entry_of[i]} ----")
+        lines.append(f"  [{i}] {blk.label}:")
+        for op in blk.ops:
+            lines.append(f"    {op}")
+        lines.append(f"    {blk.terminator}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Well-formedness checks for both IR dialects.
+
+Validation catches structural errors early (dangling jump targets, calls to
+unknown functions, stack ops in the callable dialect and vice versa) so the
+virtual machines can assume well-formed input.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    Branch,
+    CallOp,
+    ConstOp,
+    Function,
+    Jump,
+    PopOp,
+    PrimOp,
+    Program,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+)
+
+
+class IRValidationError(ValueError):
+    """Raised when an IR object is structurally malformed."""
+
+
+def _fail(msg: str) -> None:
+    raise IRValidationError(msg)
+
+
+def validate_function(fn: Function) -> None:
+    """Check one callable-IR function for structural well-formedness."""
+    if not fn.blocks:
+        _fail(f"function {fn.name!r} has no blocks")
+    if len(set(fn.params)) != len(fn.params):
+        _fail(f"function {fn.name!r} has duplicate parameters {fn.params}")
+    if not fn.outputs:
+        _fail(f"function {fn.name!r} declares no outputs")
+    labels: Set[str] = {b.label for b in fn.blocks}
+    if len(labels) != len(fn.blocks):
+        _fail(f"function {fn.name!r} has duplicate block labels")
+    saw_return = False
+    for blk in fn.blocks:
+        for op in blk.ops:
+            if isinstance(op, (PushOp, PopOp)):
+                _fail(
+                    f"{fn.name}/{blk.label}: stack operation {op} is not valid "
+                    "in the callable dialect (Figure 2)"
+                )
+            elif isinstance(op, (PrimOp, CallOp)):
+                if not op.outputs:
+                    _fail(f"{fn.name}/{blk.label}: {op} has no outputs")
+                if len(set(op.outputs)) != len(op.outputs):
+                    _fail(f"{fn.name}/{blk.label}: {op} has duplicate outputs")
+            elif isinstance(op, ConstOp):
+                pass
+            else:
+                _fail(f"{fn.name}/{blk.label}: unknown operation {op!r}")
+        term = blk.terminator
+        if term is None:
+            _fail(f"{fn.name}/{blk.label}: missing terminator")
+        elif isinstance(term, (Jump, Branch)):
+            for target in term.targets():
+                if target not in labels:
+                    _fail(f"{fn.name}/{blk.label}: jump target {target!r} undefined")
+        elif isinstance(term, Return):
+            saw_return = True
+        elif isinstance(term, PushJump):
+            _fail(
+                f"{fn.name}/{blk.label}: PushJump is not valid in the callable "
+                "dialect (Figure 2)"
+            )
+        else:
+            _fail(f"{fn.name}/{blk.label}: unknown terminator {term!r}")
+    if not saw_return:
+        _fail(f"function {fn.name!r} has no Return block")
+
+
+def validate_program(program: Program) -> None:
+    """Check a whole callable-IR program, including call targets and arity."""
+    if program.main not in program.functions:
+        _fail(f"main function {program.main!r} is not defined")
+    for fn in program.functions.values():
+        validate_function(fn)
+        for blk in fn.blocks:
+            for op in blk.ops:
+                if isinstance(op, CallOp):
+                    callee = program.functions.get(op.func)
+                    if callee is None:
+                        _fail(
+                            f"{fn.name}/{blk.label}: call to undefined function "
+                            f"{op.func!r}"
+                        )
+                    if len(op.inputs) != len(callee.params):
+                        _fail(
+                            f"{fn.name}/{blk.label}: call to {op.func!r} passes "
+                            f"{len(op.inputs)} arguments; it takes {len(callee.params)}"
+                        )
+                    if len(op.outputs) != len(callee.outputs):
+                        _fail(
+                            f"{fn.name}/{blk.label}: call to {op.func!r} binds "
+                            f"{len(op.outputs)} results; it returns {len(callee.outputs)}"
+                        )
+
+
+def validate_stack_program(program: StackProgram) -> None:
+    """Check a stack-dialect program: integer targets in range, no CallOps."""
+    n = len(program.blocks)
+    exit_index = program.exit_index
+    for i, blk in enumerate(program.blocks):
+        where = f"block {i} ({blk.label})"
+        for op in blk.ops:
+            if isinstance(op, CallOp):
+                _fail(f"{where}: CallOp survived lowering: {op}")
+            elif not isinstance(op, (PrimOp, ConstOp, PushOp, PopOp)):
+                _fail(f"{where}: unknown operation {op!r}")
+        term = blk.terminator
+        if term is None:
+            _fail(f"{where}: missing terminator")
+            continue
+        if isinstance(term, (Jump, Branch, PushJump)):
+            for target in term.targets():
+                if not isinstance(target, int):
+                    _fail(f"{where}: unresolved target {target!r}")
+                if not (0 <= target <= exit_index):
+                    _fail(f"{where}: target {target} out of range [0, {exit_index}]")
+                if target == exit_index and not isinstance(term, PushJump):
+                    # Only the pc-stack bottom may name the exit index; direct
+                    # jumps to it would bypass Return's pop.
+                    _fail(f"{where}: direct jump to exit index {exit_index}")
+        elif isinstance(term, Return):
+            pass
+        else:
+            _fail(f"{where}: unknown terminator {term!r}")
+    if n == 0:
+        _fail("stack program has no blocks")

@@ -1,0 +1,116 @@
+"""Caller-saves call lowering: ``CallOp`` -> explicit stack manipulation.
+
+For each call site ``outs = G(actuals)`` inside function ``F`` the pass emits,
+in order (paper Section 3, optimization 1):
+
+1. *Argument staging* — copy actuals into block-local temporaries, but only
+   when some actual is itself a formal of ``G`` (otherwise the pushes below
+   could observe partially-bound formals; think ``fib(b, a)`` with formals
+   ``(a, b)``).
+2. *Caller saves* — ``Push v = id(v)`` for every variable in the call site's
+   save set: live after the call and clobbered by the transitive callee.
+   These sets are empty for non-recursive programs.
+3. *Formal binding* — for a recursive callee, ``Push formal = id(actual)``
+   (a fresh argument frame per activation, which simultaneously protects the
+   caller's own binding under recursion); for a non-recursive callee, a plain
+   masked update (no stack traffic — half of the paper's claim that
+   non-recursive programs run without variable stacks).
+4. ``PushJump ret_label entry(G)``.
+
+The *return block* at ``ret_label`` then pops the formal frames and the
+saves, moves ``G``'s output variables into ``outs``, and resumes the rest of
+the original block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.storage import StorageAssignment
+from repro.ir.instructions import (
+    Block,
+    CallOp,
+    PopOp,
+    PrimOp,
+    Program,
+    PushJump,
+    PushOp,
+    VarKind,
+)
+
+
+@dataclass
+class LoweredFunctions:
+    """Blocks per function (labels still symbolic) plus new variable kinds."""
+
+    blocks_by_fn: Dict[str, List[Block]]
+    extra_kinds: Dict[str, VarKind] = field(default_factory=dict)
+    entry_labels: Dict[str, str] = field(default_factory=dict)
+
+
+def lower_calls(program: Program, storage: StorageAssignment) -> LoweredFunctions:
+    recursive = storage.call_graph.recursive
+    result = LoweredFunctions(blocks_by_fn={}, extra_kinds={}, entry_labels={})
+    for fn in program.functions.values():
+        result.entry_labels[fn.name] = fn.blocks[0].label
+        out_blocks: List[Block] = []
+        site = 0
+        for blk in fn.blocks:
+            current = Block(label=blk.label, ops=[], terminator=None)
+            remaining: List = list(blk.ops)
+            idx = 0
+            while remaining:
+                op = remaining.pop(0)
+                if not isinstance(op, CallOp):
+                    current.ops.append(op)
+                    idx += 1
+                    continue
+                callee = program.functions[op.func]
+                callee_recursive = op.func in recursive
+                saves = sorted(
+                    storage.save_sets.get((fn.name, blk.label, idx), frozenset())
+                )
+
+                actuals: Tuple[str, ...] = op.inputs
+                needs_staging = bool(set(actuals) & set(callee.params))
+                if needs_staging:
+                    staged = []
+                    for j, actual in enumerate(actuals):
+                        tmp = f"{fn.name}.__args{site}_{j}"
+                        result.extra_kinds[tmp] = VarKind.TEMP
+                        current.ops.append(PrimOp(outputs=(tmp,), fn="id", inputs=(actual,)))
+                        staged.append(tmp)
+                    actuals = tuple(staged)
+
+                for v in saves:
+                    current.ops.append(PushOp(output=v, fn="id", inputs=(v,)))
+
+                for formal, actual in zip(callee.params, actuals):
+                    if callee_recursive:
+                        current.ops.append(PushOp(output=formal, fn="id", inputs=(actual,)))
+                    else:
+                        current.ops.append(PrimOp(outputs=(formal,), fn="id", inputs=(actual,)))
+
+                ret_label = f"{blk.label}.ret{site}"
+                site += 1
+                current.terminator = PushJump(
+                    return_target=ret_label,
+                    jump_target=callee.blocks[0].label,
+                )
+                out_blocks.append(current)
+
+                # Return block: unwind frames, then move results.
+                current = Block(label=ret_label, ops=[], terminator=None)
+                if callee_recursive:
+                    for formal in callee.params:
+                        current.ops.append(PopOp(var=formal))
+                for v in reversed(saves):
+                    current.ops.append(PopOp(var=v))
+                for out, ret in zip(op.outputs, callee.outputs):
+                    current.ops.append(PrimOp(outputs=(out,), fn="id", inputs=(ret,)))
+                idx += 1
+            current.terminator = blk.terminator
+            out_blocks.append(current)
+        result.blocks_by_fn[fn.name] = out_blocks
+    return result

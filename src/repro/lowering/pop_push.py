@@ -1,0 +1,105 @@
+"""Pop-then-Push cancellation (paper Section 3, optimization 5).
+
+A ``Pop v`` followed by ``Push v = f(xs)`` with no intervening access to
+``v`` (no read — including by the push's own inputs — and no write) leaves
+the value the pop exposed untouched and unobserved; the pair is equivalent to
+the in-place ``Update v = f(xs)``, which only touches the cached stack top.
+
+The pass works within basic blocks and along *straight-line chains* of
+blocks: ``A -> B`` is chained when ``A`` ends in ``Jump B`` and no other
+terminator in the whole program targets ``B`` (so control can only enter
+``B`` from ``A``).  This catches the common case of consecutive call sites
+sharing saved variables or argument frames; pairs split across genuinely
+merging control flow (e.g. around a loop header) are left alone, which is
+sound but conservative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import Block, ConstOp, Jump, PopOp, PrimOp, PushOp
+
+
+def _build_chains(blocks: List[Block]) -> List[List[Block]]:
+    """Group blocks into straight-line chains safe to scan as one sequence."""
+    by_label = {b.label: b for b in blocks}
+    target_counts: Dict[str, int] = {}
+    jump_only_target: Dict[str, Optional[str]] = {}
+    for b in blocks:
+        term = b.terminator
+        for t in (term.targets() if term is not None else ()):
+            if isinstance(t, str):
+                target_counts[t] = target_counts.get(t, 0) + 1
+        jump_only_target[b.label] = (
+            term.target if isinstance(term, Jump) and isinstance(term.target, str) else None
+        )
+
+    chained_into: Dict[str, str] = {}  # successor label -> predecessor label
+    for b in blocks:
+        succ = jump_only_target[b.label]
+        if (
+            succ is not None
+            and succ in by_label
+            and succ != b.label
+            and target_counts.get(succ, 0) == 1
+        ):
+            chained_into[succ] = b.label
+
+    chains: List[List[Block]] = []
+    for b in blocks:
+        if b.label in chained_into:
+            continue  # not a chain head
+        chain = [b]
+        while True:
+            succ = jump_only_target[chain[-1].label]
+            if succ is not None and chained_into.get(succ) == chain[-1].label:
+                chain.append(by_label[succ])
+            else:
+                break
+        chains.append(chain)
+    return chains
+
+
+def eliminate_pop_push(blocks: List[Block]) -> Tuple[List[Block], int]:
+    """Cancel Pop/Push pairs in place; returns (blocks, number of pairs removed)."""
+    eliminated = 0
+    for chain in _build_chains(blocks):
+        # pending[var] = (block, index-in-ops) of a cancellable PopOp.
+        pending: Dict[str, Tuple[Block, int]] = {}
+        to_remove: List[Tuple[Block, int]] = []
+        for blk in chain:
+            for i, op in enumerate(blk.ops):
+                if isinstance(op, PopOp):
+                    # Any prior pending pop of the same var stays (only the
+                    # most recent pop can pair with a later push).
+                    pending[op.var] = (blk, i)
+                    continue
+                if isinstance(op, PushOp):
+                    for v in op.inputs:  # reads invalidate
+                        pending.pop(v, None)
+                    if op.output in pending:
+                        to_remove.append(pending.pop(op.output))
+                        blk.ops[i] = PrimOp(
+                            outputs=(op.output,), fn=op.fn, inputs=op.inputs
+                        )
+                        eliminated += 1
+                    else:
+                        pending.pop(op.output, None)
+                    continue
+                if isinstance(op, (PrimOp, ConstOp)):
+                    for v in op.inputs:
+                        pending.pop(v, None)
+                    for v in op.outputs:
+                        pending.pop(v, None)
+                    continue
+                # Unknown op: be conservative.
+                pending.clear()
+            term = blk.terminator
+            if term is not None and hasattr(term, "cond"):
+                pending.pop(term.cond, None)
+        for blk, i in to_remove:
+            blk.ops[i] = None  # type: ignore[call-overload]
+        for blk in chain:
+            blk.ops = [op for op in blk.ops if op is not None]
+    return blocks, eliminated

@@ -1,0 +1,24 @@
+"""A Matchbox-style local static autobatcher (paper Section 5).
+
+The related-work survey describes Matchbox (Bradbury & Fu 2018) precisely
+enough to rebuild its architecture: a **batched array type that carries the
+mask** (the active set), whose overloaded operations apply masked updates;
+``if`` statements execute the then-arm and then the else-arm under
+complementary masks; ``while`` loops run until no member's condition holds;
+recursion rides the ambient Python stack.
+
+Where Matchbox intercepts Python syntax with a lightweight AST transform,
+this implementation exposes the underlying combinators directly
+(:func:`cond` and :func:`while_loop`); the syntax transform in front of them
+would be the same one :mod:`repro.frontend` already implements.  As the
+paper observes, the mask-and-queue data structure is *equivalent* to
+Algorithm 1's program counter — one vector of indices encodes the same
+information as a list of (index, exclusive-mask) pairs — so this third
+implementation style must agree exactly with both of our machines, and the
+differential tests in ``tests/test_matchbox.py`` require it.
+"""
+
+from repro.matchbox.masked import MaskedBatch
+from repro.matchbox.control import cond, while_loop, matchbox_call
+
+__all__ = ["MaskedBatch", "cond", "while_loop", "matchbox_call"]

@@ -1,0 +1,105 @@
+"""Control-flow combinators over :class:`MaskedBatch`.
+
+Paper Section 5: "At if statements, Matchbox first executes the then arm
+(if any batch members need it) and then the else.  The program counter of
+Algorithm 1 is thus encoded in the queue (also maintained on the Python
+stack) of mask-block pairs to be executed."  That is exactly what
+:func:`cond` does; :func:`while_loop` keeps iterating under a shrinking
+mask until no member's condition holds; :func:`matchbox_call` recurses
+through the ambient Python stack, Matchbox's (and Algorithm 1's) recursion
+story.
+
+Arm callables receive *state* (a tuple of MaskedBatches restricted to the
+arm's mask) and return an updated state tuple of the same arity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.matchbox.masked import MaskedBatch
+
+State = Tuple[MaskedBatch, ...]
+
+
+def _restrict(state: State, mask: np.ndarray) -> State:
+    return tuple(v.with_mask(v.mask & mask) for v in state)
+
+
+def _merge(base: State, updated: State) -> State:
+    return tuple(b.merge(u) for b, u in zip(base, updated))
+
+
+def cond(
+    pred: MaskedBatch,
+    then_fn: Callable[..., Sequence[MaskedBatch]],
+    else_fn: Callable[..., Sequence[MaskedBatch]],
+    state: Sequence[MaskedBatch],
+) -> State:
+    """Masked if/else: run both arms under complementary masks and merge.
+
+    Each arm only executes if some member takes it ("if any batch members
+    need it"), so fully convergent batches pay for one arm only.
+    """
+    state = tuple(state)
+    pred_mask = np.asarray(pred.data, dtype=bool) & pred.mask
+    then_mask = pred_mask
+    else_mask = ~np.asarray(pred.data, dtype=bool) & pred.mask
+
+    result = state
+    if then_mask.any():
+        updated = tuple(then_fn(*_restrict(state, then_mask)))
+        if len(updated) != len(state):
+            raise ValueError("then-arm changed the state arity")
+        result = _merge(result, _restrict(updated, then_mask))
+    if else_mask.any():
+        updated = tuple(else_fn(*_restrict(state, else_mask)))
+        if len(updated) != len(state):
+            raise ValueError("else-arm changed the state arity")
+        result = _merge(result, _restrict(updated, else_mask))
+    return result
+
+
+def while_loop(
+    cond_fn: Callable[..., MaskedBatch],
+    body_fn: Callable[..., Sequence[MaskedBatch]],
+    state: Sequence[MaskedBatch],
+    max_iterations: int = 10**9,
+) -> State:
+    """Masked while: iterate the body under the still-looping members' mask.
+
+    Members whose condition goes false freeze; the loop ends when nobody's
+    condition holds (or raises after ``max_iterations``, the starvation
+    guard).
+    """
+    state = tuple(state)
+    for _ in range(max_iterations):
+        pred = cond_fn(*state)
+        live = np.asarray(pred.data, dtype=bool) & pred.mask
+        if not live.any():
+            return state
+        updated = tuple(body_fn(*_restrict(state, live)))
+        if len(updated) != len(state):
+            raise ValueError("loop body changed the state arity")
+        state = _merge(state, _restrict(updated, live))
+    raise RuntimeError(f"while_loop exceeded max_iterations={max_iterations}")
+
+
+def matchbox_call(
+    fn: Callable[..., Sequence[MaskedBatch]],
+    *args: MaskedBatch,
+) -> State:
+    """Recursive call through the host Python — Algorithm 1's ``Call``.
+
+    The callee sees the intersection of the arguments' active sets.
+    Termination of recursive programs comes from :func:`cond` skipping arms
+    nobody takes: a recursive call site inside an untaken arm is never
+    reached, exactly as in Matchbox (and in plain Python).
+    """
+    joint = np.ones(args[0].batch_size, dtype=bool)
+    for a in args:
+        joint &= a.mask
+    out = fn(*(a.with_mask(joint) for a in args))
+    return tuple(out)

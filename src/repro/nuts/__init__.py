@@ -1,0 +1,38 @@
+"""The No U-Turn Sampler — the paper's evaluation workload (Section 4).
+
+Two implementations live here:
+
+* :mod:`repro.nuts.tree` builds the **recursive, single-example** NUTS of
+  Hoffman & Gelman (Algorithm 3), written in the autobatchable Python
+  subset, from a :class:`~repro.targets.base.Target`.  This is "the complex
+  recursive function, prohibitively difficult to batch by hand" that both
+  autobatching transformations are evaluated on.  Per Section 4.1 each tree
+  leaf takes a configurable number of leapfrog steps (the paper uses 4).
+* :mod:`repro.nuts.iterative` is the **hand-derived iterative** single-chain
+  NUTS (explicit checkpoint stack, no recursion, no autobatching) playing
+  the role of the paper's Stan baseline and of the hand-rewrites it cites
+  (Phan & Pradhan 2019; Lao & Dillon 2019).
+
+:mod:`repro.nuts.sampler` drives either implementation under every execution
+strategy of Figure 5; :mod:`repro.nuts.diagnostics` provides R-hat / ESS.
+"""
+
+from repro.nuts.leapfrog import leapfrog
+from repro.nuts.tree import NutsFunctions, make_nuts_functions
+from repro.nuts.kernel import NutsKernel, NutsResult
+from repro.nuts.iterative import IterativeNuts
+from repro.nuts.sampler import STRATEGIES, run_nuts
+from repro.nuts.diagnostics import effective_sample_size, potential_scale_reduction
+
+__all__ = [
+    "leapfrog",
+    "NutsFunctions",
+    "make_nuts_functions",
+    "NutsKernel",
+    "NutsResult",
+    "IterativeNuts",
+    "STRATEGIES",
+    "run_nuts",
+    "effective_sample_size",
+    "potential_scale_reduction",
+]

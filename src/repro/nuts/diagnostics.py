@@ -1,0 +1,97 @@
+"""MCMC convergence diagnostics: split R-hat and effective sample size.
+
+The paper motivates batched NUTS with "more precise convergence diagnostics
+and uncertainty estimates" from many parallel chains; these are the standard
+diagnostics that consume such chains.  Conventions follow Gelman et al.,
+*Bayesian Data Analysis* (3rd ed.) and Geyer's initial-positive-sequence
+truncation for the ESS autocorrelation sum.
+
+Chains are arrays of shape ``(n_samples, n_chains)`` for a scalar quantity
+or ``(n_samples, n_chains, dim)`` for vector states (diagnosed per
+coordinate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_chains(chains: np.ndarray) -> np.ndarray:
+    chains = np.asarray(chains, dtype=np.float64)
+    if chains.ndim == 2:
+        chains = chains[:, :, None]
+    if chains.ndim != 3:
+        raise ValueError(
+            f"chains must have shape (samples, chains[, dim]), got {chains.shape}"
+        )
+    if chains.shape[0] < 4:
+        raise ValueError("need at least 4 samples per chain")
+    return chains
+
+
+def potential_scale_reduction(chains: np.ndarray) -> np.ndarray:
+    """Split R-hat per coordinate; values near 1 indicate convergence.
+
+    Each chain is split in half (doubling the chain count), then the classic
+    between/within variance ratio is computed.
+    """
+    chains = _check_chains(chains)
+    n, m, dim = chains.shape
+    half = n // 2
+    split = np.concatenate([chains[:half], chains[half : 2 * half]], axis=1)
+    n, m = split.shape[0], split.shape[1]
+    chain_means = split.mean(axis=0)                      # (m, dim)
+    chain_vars = split.var(axis=0, ddof=1)                # (m, dim)
+    within = chain_vars.mean(axis=0)
+    between = n * chain_means.var(axis=0, ddof=1)
+    var_hat = (n - 1) / n * within + between / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rhat = np.sqrt(var_hat / within)
+    return rhat
+
+
+def effective_sample_size(chains: np.ndarray) -> np.ndarray:
+    """ESS per coordinate via multi-chain autocorrelation.
+
+    Uses the FFT autocovariance estimator with Geyer's initial positive
+    sequence: lags are summed in (odd, even) pairs until a pair goes
+    non-positive.
+    """
+    chains = _check_chains(chains)
+    n, m, dim = chains.shape
+    centered = chains - chains.mean(axis=0, keepdims=True)
+    # FFT autocovariance per chain and coordinate.
+    size = 2 * n
+    f = np.fft.rfft(centered, n=size, axis=0)
+    acov = np.fft.irfft(f * np.conj(f), n=size, axis=0)[:n].real / n  # (n, m, dim)
+    within_acov = acov.mean(axis=1)                                   # (n, dim)
+    chain_var = chains.var(axis=0, ddof=1).mean(axis=0)               # (dim,)
+    mean_var = within_acov[0] * n / (n - 1.0)
+    var_plus = mean_var * (n - 1.0) / n + chains.mean(axis=0).var(axis=0, ddof=1)
+
+    ess = np.empty(dim)
+    for k in range(dim):
+        rho = 1.0 - (mean_var[k] - within_acov[:, k]) / var_plus[k]
+        # Geyer pairs: Gamma_t = rho[2t] + rho[2t+1] must stay positive.
+        tail = 0.0
+        t = 1
+        while t + 1 < n:
+            pair = rho[t] + rho[t + 1]
+            if pair <= 0.0:
+                break
+            tail += pair
+            t += 2
+        ess[k] = n * m / (1.0 + 2.0 * tail)
+    return np.minimum(ess, n * m * 1.0)
+
+
+def summarize(chains: np.ndarray) -> dict:
+    """Mean, standard deviation, R-hat and ESS per coordinate."""
+    chains = _check_chains(chains)
+    flat = chains.reshape(-1, chains.shape[-1])
+    return {
+        "mean": flat.mean(axis=0),
+        "std": flat.std(axis=0, ddof=1),
+        "rhat": potential_scale_reduction(chains),
+        "ess": effective_sample_size(chains),
+    }

@@ -1,0 +1,60 @@
+"""Batched leapfrog integration in plain numpy.
+
+This module is the *unbatched-machinery* reference: the iterative baseline
+and the physics tests use it directly.  The autobatched NUTS programs carry
+their own leapfrog written in the autobatch subset (see
+:mod:`repro.nuts.tree`) so that its gradient calls go through the primitive
+registry and are visible to instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+GradFn = Callable[[np.ndarray], np.ndarray]
+
+
+def leapfrog(
+    q: np.ndarray,
+    p: np.ndarray,
+    step: np.ndarray,
+    grad_log_prob: GradFn,
+    n_steps: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integrate Hamilton's equations for ``n_steps`` of size ``step``.
+
+    ``q`` and ``p`` may be single states ``(d,)`` or batches ``(Z, d)``;
+    ``step`` may be scalar or per-member ``(Z,)`` (signed: negative steps
+    integrate backward in time).  Returns the new ``(q, p)``.
+
+    The kick-drift-kick form costs ``n_steps + 1`` gradient evaluations.
+    """
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    q = np.asarray(q, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    step = np.asarray(step, dtype=np.float64)
+    if step.ndim == q.ndim - 1:
+        step = step[..., None]
+    p = p + 0.5 * step * grad_log_prob(q)
+    q = q + step * p
+    for _ in range(n_steps - 1):
+        p = p + step * grad_log_prob(q)
+        q = q + step * p
+    p = p + 0.5 * step * grad_log_prob(q)
+    return q, p
+
+
+def kinetic_energy(p: np.ndarray) -> np.ndarray:
+    """Standard-normal momentum kinetic energy, batched over leading axes."""
+    p = np.asarray(p, dtype=np.float64)
+    return 0.5 * np.sum(p * p, axis=-1)
+
+
+def hamiltonian(
+    q: np.ndarray, p: np.ndarray, log_prob: Callable[[np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """The joint log-density ``log p(q) - K(p)`` (negative energy)."""
+    return log_prob(q) - kinetic_energy(p)

@@ -1,0 +1,183 @@
+"""Recursive NUTS written in the autobatchable Python subset.
+
+:func:`make_nuts_functions` takes a :class:`~repro.targets.base.Target` and
+manufactures the full family of single-example programs:
+
+* ``leapfrog_leaf`` — ``n_leapfrog`` integrator steps (the paper takes 4
+  steps per tree leaf, Section 4.1);
+* ``build_tree`` — the recursive doubling of Hoffman & Gelman's Algorithm 3
+  (slice-sampler variant), the function whose recursion both autobatching
+  machines must handle;
+* ``nuts_step`` — one full NUTS trajectory (momentum refresh, slice draw,
+  outer doubling loop, trajectory-level u-turn test);
+* ``nuts_chain`` — a Markov chain of consecutive trajectories.  Running
+  *this* under program-counter autobatching is what lets gradients batch
+  across trajectory boundaries (Figure 6); local static autobatching can
+  only synchronize within the recursion pattern mirrored on the Python
+  stack.
+
+Every numeric parameter (step size, maximum depth, leapfrog steps per leaf,
+trajectory count) is a runtime argument, because the autobatch frontend
+treats free Python names as IR variables, not compile-time constants.  Each
+function additionally threads two pieces of per-member state:
+
+* ``ctr`` — a counter-based RNG state, so every batch member owns an
+  independent, schedule-invariant random stream (all execution strategies
+  produce bit-identical chains);
+* ``ng`` — a gradient-evaluation counter (``n_leapfrog + 1`` per leaf),
+  the quantity Figure 5 reports per second and Figure 6's notion of
+  "useful work".
+
+The slice condition uses ``Delta_max = 1000`` as in Hoffman & Gelman.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import ops
+from repro.frontend.api import AutobatchFunction, autobatch
+from repro.frontend.registry import PrimitiveRegistry
+from repro.targets.base import Target
+
+
+@dataclass(frozen=True)
+class NutsFunctions:
+    """The autobatched NUTS program family for one target."""
+
+    target: Target
+    leapfrog_leaf: AutobatchFunction
+    build_tree: AutobatchFunction
+    nuts_step: AutobatchFunction
+    nuts_chain: AutobatchFunction
+
+
+def make_nuts_functions(
+    target: Target, registry: Optional[PrimitiveRegistry] = None
+) -> NutsFunctions:
+    """Build the recursive NUTS program family for ``target``.
+
+    The target's log-density and gradient become registered primitives
+    (the gradient tagged ``"gradient"`` for utilization instrumentation);
+    everything else is ordinary autobatchable Python below.
+    """
+    prims = target.primitives(registry)
+    logp = prims.log_prob
+    gradlogp = prims.grad_log_prob
+
+    @autobatch
+    def leapfrog_leaf(q, p, de, nsteps, ng):
+        """One tree leaf: nsteps leapfrog steps of signed size de."""
+        # Kick-drift-...-kick with signed step de; nsteps + 1 gradient evals.
+        g = gradlogp(q)
+        p = p + 0.5 * de * g
+        q = q + de * p
+        i = 1.0
+        while i < nsteps:
+            g = gradlogp(q)
+            p = p + de * g
+            q = q + de * p
+            i = i + 1.0
+        g = gradlogp(q)
+        p = p + 0.5 * de * g
+        ng = ng + nsteps + 1.0
+        return q, p, ng
+
+    @autobatch
+    def build_tree(q, p, logu, v, j, eps, nsteps, ng, ctr):
+        """Hoffman & Gelman's recursive doubling (Algorithm 3, slice form)."""
+        if j < 0.5:
+            # Base case: one leaf = nsteps leapfrog steps in direction v.
+            q1, p1, ng = leapfrog_leaf(q, p, v * eps, nsteps, ng)
+            joint = logp(q1) - 0.5 * ops.dot(p1, p1)
+            n1 = float(logu <= joint)
+            s1 = float(logu < joint + 1000.0)
+            return q1, p1, q1, p1, q1, n1, s1, ng, ctr
+        # Recursion: build the left half, then (if still going) the right.
+        qm, pm, qp, pp, qprop, n1, s1, ng, ctr = build_tree(
+            q, p, logu, v, j - 1.0, eps, nsteps, ng, ctr
+        )
+        if s1 > 0.5:
+            if v < 0.0:
+                qm, pm, w1, w2, qprop2, n2, s2, ng, ctr = build_tree(
+                    qm, pm, logu, v, j - 1.0, eps, nsteps, ng, ctr
+                )
+            else:
+                w3, w4, qp, pp, qprop2, n2, s2, ng, ctr = build_tree(
+                    qp, pp, logu, v, j - 1.0, eps, nsteps, ng, ctr
+                )
+            # Keep the new proposal with probability n2 / (n1 + n2);
+            # multiplying through avoids 0/0 when both counts are zero.
+            u = ops.runif(ctr)
+            ctr = ops.rng_next(ctr)
+            if u * (n1 + n2) < n2:
+                qprop = qprop2
+            dq = qp - qm
+            okm = float(ops.dot(dq, pm) >= 0.0)
+            okp = float(ops.dot(dq, pp) >= 0.0)
+            s1 = s2 * okm * okp
+            n1 = n1 + n2
+        return qm, pm, qp, pp, qprop, n1, s1, ng, ctr
+
+    @autobatch
+    def nuts_step(q, eps, max_depth, nsteps, ng, ctr):
+        """One NUTS trajectory: refresh momentum, double until the u-turn."""
+        # Momentum refresh and slice variable.
+        p0 = ops.rnorm_like(ctr, q)
+        ctr = ops.rng_next(ctr)
+        joint0 = logp(q) - 0.5 * ops.dot(p0, p0)
+        u0 = ops.runif(ctr)
+        ctr = ops.rng_next(ctr)
+        logu = joint0 + ops.log(u0)
+        qminus = q
+        qplus = q
+        pminus = p0
+        pplus = p0
+        qcur = q
+        j = 0.0
+        n = 1.0
+        s = 1.0
+        while (s > 0.5) and (j < max_depth):
+            # Uniformly choose a direction to double in.
+            uv = ops.runif(ctr)
+            ctr = ops.rng_next(ctr)
+            v = ops.sign(uv - 0.5)
+            if v < 0.0:
+                qminus, pminus, w1, w2, qprop, n1, s1, ng, ctr = build_tree(
+                    qminus, pminus, logu, v, j, eps, nsteps, ng, ctr
+                )
+            else:
+                w3, w4, qplus, pplus, qprop, n1, s1, ng, ctr = build_tree(
+                    qplus, pplus, logu, v, j, eps, nsteps, ng, ctr
+                )
+            if s1 > 0.5:
+                # Accept the subtree's proposal with probability min(1, n1/n).
+                ua = ops.runif(ctr)
+                ctr = ops.rng_next(ctr)
+                if ua * n < n1:
+                    qcur = qprop
+            n = n + n1
+            dq = qplus - qminus
+            okm = float(ops.dot(dq, pminus) >= 0.0)
+            okp = float(ops.dot(dq, pplus) >= 0.0)
+            s = s1 * okm * okp
+            j = j + 1.0
+        return qcur, ng, ctr
+
+    @autobatch
+    def nuts_chain(q, eps, max_depth, nsteps, n_traj, ng, ctr):
+        """A Markov chain of n_traj consecutive NUTS trajectories."""
+        t = 0.0
+        while t < n_traj:
+            q, ng, ctr = nuts_step(q, eps, max_depth, nsteps, ng, ctr)
+            t = t + 1.0
+        return q, ng, ctr
+
+    return NutsFunctions(
+        target=target,
+        leapfrog_leaf=leapfrog_leaf,
+        build_tree=build_tree,
+        nuts_step=nuts_step,
+        nuts_chain=nuts_chain,
+    )

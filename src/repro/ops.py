@@ -1,0 +1,74 @@
+"""User-facing namespace of built-in primitives.
+
+Autobatched programs call these like ordinary functions::
+
+    from repro import ops
+
+    @autobatch
+    def kinetic(p):
+        return 0.5 * ops.dot(p, p)
+
+Each name is a :class:`~repro.frontend.registry.Primitive`, directly callable
+from plain Python too.
+"""
+
+from repro.frontend.primitives import (  # noqa: F401
+    abs_ as abs,  # noqa: A001 - intentional shadow inside this namespace
+    add,
+    cos,
+    div,
+    dot,
+    eq,
+    exp,
+    expm1,
+    ge,
+    gt,
+    identity,
+    le,
+    log,
+    log1p,
+    logical_and,
+    logical_not,
+    logical_or,
+    logical_xor,
+    lt,
+    max_last,
+    maximum,
+    min_last,
+    minimum,
+    mod,
+    mul,
+    ne,
+    neg,
+    norm_sq,
+    ones_like,
+    pow_ as pow,  # noqa: A001
+    rnorm_like,
+    rng_next,
+    runif,
+    runif_like,
+    select,
+    sigmoid,
+    sign,
+    sin,
+    sqrt,
+    sub,
+    sum_last,
+    tan,
+    tanh,
+    to_bool,
+    to_float,
+    to_int,
+    zeros_like,
+    make_counters,
+)
+
+__all__ = [
+    "abs", "add", "cos", "div", "dot", "eq", "exp", "expm1", "ge", "gt",
+    "identity", "le", "log", "log1p", "logical_and", "logical_not",
+    "logical_or", "logical_xor", "lt", "max_last", "maximum", "min_last",
+    "minimum", "mod", "mul", "ne", "neg", "norm_sq", "ones_like", "pow",
+    "rnorm_like", "rng_next", "runif", "runif_like", "select", "sigmoid",
+    "sign", "sin", "sqrt", "sub", "sum_last", "tan", "tanh", "to_bool",
+    "to_float", "to_int", "zeros_like", "make_counters",
+]

@@ -1,0 +1,29 @@
+"""Model densities for the paper's experiments (Section 4) plus extras.
+
+A :class:`~repro.targets.base.Target` bundles a batched log-density, its
+batched gradient, and the machinery to expose both as autobatch primitives
+(the gradient primitive carries the ``"gradient"`` instrumentation tag that
+Figure 6's utilization metric is computed over).
+
+* :class:`CorrelatedGaussian` — the 100-dimensional correlated Gaussian of
+  Section 4.2.
+* :class:`BayesianLogisticRegression` — the synthetic 10,000-point,
+  100-regressor problem of Section 4.1.
+* :class:`NealsFunnel`, :class:`Rosenbrock` — extra control-flow-stressing
+  targets used by the examples and ablations.
+"""
+
+from repro.targets.base import Target, TargetPrimitives
+from repro.targets.gaussian import CorrelatedGaussian
+from repro.targets.logistic import BayesianLogisticRegression
+from repro.targets.neals_funnel import NealsFunnel
+from repro.targets.rosenbrock import Rosenbrock
+
+__all__ = [
+    "Target",
+    "TargetPrimitives",
+    "CorrelatedGaussian",
+    "BayesianLogisticRegression",
+    "NealsFunnel",
+    "Rosenbrock",
+]

@@ -1,0 +1,77 @@
+"""A tempered Rosenbrock ("banana") density (extra workload).
+
+``log p(x) = -(1/T) * sum_i [ b (x_{i+1} - x_i^2)^2 + (a - x_i)^2 ]``
+
+The curved ridge forces long, winding NUTS trajectories whose length varies
+strongly with position — useful for exercising divergent control flow in the
+examples and scheduler ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.targets.base import Target
+
+
+class Rosenbrock(Target):
+    """Tempered Rosenbrock density on R^dim (dim >= 2)."""
+
+    name = "rosenbrock"
+
+    def __init__(self, dim: int = 2, a: float = 1.0, b: float = 100.0, temperature: float = 20.0):
+        if dim < 2:
+            raise ValueError(f"rosenbrock needs dim >= 2, got {dim}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        super().__init__(dim)
+        self.a = float(a)
+        self.b = float(b)
+        self.temperature = float(temperature)
+
+    def log_prob(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        head = q[..., :-1]
+        tail = q[..., 1:]
+        value = np.sum(
+            self.b * (tail - head * head) ** 2 + (self.a - head) ** 2, axis=-1
+        )
+        return -value / self.temperature
+
+    def grad_log_prob(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        head = q[..., :-1]
+        tail = q[..., 1:]
+        resid = tail - head * head
+        grad = np.zeros_like(q)
+        # d/dx_i of the i-th term (as "head"): d(b r^2)/dhead = 2 b r (-2 head).
+        grad[..., :-1] = 4.0 * self.b * resid * head + 2.0 * (self.a - head)
+        # d/dx_{i+1} of the i-th term (as "tail"):
+        grad[..., 1:] += -2.0 * self.b * resid
+        return grad / self.temperature
+
+    def log_prob_ad(self, q):
+        from repro.autodiff import ops as ad
+        from repro.autodiff.tape import ensure_variable
+
+        q = ensure_variable(q)
+        # head/tail via constant selection matrices (no slicing in the AD set).
+        d = self.dim
+        head_mat = np.eye(d)[:, : d - 1]
+        tail_mat = np.eye(d)[:, 1:]
+        head = ad.matmul(q, head_mat)
+        tail = ad.matmul(q, tail_mat)
+        resid = tail - head * head
+        bias = self.a - 0.0
+        value = ad.sum(
+            resid * resid * self.b + (head * -1.0 + bias) * (head * -1.0 + bias),
+            axis=-1,
+        )
+        return value * (-1.0 / self.temperature)
+
+    def grad_flops_per_member(self) -> float:
+        return 10.0 * self.dim
+
+    def initial_state(self, batch_size: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.RandomState(seed)
+        return self.a + 0.1 * rng.randn(batch_size, self.dim)

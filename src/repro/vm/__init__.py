@@ -1,0 +1,30 @@
+"""The two autobatching runtimes.
+
+* :mod:`repro.vm.local_static` — Algorithm 1: a masked nonstandard
+  interpretation of the callable IR, with recursion inherited from the host
+  Python (Figure 1).
+* :mod:`repro.vm.program_counter` — Algorithm 2: a flat, non-recursive
+  batched machine over the stack IR, with per-variable stacks and a
+  program-counter stack (Figure 3).
+
+Shared machinery: batched stacks with top caching (:mod:`repro.vm.stack`),
+storage classes (:mod:`repro.vm.state`), masking vs gather-scatter primitive
+application (:mod:`repro.vm.masking`), block-selection heuristics
+(:mod:`repro.vm.scheduler`), and execution counters
+(:mod:`repro.vm.instrumentation`).
+"""
+
+from repro.vm.local_static import run_local_static
+from repro.vm.program_counter import ProgramCounterVM, run_program_counter
+from repro.vm.instrumentation import Instrumentation
+from repro.vm.stack import BatchedStack, StackOverflowError, UncachedBatchedStack
+
+__all__ = [
+    "run_local_static",
+    "run_program_counter",
+    "ProgramCounterVM",
+    "Instrumentation",
+    "BatchedStack",
+    "UncachedBatchedStack",
+    "StackOverflowError",
+]

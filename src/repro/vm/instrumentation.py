@@ -1,0 +1,145 @@
+"""Execution counters for both machines.
+
+The key derived metric is **batch utilization** (paper Figure 6): the
+fraction of executed primitive lane-slots that belonged to locally active
+batch members.  Under masking, a primitive executed at batch size ``Z`` with
+``a`` active members does ``Z`` lanes of work of which ``a`` are useful;
+under gather-scatter, it does ``a`` lanes but the divergence still shows up
+as extra machine steps.  We count *slots* (``Z`` per execution) and *active*
+(``a``) per primitive name and per tag, so utilization can be reported for
+any class of primitives — Figure 6 uses the target-density gradient.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def elements_per_lane(value) -> int:
+    """Per-member element count of a batched value (1 for scalars)."""
+    v = np.asarray(value)
+    if v.ndim == 0 or v.shape[0] == 0:
+        return 1
+    return int(v.size // v.shape[0])
+
+
+@dataclass
+class OpCounter:
+    executions: int = 0
+    slots: int = 0     # lanes the platform executed (Z per execution, masked)
+    active: int = 0    # lanes that were locally active (useful work)
+    flops: float = 0.0  # abstract work: cost_weight * elements/lane * slots
+
+    def utilization(self) -> float:
+        """Fraction of this counter's lane-slots that were active."""
+        return self.active / self.slots if self.slots else 1.0
+
+
+@dataclass
+class Instrumentation:
+    """Mutable counters, shared across nested interpreter activations."""
+
+    batch_size: int = 0
+    steps: int = 0                      # basic-block executions
+    kernel_calls: int = 0               # primitive dispatches
+    pushes: int = 0                     # stack frames pushed (all variables)
+    pops: int = 0
+    push_lanes: int = 0                 # per-lane stack traffic
+    pop_lanes: int = 0
+    stacked_reads: int = 0              # reads hitting a stack-backed variable
+    stacked_writes: int = 0             # writes scattering into a stack array
+    register_writes: int = 0            # masked updates of stack-free variables
+    by_prim: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
+    by_tag: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
+
+    def record_step(self) -> None:
+        """Count one basic-block execution."""
+        self.steps += 1
+
+    def record_prim(
+        self,
+        name: str,
+        tags,
+        active: int,
+        slots: int,
+        elements: int = 1,
+        weight: float = 1.0,
+    ) -> None:
+        """Count one primitive dispatch with its lane accounting."""
+        self.kernel_calls += 1
+        flops = weight * elements * slots
+        counter = self.by_prim[name]
+        counter.executions += 1
+        counter.slots += slots
+        counter.active += active
+        counter.flops += flops
+        for tag in tags:
+            t = self.by_tag[tag]
+            t.executions += 1
+            t.slots += slots
+            t.active += active
+            t.flops += flops
+
+    def record_push(self, lanes: int) -> None:
+        """Count one stack push touching ``lanes`` members."""
+        self.pushes += 1
+        self.push_lanes += lanes
+
+    def record_pop(self, lanes: int) -> None:
+        """Count one stack pop touching ``lanes`` members."""
+        self.pops += 1
+        self.pop_lanes += lanes
+
+    def record_storage(self, kind, is_write: bool) -> None:
+        """Count one variable access by storage class (ablation C metric)."""
+        name = getattr(kind, "name", str(kind))
+        if name == "STACKED":
+            if is_write:
+                self.stacked_writes += 1
+            else:
+                self.stacked_reads += 1
+        elif is_write:
+            self.register_writes += 1
+
+    # -- derived metrics ---------------------------------------------------
+
+    def utilization(self, tag: Optional[str] = None, prim: Optional[str] = None) -> float:
+        """Fraction of executed lane-slots that were active.
+
+        With ``tag`` or ``prim``, restrict to that class of primitives
+        (Figure 6 uses ``tag="gradient"``).
+        """
+        if tag is not None:
+            return self.by_tag[tag].utilization()
+        if prim is not None:
+            return self.by_prim[prim].utilization()
+        slots = sum(c.slots for c in self.by_prim.values())
+        active = sum(c.active for c in self.by_prim.values())
+        return active / slots if slots else 1.0
+
+    def count(self, tag: Optional[str] = None, prim: Optional[str] = None) -> OpCounter:
+        """The raw :class:`OpCounter` for a tag or primitive."""
+        if tag is not None:
+            return self.by_tag[tag]
+        if prim is not None:
+            return self.by_prim[prim]
+        raise ValueError("specify tag= or prim=")
+
+    def summary(self) -> str:
+        """Human-readable multi-line counter summary."""
+        lines = [
+            f"steps={self.steps} kernel_calls={self.kernel_calls} "
+            f"pushes={self.pushes} pops={self.pops} "
+            f"overall_utilization={self.utilization():.3f}"
+        ]
+        for tag in sorted(self.by_tag):
+            c = self.by_tag[tag]
+            lines.append(
+                f"  tag {tag}: execs={c.executions} active={c.active} "
+                f"slots={c.slots} util={c.utilization():.3f}"
+            )
+        return "\n".join(lines)

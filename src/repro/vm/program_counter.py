@@ -1,0 +1,329 @@
+"""Program-counter autobatching — the paper's Algorithm 2.
+
+A flat, non-recursive batched machine over the stack dialect.  All state —
+variable values, per-variable stacks, stack pointers, and the program
+counter with its own return-address stack — is arrays, so the whole runtime
+is a single loop of batched array operations: exactly the property that lets
+the original system stage into graph-mode TensorFlow/XLA, and that lets this
+reproduction compile basic blocks into fused closures (see
+:mod:`repro.backend.fusion`).
+
+Because recursive state is explicit, the machine batches logical threads at
+*different stack depths* whenever they wait at the same block — the paper's
+headline capability (e.g. the 5th gradient of one chain's 3rd NUTS
+trajectory in tandem with the 8th gradient of another's 2nd).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.frontend.registry import PrimitiveRegistry, default_registry
+from repro.ir.instructions import (
+    Branch,
+    ConstOp,
+    Jump,
+    PopOp,
+    PrimOp,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+    VarKind,
+)
+from repro.vm.instrumentation import Instrumentation, elements_per_lane
+from repro.vm.local_static import ExecutionLimitExceeded, _const_array
+from repro.vm.scheduler import make_scheduler
+from repro.vm.stack import BatchedStack
+from repro.vm.state import RegisterStorage, StackedStorage
+
+
+class ProgramCounterVM:
+    """Algorithm 2 with pluggable execution mode, scheduler, and block executors."""
+
+    def __init__(
+        self,
+        program: StackProgram,
+        batch_size: int,
+        registry: Optional[PrimitiveRegistry] = None,
+        mode: str = "mask",
+        scheduler: Any = "earliest",
+        max_stack_depth: int = 32,
+        top_cache: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
+        max_steps: int = 10 ** 9,
+        block_executors: Optional[Sequence[Optional[Callable]]] = None,
+    ):
+        if mode not in ("mask", "gather"):
+            raise ValueError(f"mode must be 'mask' or 'gather', got {mode!r}")
+        self.program = program
+        self.batch_size = int(batch_size)
+        self.registry = registry or default_registry
+        self.mode = mode
+        self.scheduler = make_scheduler(scheduler)
+        self.max_stack_depth = int(max_stack_depth)
+        self.top_cache = bool(top_cache)
+        self.instr = instrumentation or Instrumentation()
+        self.instr.batch_size = self.batch_size
+        self.max_steps = max_steps
+        self.exit_index = program.exit_index
+        # Optional pre-compiled per-block executors (backend fusion); entries
+        # may be None to fall back to interpretation for that block.
+        self.block_executors = list(block_executors) if block_executors else None
+
+        self.storages: Dict[str, Any] = {}
+        self._temps: Dict[str, np.ndarray] = {}
+        self.pcreg = np.zeros(self.batch_size, dtype=np.int64)
+        self.addr_stack = BatchedStack(
+            batch_size=self.batch_size,
+            depth=self.max_stack_depth,
+            event_shape=(),
+            dtype="int64",
+        )
+        # The bottom of every member's pc stack is the exit index, so the
+        # main function's Return halts that member (Algorithm 2's pc init).
+        self.addr_stack.update(
+            np.ones(self.batch_size, dtype=bool),
+            np.full(self.batch_size, self.exit_index, dtype=np.int64),
+        )
+        self._plans = [self._plan_block(blk) for blk in program.blocks]
+        self._steps = 0
+
+    # -- storage ----------------------------------------------------------------
+
+    def storage(self, name: str):
+        """The (lazily allocated) storage object backing variable ``name``."""
+        st = self.storages.get(name)
+        if st is None:
+            kind = self.program.kind(name)
+            if kind is VarKind.STACKED:
+                st = StackedStorage(
+                    name,
+                    self.batch_size,
+                    depth=self.max_stack_depth,
+                    top_cache=self.top_cache,
+                )
+            else:
+                st = RegisterStorage(name, self.batch_size)
+            self.storages[name] = st
+        return st
+
+    def _read(self, name: str, idx: Optional[np.ndarray]) -> np.ndarray:
+        if name in self._temps:
+            return self._temps[name]
+        self.instr.record_storage(self.program.kind(name), is_write=False)
+        if idx is None:
+            return self.storage(name).read()
+        return self.storage(name).read_at(idx)
+
+    def _write(self, name: str, value: np.ndarray, mask: np.ndarray, idx: np.ndarray) -> None:
+        kind = self.program.kind(name)
+        if kind is VarKind.TEMP:
+            self._temps[name] = np.asarray(value)
+            return
+        self.instr.record_storage(kind, is_write=True)
+        if self.mode == "mask":
+            self.storage(name).write(mask, np.asarray(value))
+        else:
+            self.storage(name).write_at(idx, np.asarray(value))
+
+    # -- planning -----------------------------------------------------------------
+
+    def _plan_block(self, block) -> List[tuple]:
+        plan: List[tuple] = []
+        for op in block.ops:
+            if isinstance(op, ConstOp):
+                plan.append(("const", op.output, op.value))
+            elif isinstance(op, PrimOp):
+                plan.append(("prim", self.registry.get(op.fn), op.outputs, op.inputs))
+            elif isinstance(op, PushOp):
+                plan.append(("push", self.registry.get(op.fn), op.output, op.inputs))
+            elif isinstance(op, PopOp):
+                plan.append(("pop", op.var))
+            else:
+                raise TypeError(f"unexpected op in stack IR: {op!r}")
+        term = block.terminator
+        if isinstance(term, Jump):
+            plan.append(("jump", term.target))
+        elif isinstance(term, Branch):
+            plan.append(("branch", term.cond, term.true_target, term.false_target))
+        elif isinstance(term, PushJump):
+            plan.append(("pushjump", term.return_target, term.jump_target))
+        elif isinstance(term, Return):
+            plan.append(("ret",))
+        else:
+            raise TypeError(f"unexpected terminator in stack IR: {term!r}")
+        return plan
+
+    # -- execution ------------------------------------------------------------------
+
+    def bind_inputs(self, inputs: Sequence[np.ndarray]) -> None:
+        """Write the batch inputs into the machine's input variables."""
+        if len(inputs) != len(self.program.inputs):
+            raise ValueError(
+                f"program takes {len(self.program.inputs)} inputs, got {len(inputs)}"
+            )
+        everyone = np.ones(self.batch_size, dtype=bool)
+        for name, value in zip(self.program.inputs, inputs):
+            value = np.asarray(value)
+            if value.shape[0] != self.batch_size:
+                raise ValueError(
+                    f"input {name!r} has leading dimension {value.shape[0]}, "
+                    f"expected batch size {self.batch_size}"
+                )
+            self.storage(name).write(everyone, value)
+
+    def outputs(self) -> List[np.ndarray]:
+        """Current values of the program's output variables."""
+        return [self.storage(name).read() for name in self.program.outputs]
+
+    def run(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Execute until every member halts; returns the output arrays."""
+        self.bind_inputs(inputs)
+        self.scheduler.reset()
+        step = self.step
+        while step():
+            pass
+        return self.outputs()
+
+    def step(self) -> bool:
+        """Select and execute one basic block; False when all members halted."""
+        i = self.scheduler.select(self.pcreg, self.exit_index)
+        if i is None:
+            return False
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionLimitExceeded(f"exceeded max_steps={self.max_steps}")
+        self.instr.record_step()
+        mask = self.pcreg == i
+        idx = np.flatnonzero(mask)
+        if self.block_executors is not None and self.block_executors[i] is not None:
+            self.block_executors[i](self, mask, idx)
+        else:
+            self._interpret_block(i, mask, idx)
+        return True
+
+    def _interpret_block(self, i: int, mask: np.ndarray, idx: np.ndarray) -> None:
+        temps = self._temps
+        temps.clear()
+        gather = self.mode == "gather"
+        ridx = idx if gather else None
+        slots = int(idx.size) if gather else self.batch_size
+        n_active = int(idx.size)
+
+        for step in self._plans[i]:
+            tag = step[0]
+            if tag == "prim":
+                _, prim, outputs, inputs = step
+                args = [self._read(v, ridx) for v in inputs]
+                with np.errstate(all="ignore"):
+                    out = prim.fn(*args)
+                outs = out if prim.n_outputs > 1 else (out,)
+                for name, value in zip(outputs, outs):
+                    self._write(name, value, mask, idx)
+                self.instr.record_prim(
+                    prim.name,
+                    prim.tags,
+                    n_active,
+                    slots,
+                    elements=elements_per_lane(outs[0]),
+                    weight=prim.cost_weight,
+                )
+            elif tag == "const":
+                _, name, value = step
+                width = idx.size if gather else self.batch_size
+                self._write(name, _const_array(value, width), mask, idx)
+            elif tag == "push":
+                _, prim, output, inputs = step
+                args = [self._read(v, ridx) for v in inputs]
+                with np.errstate(all="ignore"):
+                    value = prim.fn(*args)
+                st = self.storage(output)
+                if gather:
+                    st.push_at(idx, np.asarray(value))
+                else:
+                    st.push(mask, np.asarray(value))
+                self.instr.record_push(n_active)
+            elif tag == "pop":
+                _, name = step
+                st = self.storage(name)
+                if gather:
+                    st.pop_at(idx)
+                else:
+                    st.pop(mask)
+                self.instr.record_pop(n_active)
+            elif tag == "jump":
+                self.pcreg[mask] = step[1]
+            elif tag == "branch":
+                _, cond_var, t_true, t_false = step
+                cond = np.asarray(self._read(cond_var, ridx), dtype=bool)
+                if gather:
+                    self.pcreg[idx] = np.where(cond, t_true, t_false)
+                else:
+                    self.pcreg[mask] = np.where(cond, t_true, t_false)[mask]
+            elif tag == "pushjump":
+                _, ret_target, jump_target = step
+                self.addr_stack.push(
+                    mask, np.full(self.batch_size, ret_target, dtype=np.int64)
+                )
+                self.pcreg[mask] = jump_target
+            else:  # ret
+                popped = self.addr_stack.pop(mask)
+                self.pcreg[mask] = popped[mask]
+
+    # -- inspection (Figure 3 snapshots) ----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Runtime-state snapshot in the style of the paper's Figure 3."""
+        stacks = {}
+        for name, st in sorted(self.storages.items()):
+            if isinstance(st, StackedStorage) and st.stack is not None:
+                stacks[name] = {
+                    "frames": [st.stack.frames(b) for b in range(self.batch_size)],
+                    "stack_pointers": st.stack.sp.copy(),
+                }
+        return {
+            "program_counter": self.pcreg.copy(),
+            "pc_stack": {
+                "frames": [self.addr_stack.frames(b) for b in range(self.batch_size)],
+                "stack_pointers": self.addr_stack.sp.copy(),
+            },
+            "variable_stacks": stacks,
+        }
+
+
+def run_program_counter(
+    program: StackProgram,
+    inputs: Sequence[np.ndarray],
+    registry: Optional[PrimitiveRegistry] = None,
+    mode: str = "mask",
+    scheduler: Any = "earliest",
+    max_stack_depth: int = 32,
+    top_cache: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
+    max_steps: int = 10 ** 9,
+    block_executors: Optional[Sequence[Optional[Callable]]] = None,
+):
+    """Run a stack program on a batch of inputs under Algorithm 2.
+
+    Returns a single array for single-output programs, else a tuple.
+    """
+    arrays = [np.asarray(x) for x in inputs]
+    if not arrays:
+        raise ValueError("at least one input is required")
+    vm = ProgramCounterVM(
+        program,
+        batch_size=arrays[0].shape[0],
+        registry=registry,
+        mode=mode,
+        scheduler=scheduler,
+        max_stack_depth=max_stack_depth,
+        top_cache=top_cache,
+        instrumentation=instrumentation,
+        max_steps=max_steps,
+        block_executors=block_executors,
+    )
+    outputs = vm.run(arrays)
+    return outputs[0] if len(outputs) == 1 else tuple(outputs)

@@ -1,0 +1,222 @@
+"""Batched per-variable stacks (paper Section 3 and Figure 3).
+
+Storage layout: a data array of shape ``(D, Z, *event)`` plus a ``(Z,)``
+vector of stack pointers, exactly as the paper describes ("we choose to give
+each program variable its own stack (by extending the relevant array with
+another dimension)").
+
+:class:`BatchedStack` additionally implements the paper's optimization 4:
+the *top* of each stack lives in a separate ``(Z, *event)`` cache array, so
+repeated reads and in-place updates of the top cost a mask, not a gather or
+scatter.  Gathers/scatters happen only at pushes and pops, where they are
+unavoidable (stack depths differ across batch members).
+:class:`UncachedBatchedStack` is the same structure *without* the cache —
+every access gathers/scatters — used by the optimization-4 ablation.
+
+Both classes use an *implicit base frame*: a freshly created stack has one
+writable top (the cache / slot 0) at depth 0, so variables whose first write
+is an in-place update need no initial push.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class StackOverflowError(RuntimeError):
+    """A batch member exceeded the static stack depth limit D."""
+
+
+class StackUnderflowError(RuntimeError):
+    """A pop on an empty stack in strict mode (indicates a compiler bug)."""
+
+
+def _broadcast_mask(mask: np.ndarray, ndim: int) -> np.ndarray:
+    """Right-pad a (Z,) boolean mask so it broadcasts against (Z, *event)."""
+    return mask.reshape(mask.shape + (1,) * (ndim - 1))
+
+
+class BatchedStack:
+    """Top-cached batched stack (optimization 4 ON).
+
+    ``sp[b]`` counts the *saved* frames of member ``b`` below the cached
+    top; the logical depth of the stack is ``sp[b] + 1`` (the implicit base
+    frame).  The cache is authoritative for the top; ``data[0:sp[b], b]``
+    holds the frames beneath it.
+    """
+
+    caching = True
+
+    def __init__(
+        self,
+        batch_size: int,
+        depth: int,
+        event_shape: Tuple[int, ...] = (),
+        dtype: str = "float64",
+        strict: bool = False,
+    ):
+        self.batch_size = int(batch_size)
+        self.depth = int(depth)
+        self.event_shape = tuple(event_shape)
+        self.dtype = np.dtype(dtype)
+        self.strict = strict
+        self.data = np.zeros((self.depth, self.batch_size) + self.event_shape, self.dtype)
+        self.cache = np.zeros((self.batch_size,) + self.event_shape, self.dtype)
+        self.sp = np.zeros(self.batch_size, dtype=np.int64)
+
+    # -- reads -------------------------------------------------------------
+
+    def read(self) -> np.ndarray:
+        """Top values for all members (free: the cache itself)."""
+        return self.cache
+
+    def read_at(self, idx: np.ndarray) -> np.ndarray:
+        """Top values gathered for the members in ``idx``."""
+        return self.cache[idx]
+
+    # -- masked operations ----------------------------------------------------
+
+    def update(self, mask: np.ndarray, values: np.ndarray) -> None:
+        """In-place update of the top for members where ``mask`` holds."""
+        np.copyto(self.cache, values, where=_broadcast_mask(mask, self.cache.ndim))
+
+    def push(self, mask: np.ndarray, values: np.ndarray) -> None:
+        """Push ``values`` for members where ``mask`` holds (scatter)."""
+        idx = np.flatnonzero(mask)
+        self.push_at(idx, values[idx])
+
+    def pop(self, mask: np.ndarray) -> np.ndarray:
+        """Pop for members where ``mask`` holds; returns the popped tops.
+
+        The returned array is full-batch-sized; lanes outside ``mask`` carry
+        their (unpopped) current tops.
+        """
+        popped = self.cache.copy()
+        idx = np.flatnonzero(mask)
+        self.pop_at(idx)
+        return popped
+
+    # -- gathered (index-based) operations ---------------------------------
+
+    def update_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        self.cache[idx] = values
+
+    def push_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        sp = self.sp[idx]
+        if np.any(sp >= self.depth):
+            raise StackOverflowError(
+                f"stack depth limit D={self.depth} exceeded; increase "
+                "max_stack_depth"
+            )
+        # Spill the cached top into its slot, then cache the new values.
+        self.data[sp, idx] = self.cache[idx]
+        self.sp[idx] = sp + 1
+        self.cache[idx] = values
+
+    def pop_at(self, idx: np.ndarray) -> np.ndarray:
+        """Pop for members in ``idx``; returns their popped top values."""
+        if idx.size == 0:
+            return self.cache[idx]
+        popped = self.cache[idx]
+        sp = self.sp[idx]
+        if self.strict and np.any(sp <= 0):
+            raise StackUnderflowError("pop on empty stack")
+        new_sp = np.maximum(sp - 1, 0)
+        self.cache[idx] = self.data[new_sp, idx]
+        self.sp[idx] = new_sp
+        return popped
+
+    # -- inspection -----------------------------------------------------------
+
+    def depths(self) -> np.ndarray:
+        """Logical depth per member (saved frames + the live top)."""
+        return self.sp + 1
+
+    def frames(self, member: int) -> np.ndarray:
+        """All live frames of one member, bottom to top (for snapshots)."""
+        saved = self.data[: self.sp[member], member]
+        return np.concatenate([saved, self.cache[None, member]], axis=0)
+
+
+class UncachedBatchedStack:
+    """The same stack without the top cache (optimization 4 OFF).
+
+    Every read gathers ``data[sp[b], b]`` and every update scatters — the
+    cost the paper's optimization 4 exists to avoid.  Allocates ``D + 1``
+    slots so depth counting matches :class:`BatchedStack`.
+    """
+
+    caching = False
+
+    def __init__(
+        self,
+        batch_size: int,
+        depth: int,
+        event_shape: Tuple[int, ...] = (),
+        dtype: str = "float64",
+        strict: bool = False,
+    ):
+        self.batch_size = int(batch_size)
+        self.depth = int(depth)
+        self.event_shape = tuple(event_shape)
+        self.dtype = np.dtype(dtype)
+        self.strict = strict
+        self.data = np.zeros(
+            (self.depth + 1, self.batch_size) + self.event_shape, self.dtype
+        )
+        self.sp = np.zeros(self.batch_size, dtype=np.int64)
+        self._lanes = np.arange(self.batch_size)
+
+    def read(self) -> np.ndarray:
+        return self.data[self.sp, self._lanes]
+
+    def read_at(self, idx: np.ndarray) -> np.ndarray:
+        return self.data[self.sp[idx], idx]
+
+    def update(self, mask: np.ndarray, values: np.ndarray) -> None:
+        idx = np.flatnonzero(mask)
+        self.update_at(idx, np.asarray(values)[idx])
+
+    def update_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        self.data[self.sp[idx], idx] = values
+
+    def push(self, mask: np.ndarray, values: np.ndarray) -> None:
+        idx = np.flatnonzero(mask)
+        self.push_at(idx, np.asarray(values)[idx])
+
+    def push_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        sp = self.sp[idx]
+        if np.any(sp >= self.depth):
+            raise StackOverflowError(
+                f"stack depth limit D={self.depth} exceeded; increase "
+                "max_stack_depth"
+            )
+        self.sp[idx] = sp + 1
+        self.data[sp + 1, idx] = values
+
+    def pop(self, mask: np.ndarray) -> np.ndarray:
+        popped = self.read()
+        self.pop_at(np.flatnonzero(mask))
+        return popped
+
+    def pop_at(self, idx: np.ndarray) -> np.ndarray:
+        if idx.size == 0:
+            return self.data[self.sp[idx], idx]
+        popped = self.data[self.sp[idx], idx]
+        sp = self.sp[idx]
+        if self.strict and np.any(sp <= 0):
+            raise StackUnderflowError("pop on empty stack")
+        self.sp[idx] = np.maximum(sp - 1, 0)
+        return popped
+
+    def depths(self) -> np.ndarray:
+        return self.sp + 1
+
+    def frames(self, member: int) -> np.ndarray:
+        return self.data[: self.sp[member] + 1, member]

@@ -1,0 +1,165 @@
+"""Variable storage for the batched machines.
+
+Three storage classes mirror the :class:`~repro.ir.instructions.VarKind`
+analysis: temporaries live in a per-block-execution dict managed by the VM;
+registers are flat ``(Z, *event)`` arrays with masked updates; stacked
+variables own a :class:`~repro.vm.stack.BatchedStack`.
+
+Storage is allocated lazily on first write, inferring dtype and event shape
+from the written value (the runtime analog of XLA's static shape inference:
+once allocated, the event shape is fixed and mismatches are errors; dtypes
+may only widen).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.vm.stack import BatchedStack, UncachedBatchedStack
+
+
+class UninitializedRead(RuntimeError):
+    """A variable was read before any batch member wrote it."""
+
+
+def _event_shape_of(value: np.ndarray) -> Tuple[int, ...]:
+    return np.asarray(value).shape[1:]
+
+
+def _broadcast_mask(mask: np.ndarray, ndim: int) -> np.ndarray:
+    return mask.reshape(mask.shape + (1,) * (ndim - 1))
+
+
+class RegisterStorage:
+    """A flat batched array with masked (or scattered) updates, no stack."""
+
+    def __init__(self, name: str, batch_size: int):
+        self.name = name
+        self.batch_size = batch_size
+        self.array: Optional[np.ndarray] = None
+
+    def _ensure(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value)
+        if self.array is None:
+            self.array = np.zeros(
+                (self.batch_size,) + value.shape[1:], dtype=value.dtype
+            )
+        elif self.array.shape[1:] != value.shape[1:]:
+            raise ValueError(
+                f"variable {self.name!r}: event shape changed from "
+                f"{self.array.shape[1:]} to {value.shape[1:]}"
+            )
+        elif not np.can_cast(value.dtype, self.array.dtype, casting="same_kind"):
+            self.array = self.array.astype(
+                np.promote_types(self.array.dtype, value.dtype)
+            )
+        return self.array
+
+    def read(self) -> np.ndarray:
+        if self.array is None:
+            raise UninitializedRead(f"variable {self.name!r} read before assignment")
+        return self.array
+
+    def read_at(self, idx: np.ndarray) -> np.ndarray:
+        return self.read()[idx]
+
+    def write(self, mask: np.ndarray, value: np.ndarray) -> None:
+        arr = self._ensure(value)
+        np.copyto(
+            arr,
+            np.asarray(value, dtype=arr.dtype),
+            where=_broadcast_mask(mask, arr.ndim),
+        )
+
+    def write_at(self, idx: np.ndarray, value_gathered: np.ndarray) -> None:
+        # Shape bookkeeping needs a batch-shaped prototype; fabricate one.
+        proto_shape = (self.batch_size,) + np.asarray(value_gathered).shape[1:]
+        arr = self._ensure(np.empty(proto_shape, dtype=np.asarray(value_gathered).dtype))
+        arr[idx] = value_gathered
+
+
+class StackedStorage:
+    """Storage backed by a batched stack; allocation deferred to first write."""
+
+    def __init__(
+        self,
+        name: str,
+        batch_size: int,
+        depth: int,
+        top_cache: bool = True,
+    ):
+        self.name = name
+        self.batch_size = batch_size
+        self.depth = depth
+        self.top_cache = top_cache
+        self.stack: Optional[BatchedStack] = None
+        # Pre-write pushes must be replayed once shape/dtype are known: a
+        # push of value v onto a virgin stack is just "depth += 1; top = v",
+        # which allocation-on-first-write handles naturally because pushes
+        # always carry the value.
+
+    def _ensure(self, value: np.ndarray):
+        value = np.asarray(value)
+        if self.stack is None:
+            cls = BatchedStack if self.top_cache else UncachedBatchedStack
+            self.stack = cls(
+                batch_size=self.batch_size,
+                depth=self.depth,
+                event_shape=value.shape[1:],
+                dtype=value.dtype,
+            )
+        else:
+            if self.stack.event_shape != value.shape[1:]:
+                raise ValueError(
+                    f"variable {self.name!r}: event shape changed from "
+                    f"{self.stack.event_shape} to {value.shape[1:]}"
+                )
+            if not np.can_cast(value.dtype, self.stack.dtype, casting="same_kind"):
+                promoted = np.promote_types(self.stack.dtype, value.dtype)
+                self.stack.data = self.stack.data.astype(promoted)
+                if hasattr(self.stack, "cache"):
+                    self.stack.cache = self.stack.cache.astype(promoted)
+                self.stack.dtype = promoted
+        return self.stack
+
+    def read(self) -> np.ndarray:
+        if self.stack is None:
+            raise UninitializedRead(f"variable {self.name!r} read before assignment")
+        return self.stack.read()
+
+    def read_at(self, idx: np.ndarray) -> np.ndarray:
+        if self.stack is None:
+            raise UninitializedRead(f"variable {self.name!r} read before assignment")
+        return self.stack.read_at(idx)
+
+    def write(self, mask: np.ndarray, value: np.ndarray) -> None:
+        self._ensure(value).update(mask, np.asarray(value))
+
+    def write_at(self, idx: np.ndarray, value_gathered: np.ndarray) -> None:
+        value_gathered = np.asarray(value_gathered)
+        proto = np.empty(
+            (self.batch_size,) + value_gathered.shape[1:], dtype=value_gathered.dtype
+        )
+        self._ensure(proto).update_at(idx, value_gathered)
+
+    def push(self, mask: np.ndarray, value: np.ndarray) -> None:
+        self._ensure(value).push(mask, np.asarray(value))
+
+    def push_at(self, idx: np.ndarray, value_gathered: np.ndarray) -> None:
+        value_gathered = np.asarray(value_gathered)
+        proto = np.empty(
+            (self.batch_size,) + value_gathered.shape[1:], dtype=value_gathered.dtype
+        )
+        self._ensure(proto).push_at(idx, value_gathered)
+
+    def pop(self, mask: np.ndarray) -> None:
+        if self.stack is None:
+            raise UninitializedRead(f"variable {self.name!r} popped before assignment")
+        self.stack.pop(mask)
+
+    def pop_at(self, idx: np.ndarray) -> None:
+        if self.stack is None:
+            raise UninitializedRead(f"variable {self.name!r} popped before assignment")
+        self.stack.pop_at(idx)

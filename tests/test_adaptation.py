@@ -1,0 +1,65 @@
+"""Tests for the step-size adaptation extension on the iterative sampler."""
+
+import numpy as np
+import pytest
+
+from repro.nuts.iterative import IterativeNuts
+from repro.targets import CorrelatedGaussian
+
+
+@pytest.fixture(scope="module")
+def target():
+    return CorrelatedGaussian(dim=4, rho=0.5, min_scale=0.5, max_scale=1.0)
+
+
+class TestAcceptStatistic:
+    def test_tracked_per_trajectory(self, target):
+        it = IterativeNuts(target, step_size=0.2, max_depth=5)
+        rng = np.random.RandomState(0)
+        it.trajectory(target.initial_state(1, seed=1)[0], rng)
+        assert 0.0 <= it.last_accept_stat <= 1.0
+
+    def test_small_steps_accept_more(self, target):
+        q0 = target.initial_state(1, seed=2)[0]
+
+        def mean_accept(eps):
+            it = IterativeNuts(target, step_size=eps, max_depth=5)
+            rng = np.random.RandomState(3)
+            stats = []
+            q = q0
+            for _ in range(20):
+                q, _ = it.trajectory(q, rng)
+                stats.append(it.last_accept_stat)
+            return float(np.mean(stats))
+
+        assert mean_accept(0.05) > mean_accept(1.5)
+
+
+class TestWarmup:
+    def test_warmup_reaches_target_acceptance(self, target):
+        it = IterativeNuts(target, step_size=3.0, max_depth=6)  # way too big
+        q0 = target.initial_state(1, seed=4)[0]
+        q, eps = it.warmup(q0, n_warmup=150, seed=5, target_accept=0.8)
+        assert eps < 3.0  # adapted downward
+        # Measure realized acceptance at the adapted step size.
+        rng = np.random.RandomState(6)
+        stats = []
+        for _ in range(30):
+            q, _ = it.trajectory(q, rng)
+            stats.append(it.last_accept_stat)
+        assert 0.55 < np.mean(stats) <= 1.0
+
+    def test_warmup_updates_sampler_state(self, target):
+        it = IterativeNuts(target, step_size=0.001, max_depth=5)  # too small
+        q0 = target.initial_state(1, seed=7)[0]
+        _, eps = it.warmup(q0, n_warmup=100, seed=8)
+        assert eps > 0.001  # adapted upward
+        assert it.step_size == eps
+
+    def test_adapted_sampler_still_correct(self, target):
+        it = IterativeNuts(target, step_size=1.0, max_depth=6)
+        q0 = target.initial_state(1, seed=9)[0]
+        q, _ = it.warmup(q0, n_warmup=100, seed=10)
+        res = it.sample(q, 800, seed=11)
+        draws = res.positions[200:]
+        np.testing.assert_allclose(draws.mean(axis=0), 0.0, atol=0.2)

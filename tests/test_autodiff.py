@@ -1,0 +1,216 @@
+"""Unit tests for the reverse-mode autodiff substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import Tape, Variable, check_grad, grad, ops as ad, value_and_grad
+
+
+def finite_floats(shape):
+    return hnp.arrays(
+        np.float64,
+        shape,
+        elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestTape:
+    def test_gradient_of_identity_sum(self):
+        x = Variable(np.array([1.0, 2.0, 3.0]))
+        with Tape() as tape:
+            y = ad.sum(x)
+        (g,) = tape.gradient(y, [x])
+        np.testing.assert_allclose(g, np.ones(3))
+
+    def test_unused_source_gets_zero_gradient(self):
+        x = Variable(np.array([1.0, 2.0]))
+        z = Variable(np.array([5.0, 6.0]))
+        with Tape() as tape:
+            y = ad.sum(x * x)
+        (gx, gz) = tape.gradient(y, [x, z])
+        np.testing.assert_allclose(gx, 2.0 * x.value)
+        np.testing.assert_allclose(gz, np.zeros(2))
+
+    def test_fanout_accumulates(self):
+        x = Variable(2.0)
+        with Tape() as tape:
+            y = x * x + x * x  # x used four times
+        (g,) = tape.gradient(y, [x])
+        np.testing.assert_allclose(g, 8.0)
+
+    def test_no_tape_means_no_recording(self):
+        x = Variable(1.0)
+        y = x + x  # outside any tape: still computes
+        assert y.value == 2.0
+
+    def test_nested_tapes_record_independently(self):
+        x = Variable(3.0)
+        with Tape() as outer:
+            a = x * x
+            with Tape() as inner:
+                b = x * x * x
+            (gi,) = inner.gradient(b, [x])
+        (go,) = outer.gradient(a, [x])
+        np.testing.assert_allclose(gi, 27.0)
+        np.testing.assert_allclose(go, 6.0)
+
+    def test_custom_seed(self):
+        x = Variable(np.array([1.0, 2.0]))
+        with Tape() as tape:
+            y = x * 3.0
+        (g,) = tape.gradient(y, [x], seed=np.array([10.0, 100.0]))
+        np.testing.assert_allclose(g, [30.0, 300.0])
+
+
+class TestOps:
+    @pytest.mark.parametrize(
+        "f",
+        [
+            lambda x: ad.sum(x + x),
+            lambda x: ad.sum(x - 2.0 * x),
+            lambda x: ad.sum(x * x * x),
+            lambda x: ad.sum(x / (2.0 + x * x)),
+            lambda x: ad.sum(-x),
+            lambda x: ad.sum(ad.exp(x)),
+            lambda x: ad.sum(ad.log(x * x + 1.0)),
+            lambda x: ad.sum(ad.log1p(x * x)),
+            lambda x: ad.sum(ad.sqrt(x * x + 1.0)),
+            lambda x: ad.sum(ad.tanh(x)),
+            lambda x: ad.sum(ad.sin(x) * ad.cos(x)),
+            lambda x: ad.sum(ad.sigmoid(x)),
+            lambda x: ad.sum(ad.log_sigmoid(x)),
+            lambda x: ad.sum(x ** 3.0),
+            lambda x: ad.logsumexp(x, axis=-1),
+            lambda x: ad.sum(ad.logsumexp(x * x, axis=0)),
+        ],
+        ids=[
+            "add", "sub", "mul", "div", "neg", "exp", "log", "log1p", "sqrt",
+            "tanh", "sincos", "sigmoid", "log_sigmoid", "pow", "logsumexp",
+            "logsumexp_axis0",
+        ],
+    )
+    def test_against_finite_differences(self, f):
+        rng = np.random.RandomState(0)
+        x = rng.randn(7)
+        check_grad(f, x)
+
+    def test_matmul_matrix_matrix(self):
+        rng = np.random.RandomState(1)
+        a = rng.randn(4, 3)
+        b = rng.randn(3, 5)
+        check_grad(lambda x: ad.sum(ad.matmul(x, b)), a)
+        check_grad(lambda y: ad.sum(ad.matmul(a, y)), b)
+
+    def test_matmul_vector_cases(self):
+        rng = np.random.RandomState(2)
+        m = rng.randn(4, 3)
+        v = rng.randn(3)
+        check_grad(lambda x: ad.sum(ad.matmul(m, x)), v)
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0, 6.0])
+        g = grad(lambda x: ad.sum(ad.where(cond, x, b)))(a)
+        np.testing.assert_allclose(g, [1.0, 0.0, 1.0])
+        g = grad(lambda y: ad.sum(ad.where(cond, a, y)))(b)
+        np.testing.assert_allclose(g, [0.0, 1.0, 0.0])
+
+    def test_dot_last_matches_manual(self):
+        rng = np.random.RandomState(3)
+        x = rng.randn(5, 4)
+        y = rng.randn(5, 4)
+        g = grad(lambda v: ad.sum(ad.dot_last(v, y)))(x)
+        np.testing.assert_allclose(g, y)
+
+    def test_mean(self):
+        x = np.arange(6.0).reshape(2, 3)
+        g = grad(lambda v: ad.mean(v))(x)
+        np.testing.assert_allclose(g, np.full((2, 3), 1.0 / 6.0))
+        g = grad(lambda v: ad.sum(ad.mean(v, axis=0)))(x)
+        np.testing.assert_allclose(g, np.full((2, 3), 0.5))
+
+    def test_sum_axis(self):
+        x = np.arange(6.0).reshape(2, 3)
+        g = grad(lambda v: ad.sum(ad.sum(v, axis=-1) * np.array([1.0, 10.0])))(x)
+        np.testing.assert_allclose(g, [[1.0, 1.0, 1.0], [10.0, 10.0, 10.0]])
+
+    def test_abs(self):
+        x = np.array([-2.0, 3.0])
+        g = grad(lambda v: ad.sum(ad.abs_(v)))(x)
+        np.testing.assert_allclose(g, [-1.0, 1.0])
+
+    def test_log_sigmoid_is_stable_for_large_inputs(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        v, g = value_and_grad(lambda v: ad.sum(ad.log_sigmoid(v)))(x)
+        assert np.isfinite(v)
+        assert np.all(np.isfinite(g))
+
+    def test_sigmoid_is_stable_for_large_inputs(self):
+        x = np.array([-1000.0, 1000.0])
+        v = ad.sigmoid(x).value
+        np.testing.assert_allclose(v, [0.0, 1.0], atol=1e-12)
+
+
+class TestGradAPI:
+    def test_grad_batched_objective_is_per_member(self):
+        # f maps (Z, d) -> (Z,); because members are independent, one
+        # backward sweep computes every member's gradient.
+        rng = np.random.RandomState(4)
+        q = rng.randn(6, 3)
+        g = grad(lambda v: ad.sum(v * v, axis=-1) * -0.5)(q)
+        np.testing.assert_allclose(g, -q)
+
+    def test_value_and_grad_returns_both(self):
+        v, g = value_and_grad(lambda x: ad.sum(x * x))(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(v, 25.0)
+        np.testing.assert_allclose(g, [6.0, 8.0])
+
+    def test_multiple_argnums(self):
+        f = lambda a, b: ad.sum(a * b)
+        v, (ga, gb) = value_and_grad(f, argnums=(0, 1))(
+            np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        )
+        np.testing.assert_allclose(ga, [3.0, 4.0])
+        np.testing.assert_allclose(gb, [1.0, 2.0])
+
+    def test_non_variable_return_raises(self):
+        with pytest.raises(TypeError):
+            grad(lambda x: 3.0)(np.array([1.0]))
+
+    def test_check_grad_catches_wrong_vjp(self):
+        from repro.autodiff.tape import defvjp
+
+        bad_square = defvjp(np.square, lambda r, x: lambda g: g * x)  # missing 2x
+        with pytest.raises(AssertionError):
+            check_grad(lambda x: ad.sum(bad_square(x)), np.array([1.0, 2.0]))
+
+
+class TestGradProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(finite_floats((5,)))
+    def test_linearity_of_gradient(self, x):
+        f = lambda v: ad.sum(2.5 * v)
+        np.testing.assert_allclose(grad(f)(x), np.full(5, 2.5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_floats((4,)), finite_floats((4,)))
+    def test_sum_rule(self, x, y):
+        ga = grad(lambda v: ad.sum(ad.exp(-v * v)))(x)
+        gb = grad(lambda v: ad.sum(ad.tanh(v)))(x)
+        gsum = grad(lambda v: ad.sum(ad.exp(-v * v)) + ad.sum(ad.tanh(v)))(x)
+        np.testing.assert_allclose(gsum, ga + gb, rtol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_floats((3, 4)))
+    def test_batched_objective_rows_independent(self, q):
+        # Perturbing row i must not change row j's gradient.
+        f = lambda v: ad.sum(ad.tanh(v) * v, axis=-1)
+        g0 = grad(f)(q)
+        q2 = q.copy()
+        q2[0] += 1.0
+        g2 = grad(f)(q2)
+        np.testing.assert_allclose(g0[1:], g2[1:])

@@ -1,0 +1,111 @@
+"""Tests for R-hat / ESS diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.nuts.diagnostics import (
+    effective_sample_size,
+    potential_scale_reduction,
+    summarize,
+)
+
+
+def iid_chains(n=500, m=8, dim=2, seed=0):
+    return np.random.RandomState(seed).randn(n, m, dim)
+
+
+class TestRhat:
+    def test_iid_chains_near_one(self):
+        rhat = potential_scale_reduction(iid_chains())
+        assert np.all(rhat < 1.02)
+
+    def test_shifted_chain_detected(self):
+        chains = iid_chains()
+        chains[:, 0, :] += 5.0  # one chain exploring a different mode
+        rhat = potential_scale_reduction(chains)
+        assert np.all(rhat > 1.5)
+
+    def test_within_chain_drift_detected(self):
+        """Split R-hat catches non-stationarity inside a single chain."""
+        n, m = 600, 4
+        chains = np.random.RandomState(1).randn(n, m, 1)
+        chains[:, :, 0] += np.linspace(0.0, 4.0, n)[:, None]  # common drift
+        rhat = potential_scale_reduction(chains)
+        assert rhat[0] > 1.2
+
+    def test_2d_input_promoted(self):
+        chains = iid_chains(dim=1)[:, :, 0]
+        rhat = potential_scale_reduction(chains)
+        assert rhat.shape == (1,)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            potential_scale_reduction(np.zeros(10))
+        with pytest.raises(ValueError):
+            potential_scale_reduction(np.zeros((2, 3, 1)))
+
+
+class TestESS:
+    def test_iid_ess_near_sample_count(self):
+        chains = iid_chains(n=400, m=4, dim=1, seed=2)
+        ess = effective_sample_size(chains)
+        assert ess[0] > 0.5 * 400 * 4
+
+    def test_correlated_chain_has_lower_ess(self):
+        n, m = 800, 4
+        rng = np.random.RandomState(3)
+        chains = np.empty((n, m, 1))
+        for c in range(m):
+            x = 0.0
+            for t in range(n):
+                x = 0.95 * x + rng.randn() * np.sqrt(1 - 0.95**2)
+                chains[t, c, 0] = x
+        ess = effective_sample_size(chains)
+        assert ess[0] < 0.2 * n * m
+
+    def test_anticorrelated_chain_hits_the_cap(self):
+        """Antithetic chains are super-efficient; we cap ESS at n*m."""
+        n, m = 600, 4
+        rng = np.random.RandomState(4)
+        chains = np.empty((n, m, 1))
+        for c in range(m):
+            x = 0.0
+            for t in range(n):
+                x = -0.7 * x + rng.randn() * np.sqrt(1 - 0.49)
+                chains[t, c, 0] = x
+        ess = effective_sample_size(chains)
+        assert ess[0] == pytest.approx(n * m)
+
+    def test_ess_capped(self):
+        # Strongly antithetic chains would give ESS >> n*m; we cap at n*m.
+        n, m = 100, 2
+        t = np.arange(n)
+        base = np.where(t % 2 == 0, 1.0, -1.0)
+        chains = np.stack([base + 0.01 * np.random.RandomState(c).randn(n) for c in range(m)], axis=1)[:, :, None]
+        ess = effective_sample_size(chains)
+        assert ess[0] <= n * m
+
+    def test_per_coordinate(self):
+        chains = iid_chains(n=300, m=4, dim=3, seed=5)
+        # Make coordinate 2 sticky.
+        for c in range(4):
+            for t in range(1, 300):
+                chains[t, c, 2] = 0.97 * chains[t - 1, c, 2] + 0.03 * chains[t, c, 2]
+        ess = effective_sample_size(chains)
+        assert ess[2] < ess[0] and ess[2] < ess[1]
+
+
+class TestSummarize:
+    def test_keys_and_shapes(self):
+        chains = iid_chains(n=200, m=4, dim=3, seed=6)
+        s = summarize(chains)
+        assert set(s) == {"mean", "std", "rhat", "ess"}
+        for key in s:
+            assert s[key].shape == (3,)
+
+    def test_moments_match_numpy(self):
+        chains = iid_chains(n=200, m=4, dim=2, seed=7)
+        s = summarize(chains)
+        flat = chains.reshape(-1, 2)
+        np.testing.assert_allclose(s["mean"], flat.mean(axis=0))
+        np.testing.assert_allclose(s["std"], flat.std(axis=0, ddof=1))

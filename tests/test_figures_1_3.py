@@ -1,0 +1,137 @@
+"""Structural tests for the Figure 1 / Figure 3 runtime-state snapshots."""
+
+import numpy as np
+import pytest
+
+from repro import autobatch
+from repro.vm.local_static import LocalStaticInterpreter
+from repro.vm.program_counter import ProgramCounterVM
+
+
+@autobatch
+def fib_f13(n):
+    if n <= 1:
+        return 1
+    return fib_f13(n - 2) + fib_f13(n - 1)
+
+
+class TestFigure1:
+    """Local static autobatching: the recursion IS the Python stack."""
+
+    def test_activation_stack_grows_with_recursion(self):
+        depths = []
+
+        def on_step(interp, block_index, mask):
+            depths.append(len(interp.frames))
+
+        interp = LocalStaticInterpreter(fib_f13.program, on_step=on_step)
+        out = interp.run([np.array([3, 7, 4, 5])])
+        np.testing.assert_array_equal(out[0], [3, 21, 5, 8])
+        assert max(depths) >= 4          # fib(7) recurses at least this deep
+        assert min(depths) == 1
+        assert interp.frames == []       # all activations unwound
+
+    def test_frames_expose_member_state(self):
+        captured = {}
+
+        def on_step(interp, block_index, mask):
+            if len(interp.frames) == 3 and "snap" not in captured:
+                captured["snap"] = [
+                    {
+                        "active": f["active"].copy(),
+                        "pc": f["pc"].copy(),
+                        "has_n": "n" in f["env"],
+                    }
+                    for f in interp.frames
+                ]
+
+        interp = LocalStaticInterpreter(fib_f13.program, on_step=on_step)
+        interp.run([np.array([3, 7, 4, 5])])
+        snap = captured["snap"]
+        assert len(snap) == 3
+        # Deeper frames serve a subset of the members active above them.
+        for shallow, deep in zip(snap, snap[1:]):
+            assert np.all(~deep["active"] | shallow["active"])
+        assert all(f["has_n"] for f in snap)
+
+    def test_deeper_frames_cannot_batch_with_shallow(self):
+        """Members in different activations never share a primitive call:
+        each call() activation runs its blocks on its own active set."""
+        records = []
+
+        def on_step(interp, block_index, mask):
+            records.append((len(interp.frames), int(mask.sum())))
+
+        interp = LocalStaticInterpreter(fib_f13.program, on_step=on_step)
+        interp.run([np.array([6, 7, 8, 9])])
+        # At least one step deep in the recursion runs with a strict subset
+        # of the batch — the members stranded in other Python frames.
+        assert any(active < 4 for depth, active in records if depth > 1)
+
+
+class TestFigure3:
+    """Program-counter autobatching: recursion is data, not control."""
+
+    @pytest.fixture()
+    def paused_vm(self):
+        vm = ProgramCounterVM(
+            fib_f13.stack_program(optimize=True),
+            batch_size=4,
+            max_stack_depth=16,
+        )
+        vm.bind_inputs([np.array([6, 7, 8, 9])])
+        vm.scheduler.reset()
+        for _ in range(40):
+            if not vm.step():
+                break
+        return vm
+
+    def test_snapshot_shape(self, paused_vm):
+        snap = paused_vm.snapshot()
+        assert snap["program_counter"].shape == (4,)
+        assert len(snap["pc_stack"]["frames"]) == 4
+        # fib's lowering leaves exactly n and the first call's result stacked,
+        # as in the paper's Figure 3 (n and left).
+        stacked = set(snap["variable_stacks"])
+        assert "fib_f13.n" in stacked
+
+    def test_members_at_different_depths(self, paused_vm):
+        snap = paused_vm.snapshot()
+        depths = snap["pc_stack"]["stack_pointers"]
+        assert len(set(depths.tolist())) > 1  # genuinely divergent stack depths
+
+    def test_n_stack_frames_match_stack_pointers(self, paused_vm):
+        snap = paused_vm.snapshot()
+        data = snap["variable_stacks"]["fib_f13.n"]
+        for member, frames in enumerate(data["frames"]):
+            assert len(frames) == data["stack_pointers"][member] + 1
+
+    def test_resume_after_snapshot_is_correct(self, paused_vm):
+        paused_vm.snapshot()
+        while paused_vm.step():
+            pass
+        np.testing.assert_array_equal(paused_vm.outputs()[0], [13, 21, 34, 55])
+
+    def test_batches_across_depths(self):
+        """The headline: one block execution serves members whose stacks
+        differ in depth (impossible for the local machine)."""
+        vm = ProgramCounterVM(
+            fib_f13.stack_program(optimize=True),
+            batch_size=4,
+            max_stack_depth=16,
+        )
+        vm.bind_inputs([np.array([6, 7, 8, 9])])
+        vm.scheduler.reset()
+        found = False
+        while vm.step():
+            mask = None  # step already executed; inspect current state
+            depths = vm.addr_stack.sp
+            pcs = vm.pcreg
+            for block in set(pcs.tolist()):
+                members = np.flatnonzero(pcs == block)
+                if len(members) > 1 and len(set(depths[members].tolist())) > 1:
+                    found = True
+                    break
+            if found:
+                break
+        assert found, "no step batched members at different stack depths"

@@ -1,0 +1,121 @@
+"""Physics tests for the leapfrog integrator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nuts.leapfrog import hamiltonian, kinetic_energy, leapfrog
+from repro.targets import CorrelatedGaussian
+
+
+@pytest.fixture(scope="module")
+def target():
+    return CorrelatedGaussian(dim=3, rho=0.4)
+
+
+class TestLeapfrog:
+    def test_single_and_batched_agree(self, target):
+        rng = np.random.RandomState(0)
+        q = rng.randn(5, 3)
+        p = rng.randn(5, 3)
+        qb, pb = leapfrog(q, p, 0.1, target.grad_log_prob, n_steps=3)
+        for b in range(5):
+            q1, p1 = leapfrog(q[b], p[b], 0.1, target.grad_log_prob, n_steps=3)
+            np.testing.assert_allclose(qb[b], q1)
+            np.testing.assert_allclose(pb[b], p1)
+
+    def test_per_member_step_sizes(self, target):
+        rng = np.random.RandomState(1)
+        q = rng.randn(4, 3)
+        p = rng.randn(4, 3)
+        steps = np.array([0.05, 0.1, -0.05, 0.2])
+        qb, pb = leapfrog(q, p, steps, target.grad_log_prob, n_steps=2)
+        for b in range(4):
+            q1, p1 = leapfrog(q[b], p[b], steps[b], target.grad_log_prob, n_steps=2)
+            np.testing.assert_allclose(qb[b], q1)
+            np.testing.assert_allclose(pb[b], p1)
+
+    def test_reversibility(self, target):
+        """Integrating forward then backward returns to the start."""
+        rng = np.random.RandomState(2)
+        q0 = rng.randn(3)
+        p0 = rng.randn(3)
+        q1, p1 = leapfrog(q0, p0, 0.1, target.grad_log_prob, n_steps=7)
+        q2, p2 = leapfrog(q1, p1, -0.1, target.grad_log_prob, n_steps=7)
+        np.testing.assert_allclose(q2, q0, atol=1e-10)
+        np.testing.assert_allclose(p2, p0, atol=1e-10)
+
+    def test_momentum_flip_reversibility(self, target):
+        """The classical form: flip momentum, integrate, flip again."""
+        rng = np.random.RandomState(3)
+        q0, p0 = rng.randn(3), rng.randn(3)
+        q1, p1 = leapfrog(q0, p0, 0.1, target.grad_log_prob, n_steps=5)
+        q2, p2 = leapfrog(q1, -p1, 0.1, target.grad_log_prob, n_steps=5)
+        np.testing.assert_allclose(q2, q0, atol=1e-10)
+        np.testing.assert_allclose(-p2, p0, atol=1e-10)
+
+    def test_energy_conservation_scales_with_step(self, target):
+        """Leapfrog is second order: energy error ~ O(eps^2)."""
+        rng = np.random.RandomState(4)
+        q0, p0 = rng.randn(3), rng.randn(3)
+        h0 = hamiltonian(q0, p0, target.log_prob)
+
+        def error(eps, total_time=1.0):
+            n = int(round(total_time / eps))
+            q1, p1 = leapfrog(q0, p0, eps, target.grad_log_prob, n_steps=n)
+            return abs(float(hamiltonian(q1, p1, target.log_prob) - h0))
+
+        coarse = error(0.1)
+        fine = error(0.025)
+        assert fine < coarse / 4  # at least ~quadratic improvement
+
+    def test_volume_preservation_2d(self):
+        """The Jacobian of one leapfrog step has determinant one."""
+        target = CorrelatedGaussian(dim=2, rho=0.3)
+        q0 = np.array([0.3, -0.2])
+        p0 = np.array([0.7, 0.1])
+        eps_fd = 1e-6
+
+        def flow(x):
+            q, p = leapfrog(x[:2], x[2:], 0.2, target.grad_log_prob, n_steps=1)
+            return np.concatenate([q, p])
+
+        x0 = np.concatenate([q0, p0])
+        jac = np.empty((4, 4))
+        for i in range(4):
+            bump = np.zeros(4)
+            bump[i] = eps_fd
+            jac[:, i] = (flow(x0 + bump) - flow(x0 - bump)) / (2 * eps_fd)
+        assert np.linalg.det(jac) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_steps_rejected(self, target):
+        with pytest.raises(ValueError):
+            leapfrog(np.zeros(3), np.zeros(3), 0.1, target.grad_log_prob, n_steps=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 8))
+    def test_n_steps_composes(self, n):
+        """n steps in one call equals n calls of one step."""
+        target = CorrelatedGaussian(dim=2, rho=0.5)
+        rng = np.random.RandomState(5)
+        q0, p0 = rng.randn(2), rng.randn(2)
+        q1, p1 = leapfrog(q0, p0, 0.05, target.grad_log_prob, n_steps=n)
+        q2, p2 = q0, p0
+        for _ in range(n):
+            q2, p2 = leapfrog(q2, p2, 0.05, target.grad_log_prob, n_steps=1)
+        np.testing.assert_allclose(q1, q2, atol=1e-12)
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+
+class TestEnergyHelpers:
+    def test_kinetic_energy_batched(self):
+        p = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(kinetic_energy(p), [12.5, 0.0])
+
+    def test_hamiltonian_is_logp_minus_ke(self):
+        target = CorrelatedGaussian(dim=2, rho=0.1)
+        q = np.array([0.5, -0.5])
+        p = np.array([1.0, 2.0])
+        expected = target.log_prob(q) - 2.5
+        np.testing.assert_allclose(hamiltonian(q, p, target.log_prob), expected)

@@ -1,0 +1,110 @@
+"""Tests for the hybrid strategy: local static control + fused blocks."""
+
+import numpy as np
+import pytest
+
+from repro.backend.local_fusion import compile_local_executors
+from repro.frontend.registry import default_registry
+from repro.ir.instructions import CallOp
+from repro.nuts import NutsKernel
+from repro.targets import CorrelatedGaussian
+from repro.vm.local_static import LocalStaticInterpreter
+
+from .programs import ALL_EXAMPLES, fib, gcd, use_divmod
+
+
+class TestSegmentation:
+    def test_pure_blocks_become_single_segment(self):
+        plans = compile_local_executors(gcd.ir, default_registry, batch_size=4)
+        for block, plan in zip(gcd.ir.blocks, plans):
+            call_count = sum(isinstance(op, CallOp) for op in block.ops)
+            assert call_count == 0
+            assert len(plan) <= 1  # at most one fused closure, no calls
+
+    def test_calls_split_segments(self):
+        plans = compile_local_executors(fib.ir, default_registry, batch_size=4)
+        recursive_block = fib.ir.blocks[-1]  # the two-call else branch
+        call_count = sum(isinstance(op, CallOp) for op in recursive_block.ops)
+        assert call_count == 2
+        plan = plans[len(fib.ir.blocks) - 1]
+        assert sum(isinstance(seg, CallOp) for seg in plan) == 2
+        # Fused segments interleave with the calls.
+        assert any(callable(seg) and not isinstance(seg, CallOp) for seg in plan)
+
+    def test_fused_source_is_attached(self):
+        plans = compile_local_executors(gcd.ir, default_registry, batch_size=4)
+        for plan in plans:
+            for seg in plan:
+                if callable(seg) and not isinstance(seg, CallOp):
+                    assert "def _fused_" in seg.__fused_source__
+
+
+class TestHybridDifferential:
+    @pytest.mark.parametrize(
+        "name", ["fib", "ackermann", "gcd", "collatz_steps", "use_divmod",
+                 "recursive_pair", "loop_calling", "newton_sqrt", "rng_walk"]
+    )
+    def test_hybrid_matches_reference(self, name):
+        fn, inputs = ALL_EXAMPLES[name]
+        expected = fn.run_reference(*inputs)
+        actual = fn.run_local(*inputs, fuse_blocks=True)
+        if isinstance(expected, tuple):
+            for e, a in zip(expected, actual):
+                np.testing.assert_array_equal(e, a)
+        else:
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_gather_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LocalStaticInterpreter(gcd.program, mode="gather", fuse_blocks=True)
+
+    def test_hybrid_nuts_bitwise_identical(self):
+        target = CorrelatedGaussian(dim=4, rho=0.5)
+        kernel = NutsKernel(target)
+        q0 = target.initial_state(5, seed=1)
+        ref = kernel.run(q0, step_size=0.15, n_trajectories=3, max_depth=4,
+                         seed=2, strategy="reference")
+        hyb = kernel.run(q0, step_size=0.15, n_trajectories=3, max_depth=4,
+                         seed=2, strategy="hybrid")
+        np.testing.assert_allclose(hyb.positions, ref.positions)
+        np.testing.assert_allclose(hyb.grad_evals, ref.grad_evals)
+
+
+class TestHybridDispatchCount:
+    def test_hybrid_dispatches_per_segment_not_per_op(self):
+        """The point of fusion: one dispatch per straight-line run instead of
+        one per primitive.  Count runtime segment executions against the
+        eager interpreter's per-primitive kernel calls."""
+        from repro.vm.instrumentation import Instrumentation
+
+        inputs = (np.array([20, 35, 50]), np.array([12, 25, 15]))
+        eager_instr = Instrumentation()
+        eager = LocalStaticInterpreter(gcd.program, instrumentation=eager_instr)
+        eager.run(list(inputs))
+        assert eager_instr.kernel_calls > 0
+
+        dispatches = [0]
+        hybrid = LocalStaticInterpreter(gcd.program, fuse_blocks=True)
+        plans = hybrid._plans_for(gcd.program.main, 3)
+        for plan in plans:
+            for i, seg in enumerate(plan):
+                if callable(seg) and not isinstance(seg, CallOp):
+                    def counted(storage, mask, _seg=seg):
+                        dispatches[0] += 1
+                        return _seg(storage, mask)
+
+                    plan[i] = counted
+        hybrid.run(list(inputs))
+        assert 0 < dispatches[0] < eager_instr.kernel_calls
+
+    def test_segments_cover_multi_op_blocks(self):
+        """Blocks with several primitives fuse to a single closure."""
+        plans = compile_local_executors(gcd.ir, default_registry, batch_size=3)
+        multi_op = [
+            (block, plan)
+            for block, plan in zip(gcd.ir.blocks, plans)
+            if len([op for op in block.ops if not isinstance(op, CallOp)]) >= 2
+        ]
+        assert multi_op, "corpus lost its multi-op block"
+        for block, plan in multi_op:
+            assert len(plan) == 1

@@ -1,0 +1,195 @@
+"""Unit and property tests for the built-in batched primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import primitives as P
+from repro.frontend.registry import default_registry
+
+
+class TestAlignment:
+    def test_scalar_times_vector_batched(self):
+        s = np.array([2.0, 3.0])            # (Z,)
+        v = np.array([[1.0, 2.0], [3.0, 4.0]])  # (Z, d)
+        out = P.mul(s, v)
+        np.testing.assert_array_equal(out, [[2.0, 4.0], [9.0, 12.0]])
+
+    def test_scalar_times_vector_unbatched(self):
+        out = P.mul(2.0, np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(out, [2.0, 4.0])
+
+    def test_select_broadcasts_condition(self):
+        c = np.array([True, False])
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([[2.0, 2.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(P.select(c, a, b), [[1.0, 1.0], [2.0, 2.0]])
+
+    def test_comparison_on_scalars(self):
+        assert P.lt(1.0, 2.0)
+        assert not P.lt(np.array([3.0]), np.array([2.0]))[0]
+
+
+class TestReductions:
+    def test_dot_batched(self):
+        x = np.array([[1.0, 2.0], [0.0, 3.0]])
+        np.testing.assert_array_equal(P.dot(x, x), [5.0, 9.0])
+
+    def test_dot_unbatched(self):
+        assert P.dot(np.array([3.0, 4.0]), np.array([3.0, 4.0])) == 25.0
+
+    def test_norm_sq_matches_dot(self):
+        x = np.random.default_rng(0).normal(size=(4, 7))
+        np.testing.assert_allclose(P.norm_sq(x), P.dot(x, x))
+
+    def test_sum_max_min_last(self):
+        x = np.array([[1.0, -2.0, 3.0]])
+        assert P.sum_last(x)[0] == 2.0
+        assert P.max_last(x)[0] == 3.0
+        assert P.min_last(x)[0] == -2.0
+
+
+class TestSigmoid:
+    def test_extreme_values_stable(self):
+        out = P.sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_matches_naive_in_moderate_range(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(P.sigmoid(x), 1 / (1 + np.exp(-x)), rtol=1e-12)
+
+
+class TestCasts:
+    def test_to_int_floors_floats(self):
+        np.testing.assert_array_equal(
+            P.to_int(np.array([1.9, -1.1, 0.0])), [1, -2, 0]
+        )
+
+    def test_to_int_passes_ints(self):
+        out = P.to_int(np.array([3, -4]))
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [3, -4])
+
+    def test_to_float_bool(self):
+        np.testing.assert_array_equal(P.to_float(np.array([True, False])), [1.0, 0.0])
+
+
+class TestRegistryContents:
+    @pytest.mark.parametrize(
+        "name",
+        ["add", "sub", "mul", "div", "where", "select", "dot", "id",
+         "runif", "rnorm_like", "rng_next", "exp", "log", "sigmoid"],
+    )
+    def test_builtin_registered(self, name):
+        assert name in default_registry
+
+    def test_id_copies(self):
+        x = np.array([1.0, 2.0])
+        y = default_registry.get("id").fn(x)
+        y[0] = 99.0
+        assert x[0] == 1.0
+
+    def test_rng_tags(self):
+        assert "rng" in default_registry.get("runif").tags
+
+
+class TestCounterRNG:
+    def test_deterministic(self):
+        ctr = P.make_counters(0, 8)
+        np.testing.assert_array_equal(P._runif(ctr), P._runif(ctr))
+
+    def test_member_streams_differ(self):
+        ctr = P.make_counters(0, 100)
+        u = P._runif(ctr)
+        assert len(np.unique(u)) == 100
+
+    def test_seed_changes_streams(self):
+        a = P._runif(P.make_counters(1, 10))
+        b = P._runif(P.make_counters(2, 10))
+        assert not np.allclose(a, b)
+
+    def test_uniform_in_open_interval(self):
+        ctr = P.make_counters(3, 10000)
+        u = P._runif(ctr)
+        assert np.all(u > 0.0) and np.all(u < 1.0)
+
+    def test_uniform_moments(self):
+        ctr = P.make_counters(4, 200_000)
+        u = P._runif(ctr)
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1 / 12) < 0.005
+
+    def test_normal_moments(self):
+        ctr = P.make_counters(5, 4)
+        draws = P._rnorm_like(ctr, np.zeros((4, 50_000)))
+        flat = draws.ravel()
+        assert abs(flat.mean()) < 0.02
+        assert abs(flat.std() - 1.0) < 0.02
+
+    def test_normal_shape_follows_template(self):
+        ctr = P.make_counters(6, 3)
+        out = P._rnorm_like(ctr, np.zeros((3, 5)))
+        assert out.shape == (3, 5)
+        out_scalar = P._rnorm_like(ctr, np.zeros(3))
+        assert out_scalar.shape == (3,)
+
+    def test_unbatched_scalar_draw(self):
+        u = P._runif(np.uint64(12345))
+        assert np.ndim(u) == 0
+        assert 0.0 < float(u) < 1.0
+
+    def test_successive_counters_decorrelated(self):
+        base = P.make_counters(7, 1)[0]
+        ctrs = base + np.arange(10000, dtype=np.uint64)
+        u = P._runif(ctrs)
+        lag1 = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(lag1) < 0.03
+
+    def test_splitmix_bijective_no_collisions(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        z = P._splitmix64(x)
+        assert len(np.unique(z)) == len(x)
+
+    def test_vector_draw_uses_distinct_elements(self):
+        ctr = P.make_counters(8, 2)
+        out = P._rnorm_like(ctr, np.zeros((2, 64)))
+        assert len(np.unique(out)) == out.size
+
+    def test_rng_next_advances(self):
+        ctr = P.make_counters(9, 4)
+        nxt = P._rng_next(ctr)
+        np.testing.assert_array_equal(nxt, ctr + np.uint64(1))
+        assert not np.allclose(P._runif(ctr), P._runif(nxt))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8),
+    y=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8),
+)
+def test_binary_ops_match_numpy_semantics(x, y):
+    """Property: same-rank batched ops agree with raw numpy."""
+    n = min(len(x), len(y))
+    a, b = np.array(x[:n]), np.array(y[:n])
+    np.testing.assert_allclose(P.add(a, b), a + b)
+    np.testing.assert_allclose(P.sub(a, b), a - b)
+    np.testing.assert_allclose(P.mul(a, b), a * b)
+    np.testing.assert_array_equal(P.lt(a, b), a < b)
+    np.testing.assert_array_equal(P.maximum(a, b), np.maximum(a, b))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    s=st.lists(st.floats(-100, 100), min_size=2, max_size=4),
+    d=st.integers(1, 5),
+)
+def test_scale_alignment_property(s, d):
+    """Property: (Z,) op (Z,d) right-pads — equals per-member scalar ops."""
+    z = len(s)
+    scal = np.array(s)
+    vec = np.arange(z * d, dtype=float).reshape(z, d)
+    out = P.mul(scal, vec)
+    expected = np.stack([s_i * vec[i] for i, s_i in enumerate(s)])
+    np.testing.assert_allclose(out, expected)

@@ -1,0 +1,189 @@
+"""Tests for the target densities: analytic vs autodiff vs finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.frontend.registry import PrimitiveRegistry
+from repro.targets import (
+    BayesianLogisticRegression,
+    CorrelatedGaussian,
+    NealsFunnel,
+    Rosenbrock,
+)
+
+# Small instances keep the suite fast; sizes are exercised elsewhere.
+TARGETS = [
+    CorrelatedGaussian(dim=5, rho=0.7),
+    BayesianLogisticRegression(n_data=50, n_features=4, seed=1),
+    NealsFunnel(dim=4),
+    Rosenbrock(dim=3),
+]
+IDS = [type(t).__name__ for t in TARGETS]
+
+
+def finite_diff_grad(f, q, eps=1e-6):
+    q = np.asarray(q, dtype=np.float64)
+    g = np.zeros_like(q)
+    for i in range(q.size):
+        bump = np.zeros_like(q)
+        bump.flat[i] = eps
+        g.flat[i] = (f(q + bump) - f(q - bump)) / (2.0 * eps)
+    return g
+
+
+@pytest.mark.parametrize("target", TARGETS, ids=IDS)
+class TestEveryTarget:
+    def test_analytic_grad_matches_finite_differences(self, target):
+        rng = np.random.RandomState(0)
+        for _ in range(3):
+            q = rng.randn(target.dim)
+            fd = finite_diff_grad(lambda v: float(target.log_prob(v)), q)
+            np.testing.assert_allclose(
+                target.grad_log_prob(q), fd, rtol=1e-4, atol=1e-5
+            )
+
+    def test_analytic_grad_matches_autodiff(self, target):
+        rng = np.random.RandomState(1)
+        q = rng.randn(6, target.dim)
+        np.testing.assert_allclose(
+            target.grad_log_prob(q),
+            target.grad_log_prob_autodiff(q),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+    def test_batched_matches_loop(self, target):
+        rng = np.random.RandomState(2)
+        q = rng.randn(5, target.dim)
+        batched_lp = target.log_prob(q)
+        batched_gr = target.grad_log_prob(q)
+        for b in range(5):
+            np.testing.assert_allclose(batched_lp[b], target.log_prob(q[b]))
+            np.testing.assert_allclose(batched_gr[b], target.grad_log_prob(q[b]))
+
+    def test_initial_state_shape(self, target):
+        q0 = target.initial_state(batch_size=7, seed=3)
+        assert q0.shape == (7, target.dim)
+        assert np.all(np.isfinite(target.log_prob(q0)))
+
+    def test_primitives_register_once_and_run(self, target):
+        registry = PrimitiveRegistry()
+        prims = target.primitives(registry)
+        assert prims is target.primitives(registry)  # cached
+        q = target.initial_state(4, seed=4)
+        np.testing.assert_allclose(prims.log_prob.fn(q), target.log_prob(q))
+        np.testing.assert_allclose(prims.grad_log_prob.fn(q), target.grad_log_prob(q))
+        assert "gradient" in prims.grad_log_prob.tags
+
+    def test_grad_cost_positive(self, target):
+        assert target.grad_flops_per_member() > 0
+        assert target.logp_flops_per_member() > 0
+
+
+class TestCorrelatedGaussian:
+    def test_paper_size_constructs(self):
+        t = CorrelatedGaussian(dim=100)
+        assert t.covariance.shape == (100, 100)
+        # Covariance must be positive definite (Cholesky succeeded).
+        assert np.all(np.linalg.eigvalsh(t.covariance) > 0)
+
+    def test_mode_is_mu(self):
+        t = CorrelatedGaussian(dim=4, rho=0.5, mu=np.array([1.0, -2.0, 0.5, 3.0]))
+        np.testing.assert_allclose(t.grad_log_prob(t.mu), np.zeros(4), atol=1e-12)
+        assert t.log_prob(t.mu) == pytest.approx(0.0)
+
+    def test_log_prob_decreases_away_from_mode(self):
+        t = CorrelatedGaussian(dim=3, rho=0.2)
+        assert t.log_prob(np.ones(3)) < t.log_prob(np.zeros(3))
+
+    def test_sample_exact_moments(self):
+        t = CorrelatedGaussian(dim=3, rho=0.8)
+        draws = t.sample_exact(200_000, seed=5)
+        np.testing.assert_allclose(draws.mean(axis=0), t.mu, atol=0.01)
+        np.testing.assert_allclose(np.cov(draws.T), t.covariance, atol=0.02)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedGaussian(dim=3, rho=1.0)
+
+    def test_invalid_mu_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedGaussian(dim=3, mu=np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64, (4,), elements=st.floats(-5, 5, allow_nan=False)
+        )
+    )
+    def test_log_prob_bounded_above_by_mode(self, q):
+        t = CorrelatedGaussian(dim=4, rho=0.6)
+        assert t.log_prob(q) <= t.log_prob(t.mu) + 1e-12
+
+
+class TestLogisticRegression:
+    def test_paper_size_constructs(self):
+        t = BayesianLogisticRegression()  # 10k x 100 default
+        assert t.features.shape == (10_000, 100)
+        assert t.labels.shape == (10_000,)
+        assert set(np.unique(t.labels)) <= {0.0, 1.0}
+
+    def test_true_weights_have_high_accuracy(self):
+        t = BayesianLogisticRegression(n_data=2000, n_features=10, seed=2)
+        assert t.accuracy(t.true_weights) > 0.6
+        assert t.accuracy(t.true_weights) > t.accuracy(np.zeros(10)) - 0.5
+
+    def test_log_prob_stable_for_extreme_weights(self):
+        t = BayesianLogisticRegression(n_data=100, n_features=5, seed=3)
+        q = np.full(5, 100.0)
+        assert np.isfinite(t.log_prob(q))
+        assert np.all(np.isfinite(t.grad_log_prob(q)))
+
+    def test_posterior_peaks_near_true_weights(self):
+        t = BayesianLogisticRegression(n_data=5000, n_features=3, seed=4)
+        assert t.log_prob(t.true_weights) > t.log_prob(-t.true_weights)
+
+    def test_prior_scale_pulls_toward_origin(self):
+        tight = BayesianLogisticRegression(n_data=10, n_features=3, prior_scale=0.01, seed=5)
+        # With a minuscule prior scale the gradient at any sizeable q points
+        # strongly back toward the origin.
+        q = np.ones(3)
+        g = tight.grad_log_prob(q)
+        assert np.all(g < 0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianLogisticRegression(n_data=0)
+        with pytest.raises(ValueError):
+            BayesianLogisticRegression(prior_scale=0.0)
+
+
+class TestFunnelAndRosenbrock:
+    def test_funnel_exact_sampler_moments(self):
+        t = NealsFunnel(dim=3, scale=1.5)
+        draws = t.sample_exact(300_000, seed=6)
+        assert draws[:, 0].std() == pytest.approx(1.5, rel=0.02)
+        assert abs(draws.mean(axis=0)).max() < 0.05
+
+    def test_funnel_requires_dim_2(self):
+        with pytest.raises(ValueError):
+            NealsFunnel(dim=1)
+
+    def test_rosenbrock_mode(self):
+        t = Rosenbrock(dim=2, a=1.0, b=100.0)
+        mode = np.array([1.0, 1.0])  # the classic minimum of the Rosenbrock fn
+        np.testing.assert_allclose(t.grad_log_prob(mode), 0.0, atol=1e-12)
+        assert t.log_prob(mode) == pytest.approx(0.0)
+
+    def test_rosenbrock_requires_dim_2(self):
+        with pytest.raises(ValueError):
+            Rosenbrock(dim=1)
+
+    def test_temperature_scales_density(self):
+        cold = Rosenbrock(dim=2, temperature=1.0)
+        warm = Rosenbrock(dim=2, temperature=10.0)
+        q = np.array([0.0, 2.0])
+        np.testing.assert_allclose(cold.log_prob(q), 10.0 * warm.log_prob(q))

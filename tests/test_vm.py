@@ -1,0 +1,213 @@
+"""Unit tests for VM internals: schedulers, instrumentation, storage, errors."""
+
+import numpy as np
+import pytest
+
+from repro.vm.instrumentation import Instrumentation
+from repro.vm.local_static import ExecutionLimitExceeded, run_local_static
+from repro.vm.program_counter import ProgramCounterVM, run_program_counter
+from repro.vm.scheduler import (
+    EarliestBlockScheduler,
+    MostActiveScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.vm.stack import StackOverflowError
+from repro.vm.state import RegisterStorage, StackedStorage, UninitializedRead
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+
+from .programs import fib, gcd, rng_walk
+
+
+class TestSchedulers:
+    def test_earliest(self):
+        s = EarliestBlockScheduler()
+        assert s.select(np.array([3, 1, 5]), exit_index=6) == 1
+        assert s.select(np.array([6, 6]), exit_index=6) is None
+
+    def test_earliest_ignores_halted(self):
+        s = EarliestBlockScheduler()
+        assert s.select(np.array([6, 2, 6]), exit_index=6) == 2
+
+    def test_most_active(self):
+        s = MostActiveScheduler()
+        assert s.select(np.array([2, 2, 5, 2, 5]), exit_index=6) == 2
+        assert s.select(np.array([6, 6]), exit_index=6) is None
+
+    def test_most_active_tie_breaks_earliest(self):
+        s = MostActiveScheduler()
+        assert s.select(np.array([4, 1, 4, 1]), exit_index=6) == 1
+
+    def test_round_robin_cycles(self):
+        s = RoundRobinScheduler()
+        pcs = np.array([0, 2, 4])
+        picks = [s.select(pcs, 6) for _ in range(4)]
+        assert picks == [0, 2, 4, 0]
+
+    def test_round_robin_reset(self):
+        s = RoundRobinScheduler()
+        s.select(np.array([0, 2]), 6)
+        s.reset()
+        assert s.select(np.array([0, 2]), 6) == 0
+
+    def test_make_scheduler_specs(self):
+        assert isinstance(make_scheduler("earliest"), EarliestBlockScheduler)
+        assert isinstance(make_scheduler(MostActiveScheduler), MostActiveScheduler)
+        rr = RoundRobinScheduler()
+        assert make_scheduler(rr) is rr
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("bogus")
+
+    def test_all_schedulers_terminate_fib(self):
+        batch = np.array([5, 9, 2])
+        expected = fib.run_reference(batch)
+        for name in ("earliest", "most_active", "round_robin"):
+            out = fib.run_pc(batch, scheduler=name)
+            np.testing.assert_array_equal(out, expected)
+
+
+class TestInstrumentation:
+    def test_counts_populated(self):
+        instr = Instrumentation()
+        fib.run_pc(np.array([8, 3, 5, 1]), instrumentation=instr)
+        assert instr.steps > 0
+        assert instr.kernel_calls > 0
+        assert instr.push_lanes == instr.pop_lanes  # per-lane balanced stacks
+        assert 0.0 < instr.utilization() <= 1.0
+
+    def test_batch_of_one_full_utilization(self):
+        instr = Instrumentation()
+        fib.run_pc(np.array([9]), instrumentation=instr)
+        assert instr.utilization() == 1.0
+
+    def test_divergent_batch_wastes_slots(self):
+        instr = Instrumentation()
+        fib.run_pc(np.array([1, 12]), instrumentation=instr)
+        assert instr.utilization() < 1.0
+
+    def test_gather_mode_counts_only_active_slots(self):
+        masked, gathered = Instrumentation(), Instrumentation()
+        batch = np.array([1, 12, 4])
+        fib.run_pc(batch, mode="mask", instrumentation=masked)
+        fib.run_pc(batch, mode="gather", instrumentation=gathered)
+        assert gathered.utilization() == 1.0
+        assert masked.utilization() < 1.0
+        # Same work was useful in both:
+        total_active_m = sum(c.active for c in masked.by_prim.values())
+        total_active_g = sum(c.active for c in gathered.by_prim.values())
+        assert total_active_m == total_active_g
+
+    def test_tag_accounting(self):
+        instr = Instrumentation()
+        from repro import ops
+
+        rng_walk.run_pc(
+            ops.make_counters(0, 3), np.array([2, 5, 9]), instrumentation=instr
+        )
+        assert instr.count(tag="rng").executions > 0
+        assert "tag rng" in instr.summary()
+
+    def test_local_static_instrumentation(self):
+        instr = Instrumentation()
+        fib.run_local(np.array([2, 9]), instrumentation=instr)
+        assert instr.steps > 0
+        assert instr.pushes == 0  # Algorithm 1 has no explicit stacks
+
+
+class TestStorage:
+    def test_register_uninitialized_read(self):
+        st = RegisterStorage("v", 3)
+        with pytest.raises(UninitializedRead, match="'v'"):
+            st.read()
+
+    def test_register_event_shape_fixed(self):
+        st = RegisterStorage("v", 2)
+        st.write(np.ones(2, bool), np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="event shape"):
+            st.write(np.ones(2, bool), np.zeros((2, 4)))
+
+    def test_register_dtype_promotion(self):
+        st = RegisterStorage("v", 2)
+        st.write(np.ones(2, bool), np.array([1, 2]))
+        st.write(np.array([True, False]), np.array([0.5, 0.5]))
+        assert st.read().dtype == np.float64
+        np.testing.assert_allclose(st.read(), [0.5, 2.0])
+
+    def test_stacked_uninitialized(self):
+        st = StackedStorage("v", 2, depth=4)
+        with pytest.raises(UninitializedRead):
+            st.read()
+        with pytest.raises(UninitializedRead):
+            st.pop(np.ones(2, bool))
+
+    def test_stacked_write_then_push_pop(self):
+        st = StackedStorage("v", 2, depth=4)
+        st.write(np.ones(2, bool), np.array([1.0, 2.0]))
+        st.push(np.ones(2, bool), np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(st.read(), [3.0, 4.0])
+        st.pop(np.ones(2, bool))
+        np.testing.assert_array_equal(st.read(), [1.0, 2.0])
+
+    def test_stacked_dtype_promotion(self):
+        st = StackedStorage("v", 2, depth=4)
+        st.write(np.ones(2, bool), np.array([1, 2]))
+        st.write(np.ones(2, bool), np.array([1.5, 2.5]))
+        assert st.read().dtype == np.float64
+
+
+class TestVMErrors:
+    def test_stack_depth_exhausted(self):
+        with pytest.raises(StackOverflowError, match="max_stack_depth"):
+            fib.run_pc(np.array([20]), max_stack_depth=3)
+
+    def test_max_steps_guard_pc(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            fib.run_pc(np.array([15]), max_steps=10)
+
+    def test_max_steps_guard_local(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            fib.run_local(np.array([15]), max_steps=10)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            fib.run_pc(np.array([3]), mode="telepathy")
+        with pytest.raises(ValueError, match="mode"):
+            fib.run_local(np.array([3]), mode="telepathy")
+
+    def test_wrong_input_count(self):
+        with pytest.raises(ValueError, match="inputs"):
+            run_program_counter(fib.stack_program(), [np.array([1]), np.array([2])])
+
+    def test_no_inputs(self):
+        with pytest.raises(ValueError, match="at least one input"):
+            run_program_counter(fib.stack_program(), [])
+
+
+class TestSnapshots:
+    def test_pc_snapshot_shape(self):
+        sp = fib.stack_program()
+        vm = ProgramCounterVM(sp, batch_size=4, max_stack_depth=16)
+        vm.bind_inputs([np.array([6, 7, 8, 9])])
+        for _ in range(25):
+            if not vm.step():
+                break
+        snap = vm.snapshot()
+        assert snap["program_counter"].shape == (4,)
+        assert "fib.n" in snap["variable_stacks"]
+        depths = snap["variable_stacks"]["fib.n"]["stack_pointers"]
+        assert depths.shape == (4,)
+
+    def test_snapshot_shows_divergent_depths(self):
+        """Mid-run, different members sit at different stack depths —
+        precisely the state Figure 3 illustrates."""
+        sp = fib.stack_program()
+        vm = ProgramCounterVM(sp, batch_size=4, max_stack_depth=16)
+        vm.bind_inputs([np.array([2, 12, 4, 9])])
+        seen_divergence = False
+        while vm.step():
+            sps = vm.snapshot()["variable_stacks"]
+            if "fib.n" in sps:
+                sp_vals = sps["fib.n"]["stack_pointers"]
+                if len(np.unique(sp_vals)) > 1:
+                    seen_divergence = True
+        assert seen_divergence
