@@ -14,6 +14,9 @@ Public API
 * :mod:`repro.nuts` — the No U-Turn Sampler written in the autobatchable
   subset, plus baselines and diagnostics.
 * :mod:`repro.bench` — the harness regenerating the paper's Figures 5 and 6.
+* :mod:`repro.serve` — a continuous-batching serving engine: streaming
+  requests recycled through the program-counter machine's lanes
+  (``fn.serve(num_lanes)`` on any autobatched function).
 """
 
 from repro.frontend import (
@@ -24,10 +27,11 @@ from repro.frontend import (
     default_registry,
     primitive,
 )
+from repro.serve import Engine, QueueFullError, StepBudgetExceeded
 from repro.vm import Instrumentation
 from repro import ops
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutobatchFunction",
@@ -36,6 +40,9 @@ __all__ = [
     "autobatch",
     "default_registry",
     "primitive",
+    "Engine",
+    "QueueFullError",
+    "StepBudgetExceeded",
     "Instrumentation",
     "ops",
     "__version__",

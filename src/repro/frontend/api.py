@@ -148,6 +148,26 @@ class AutobatchFunction:
             **options,
         )
 
+    # -- streaming execution ---------------------------------------------------
+
+    def serve(self, num_lanes: int, **options: Any) -> Any:
+        """A continuous-batching :class:`~repro.serve.engine.Engine`.
+
+        The engine owns a ``num_lanes``-wide program-counter machine and
+        admits streaming requests into vacated lanes mid-flight::
+
+            engine = fib.serve(num_lanes=8, max_queue_depth=64)
+            handle = engine.submit(np.int64(12))
+            engine.run_until_idle()
+            handle.result()
+
+        Options are forwarded to :class:`~repro.serve.engine.Engine`.
+        """
+        from repro.serve.engine import Engine
+
+        options.setdefault("registry", self.registry)
+        return Engine(self, num_lanes, **options)
+
     def __repr__(self) -> str:
         return f"AutobatchFunction({self.name!r})"
 

@@ -1,0 +1,80 @@
+"""Continuous-batching serving on top of program-counter autobatching.
+
+Why this exists
+---------------
+The paper's Algorithm 2 turns a batch of logically independent program
+executions (e.g. NUTS chains) into one SIMD machine with a per-lane program
+counter: every step executes one basic block under a mask, and members that
+diverge simply wait at different blocks.  But the machine as published is
+*static*: you bind Z inputs, run until **every** program counter reaches the
+exit index, and only then read the outputs.  Near the end of a run the
+batch is mostly stragglers — lane utilization decays toward 1/Z, the same
+pathology Figure 6 measures for primitive-level batch utilization.
+
+Lane recycling
+--------------
+The key observation is that a halted lane is *inert*: once member ``b``'s
+program counter sits at ``exit_index``, no masked block execution touches
+lane ``b`` again, so its registers, per-variable stacks, and return-address
+stack can be reset and rebound to a brand-new logical thread without
+perturbing in-flight neighbors.  (All primitives are per-lane elementwise
+over the batch dimension — the property Algorithm 2 already relies on — so
+a lane's trajectory is bit-identical whether its neighbors are the original
+cohort or recycled strangers.)
+
+:class:`Engine` exploits this with three VM-level hooks added to
+:class:`~repro.vm.program_counter.ProgramCounterVM`:
+
+* ``retire_lanes(idx)`` — gather the outputs of halted lanes,
+* ``reset_lanes(idx)`` — restore those lanes to Algorithm 2's initial
+  state (pc at the entry block, pc-stack bottomed at the exit index,
+  storage zeroed),
+* ``inject_lanes(idx, inputs)`` — scatter a new request's inputs in.
+
+The serving loop per tick: admit queued requests into vacant lanes, execute
+one scheduler-selected block (Algorithm 2's inner loop, unchanged), retire
+any member that reached the exit, and deliver its outputs through the
+caller's :class:`~repro.serve.queue.ResultHandle`.  Under sustained
+traffic the machine never drains: the batch is a rolling population of
+requests at different program points and stack depths — exactly the
+heterogeneity Algorithm 2 was built to batch.
+
+Module map
+----------
+* :mod:`repro.serve.engine` — :class:`Engine`: the tick loop, admission
+  control (bounded queue, per-request step budgets), and the
+  ``refill="drain"`` baseline discipline for benchmarking.
+* :mod:`repro.serve.queue` — :class:`ServeRequest`, :class:`ResultHandle`,
+  the bounded priority :class:`RequestQueue`, and the serving errors.
+* :mod:`repro.serve.lanes` — :class:`LanePool`: deterministic
+  lane-to-request assignment.
+* :mod:`repro.serve.telemetry` — :class:`ServeTelemetry`: lane
+  utilization, queue wait, time-to-first-result, and throughput on the
+  engine's logical clock.
+
+Entry points: ``Engine(fn, num_lanes)`` directly, or
+``fn.serve(num_lanes)`` on any :func:`repro.autobatch` function.
+"""
+
+from repro.serve.engine import Engine, REFILL_POLICIES
+from repro.serve.lanes import LanePool
+from repro.serve.queue import (
+    QueueFullError,
+    RequestQueue,
+    ResultHandle,
+    ServeRequest,
+    StepBudgetExceeded,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = [
+    "Engine",
+    "REFILL_POLICIES",
+    "LanePool",
+    "QueueFullError",
+    "RequestQueue",
+    "ResultHandle",
+    "ServeRequest",
+    "StepBudgetExceeded",
+    "ServeTelemetry",
+]

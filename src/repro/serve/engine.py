@@ -1,0 +1,317 @@
+"""The continuous-batching serving engine.
+
+:class:`Engine` owns one :class:`~repro.vm.program_counter.ProgramCounterVM`
+whose batch dimension is treated as a fixed pool of lanes.  Requests are
+admitted from a bounded priority queue into vacant lanes *mid-flight*: when
+a lane's member reaches the exit program counter it is retired (outputs
+delivered through its :class:`~repro.serve.queue.ResultHandle`) and a queued
+request is injected into the vacated lane on the very next tick, while the
+other lanes keep stepping.  The machine never drains unless traffic stops.
+
+The engine is synchronous and deterministic: one call to :meth:`tick` is
+one engine step (one machine block execution, or an idle step), and all
+scheduling — lane assignment, queue order, step budgets — is a pure
+function of the submission sequence.  ``refill="drain"`` degrades the same
+machinery to the static drain-then-refill discipline (admit only into an
+empty machine), which is the baseline the serving benchmark compares
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.frontend.registry import PrimitiveRegistry
+from repro.ir.instructions import StackProgram
+from repro.serve.lanes import LanePool
+from repro.serve.queue import (
+    QueueFullError,
+    RequestQueue,
+    ResultHandle,
+    ServeRequest,
+    StepBudgetExceeded,
+    split_request_inputs,
+)
+from repro.serve.telemetry import ServeTelemetry
+from repro.vm.instrumentation import Instrumentation
+from repro.vm.program_counter import ProgramCounterVM
+
+#: Lane refill disciplines.
+REFILL_POLICIES = ("continuous", "drain")
+
+
+class Engine:
+    """Serve streaming requests through one lane-recycled batched machine.
+
+    Parameters
+    ----------
+    program:
+        An :class:`~repro.frontend.api.AutobatchFunction` (lowered lazily)
+        or an already-lowered :class:`~repro.ir.instructions.StackProgram`.
+    num_lanes:
+        Width of the machine's batch dimension — the maximum number of
+        requests in flight at once.
+    max_queue_depth:
+        Admission control: submissions beyond this many queued requests
+        raise :class:`QueueFullError` (``None`` = unbounded).
+    default_step_budget:
+        Per-request cap on machine steps in which the request's member is
+        active; exhausted requests fail with :class:`StepBudgetExceeded`
+        and their lane is recycled.  Overridable per ``submit``.
+    refill:
+        ``"continuous"`` (inject into vacated lanes mid-flight) or
+        ``"drain"`` (admit only into a fully drained machine — the static
+        baseline).
+    """
+
+    def __init__(
+        self,
+        program: Any,
+        num_lanes: int,
+        *,
+        registry: Optional[PrimitiveRegistry] = None,
+        mode: str = "mask",
+        scheduler: Any = "earliest",
+        max_stack_depth: int = 32,
+        top_cache: bool = True,
+        optimize: bool = True,
+        max_queue_depth: Optional[int] = None,
+        default_step_budget: Optional[int] = None,
+        refill: str = "continuous",
+        max_steps: int = 10 ** 12,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        if refill not in REFILL_POLICIES:
+            raise ValueError(
+                f"refill must be one of {REFILL_POLICIES}, got {refill!r}"
+            )
+        if isinstance(program, StackProgram):
+            stack_program = program
+        elif hasattr(program, "stack_program"):
+            if registry is None:
+                registry = getattr(program, "registry", None)
+            stack_program = program.stack_program(optimize=optimize)
+        else:
+            raise TypeError(
+                "program must be an AutobatchFunction or a StackProgram, "
+                f"got {type(program).__name__}"
+            )
+        self.refill = refill
+        self.default_step_budget = default_step_budget
+        self.vm = ProgramCounterVM(
+            stack_program,
+            batch_size=num_lanes,
+            registry=registry,
+            mode=mode,
+            scheduler=scheduler,
+            max_stack_depth=max_stack_depth,
+            top_cache=top_cache,
+            instrumentation=instrumentation,
+            max_steps=max_steps,
+        )
+        # A fresh machine starts every member at the entry block; a fresh
+        # *server* starts every lane vacant.
+        self.vm.halt_lanes(np.arange(num_lanes, dtype=np.int64))
+        self.vm.track_occupancy = True
+        self.pool = LanePool(num_lanes)
+        self.queue = RequestQueue(max_depth=max_queue_depth)
+        self.telemetry = ServeTelemetry(
+            num_lanes=num_lanes, instrumentation=self.vm.instr
+        )
+        self._tick = 0
+        self._next_id = 0
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The engine's logical clock (ticks elapsed)."""
+        return self._tick
+
+    def submit(
+        self,
+        *inputs: Any,
+        priority: int = 0,
+        step_budget: Optional[int] = None,
+    ) -> ResultHandle:
+        """Enqueue one request; returns its handle.
+
+        ``inputs`` are *per-example* (unbatched) values, one per program
+        input.  Raises :class:`QueueFullError` at ``max_queue_depth``.
+        """
+        n_expected = len(self.vm.program.inputs)
+        if len(inputs) != n_expected:
+            raise ValueError(
+                f"program takes {n_expected} inputs, got {len(inputs)}"
+            )
+        if self.queue.full():
+            self.telemetry.rejected += 1
+            raise QueueFullError(
+                f"request queue is at max_depth={self.queue.max_depth}"
+            )
+        request = ServeRequest(
+            request_id=self._next_id,
+            inputs=split_request_inputs(inputs),
+            priority=priority,
+            step_budget=(
+                step_budget if step_budget is not None else self.default_step_budget
+            ),
+            submit_tick=self._tick,
+        )
+        self._next_id += 1
+        handle = ResultHandle(request)
+        self.queue.push(handle)
+        self.telemetry.submitted += 1
+        return handle
+
+    # -- the continuous-batching loop -----------------------------------------
+
+    def _admit(self) -> None:
+        """Move queued requests into vacant lanes, per the refill policy."""
+        if self.refill == "drain" and self.pool.busy_count() > 0:
+            return
+        seated: List[ResultHandle] = []
+        while len(self.queue) and self.pool.free_count():
+            handle = self.queue.pop()
+            lane = self.pool.acquire(handle)
+            handle._mark_running(lane, self._tick)
+            self.telemetry.record_inject(handle.queue_wait())
+            seated.append(handle)
+        if not seated:
+            return
+        try:
+            # One gathered injection for all newly seated lanes.
+            idx = np.asarray([h.lane for h in seated], dtype=np.int64)
+            inputs = [
+                np.stack([h.request.inputs[j] for h in seated])
+                for j in range(len(self.vm.program.inputs))
+            ]
+            self.vm.inject_lanes(idx, inputs)
+        except (ValueError, TypeError):
+            # Some request's inputs don't fit the program's storages (wrong
+            # event shape, unstackable mix).  Re-inject one by one so the
+            # culprit fails on its own handle and good neighbors still run.
+            for handle in seated:
+                self._inject_one(handle)
+
+    def _inject_one(self, handle: ResultHandle) -> None:
+        lane = np.asarray([handle.lane], dtype=np.int64)
+        try:
+            self.vm.inject_lanes(
+                lane, [x[None] for x in handle.request.inputs]
+            )
+        except (ValueError, TypeError) as error:
+            # The lane was reset but the inputs never landed; vacate it
+            # rather than letting it run the program on zeroed storage.
+            self.vm.halt_lanes(lane)
+            self.pool.release(handle.lane)
+            handle._fail(error, self._tick)
+            self.telemetry.failed += 1
+
+    def _retire_finished(self) -> None:
+        """Deliver outputs of every busy lane whose member has halted."""
+        busy = self.pool.busy_lanes()
+        if busy.size == 0:
+            return
+        halted = self.vm.halted_mask()
+        done = busy[halted[busy]]
+        if done.size == 0:
+            return
+        outputs = self.vm.retire_lanes(done)
+        single = len(outputs) == 1
+        for j, lane in enumerate(done):
+            handle = self.pool.release(int(lane))
+            value = outputs[0][j] if single else tuple(o[j] for o in outputs)
+            handle._resolve(value, self._tick)
+            self.telemetry.record_completion(self._tick)
+
+    def _enforce_budgets(self, stepped: np.ndarray) -> None:
+        """Abort still-running requests that exhausted their step budget."""
+        for lane in stepped:
+            handle = self.pool.occupant(int(lane))
+            if handle is None:  # retired in this very tick
+                continue
+            handle.steps_used += 1
+            budget = handle.request.step_budget
+            if budget is not None and handle.steps_used >= budget:
+                self.vm.halt_lanes(np.asarray([lane], dtype=np.int64))
+                self.pool.release(int(lane))
+                handle._fail(
+                    StepBudgetExceeded(
+                        f"request {handle.request_id} exceeded its step "
+                        f"budget of {budget} machine steps"
+                    ),
+                    self._tick,
+                )
+                self.telemetry.failed += 1
+
+    def tick(self) -> bool:
+        """One engine step: admit, step the machine, retire, enforce budgets.
+
+        Returns True while the engine holds queued or in-flight work after
+        the tick.  A tick with an empty machine still advances the logical
+        clock (an *idle* tick), so open-loop drivers can model arrival gaps.
+        """
+        self._admit()
+        busy = self.pool.busy_count()
+        self.telemetry.record_tick(busy)
+        self._tick += 1
+        if busy:
+            stepped = self.vm.step_lanes()
+            self._retire_finished()
+            if stepped is not None:
+                self._enforce_budgets(stepped)
+        return bool(self.pool.busy_count() or len(self.queue))
+
+    def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
+        """Tick until no request is queued or in flight; returns ticks run."""
+        start = self._tick
+        while self.pool.busy_count() or len(self.queue):
+            self.tick()
+            if (
+                max_ticks is not None
+                and self._tick - start >= max_ticks
+                and (self.pool.busy_count() or len(self.queue))
+            ):
+                raise RuntimeError(
+                    f"engine still busy after max_ticks={max_ticks}"
+                )
+        return self._tick - start
+
+    # -- batch convenience ----------------------------------------------------
+
+    def map(
+        self,
+        request_inputs: Iterable[Sequence[Any]],
+        *,
+        priority: int = 0,
+        step_budget: Optional[int] = None,
+    ) -> List[Any]:
+        """Serve a whole collection of requests; results in request order.
+
+        Applies backpressure instead of overflowing: when the queue is
+        full, the engine ticks until a slot opens.  Each element of
+        ``request_inputs`` is the tuple of per-example inputs for one
+        request.
+        """
+        handles = []
+        for inputs in request_inputs:
+            while self.queue.full():
+                if not self.tick():
+                    raise QueueFullError(
+                        "queue is full but the engine is idle; "
+                        "max_queue_depth is too small to ever admit"
+                    )
+            handles.append(
+                self.submit(*inputs, priority=priority, step_budget=step_budget)
+            )
+        self.run_until_idle()
+        return [h.result() for h in handles]
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(lanes={self.pool.num_lanes}, busy={self.pool.busy_count()}, "
+            f"queued={len(self.queue)}, tick={self._tick}, refill={self.refill!r})"
+        )

@@ -1,0 +1,69 @@
+"""Lane bookkeeping for the serving engine.
+
+The machine's batch dimension is a fixed pool of SIMD lanes; the pool
+tracks which lane holds which in-flight request.  Vacant lanes are handed
+out lowest-index-first so lane assignment — and therefore every masked
+array operation downstream — is a deterministic function of the request
+arrival order, which is what makes serving runs reproducible and
+bit-comparable against static batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.queue import ResultHandle
+
+
+class LanePool:
+    """Fixed pool of machine lanes with deterministic acquire order."""
+
+    def __init__(self, num_lanes: int):
+        if num_lanes <= 0:
+            raise ValueError(f"num_lanes must be positive, got {num_lanes}")
+        self.num_lanes = int(num_lanes)
+        self._occupant: List[Optional[ResultHandle]] = [None] * self.num_lanes
+
+    # -- queries ------------------------------------------------------------
+
+    def free_count(self) -> int:
+        return sum(1 for h in self._occupant if h is None)
+
+    def busy_count(self) -> int:
+        return self.num_lanes - self.free_count()
+
+    def busy_lanes(self) -> np.ndarray:
+        """Indices of occupied lanes, ascending."""
+        return np.asarray(
+            [i for i, h in enumerate(self._occupant) if h is not None],
+            dtype=np.int64,
+        )
+
+    def occupant(self, lane: int) -> Optional[ResultHandle]:
+        return self._occupant[lane]
+
+    def occupants(self) -> Dict[int, ResultHandle]:
+        """Mapping of lane -> in-flight handle."""
+        return {
+            i: h for i, h in enumerate(self._occupant) if h is not None
+        }
+
+    # -- transitions --------------------------------------------------------
+
+    def acquire(self, handle: ResultHandle) -> int:
+        """Seat ``handle`` in the lowest vacant lane; returns the lane."""
+        for lane, occupant in enumerate(self._occupant):
+            if occupant is None:
+                self._occupant[lane] = handle
+                return lane
+        raise RuntimeError("no vacant lane; check free_count() before acquire()")
+
+    def release(self, lane: int) -> ResultHandle:
+        """Vacate ``lane``; returns the handle that occupied it."""
+        handle = self._occupant[lane]
+        if handle is None:
+            raise RuntimeError(f"lane {lane} is already vacant")
+        self._occupant[lane] = None
+        return handle

@@ -1,0 +1,162 @@
+"""Request admission for the serving engine: handles, queue, and errors.
+
+A :class:`ServeRequest` is one logical thread awaiting a lane: the
+per-example (unbatched) input arrays plus its admission metadata.  The
+caller holds a :class:`ResultHandle` — a deliberately minimal Future: the
+engine loop is synchronous and single-threaded (the machine *is* the event
+loop), so the handle needs states and accessors, not locks or callbacks.
+
+:class:`RequestQueue` orders requests by ``(-priority, arrival)`` — a
+bounded priority queue that degrades to FIFO when every priority is equal —
+and rejects at ``max_depth`` so a traffic burst surfaces as
+:class:`QueueFullError` at submission time instead of unbounded memory
+growth inside the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class QueueFullError(RuntimeError):
+    """A request was submitted while the queue was at ``max_depth``."""
+
+
+class StepBudgetExceeded(RuntimeError):
+    """A request's member ran more machine steps than its budget allows."""
+
+
+class PENDING:
+    """Sentinel for a handle with no result yet."""
+
+
+#: Handle lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class ServeRequest:
+    """One admitted request: unbatched inputs plus scheduling metadata."""
+
+    request_id: int
+    inputs: Tuple[np.ndarray, ...]
+    priority: int = 0
+    step_budget: Optional[int] = None
+    submit_tick: int = 0
+
+
+class ResultHandle:
+    """Future-like view of one request's progress through the engine."""
+
+    def __init__(self, request: ServeRequest):
+        self.request = request
+        self.state = QUEUED
+        self._value: Any = PENDING
+        self._error: Optional[BaseException] = None
+        #: engine tick at which the request left the queue for a lane
+        self.inject_tick: Optional[int] = None
+        #: engine tick at which the request finished (or failed)
+        self.finish_tick: Optional[int] = None
+        #: lane the request occupied while running
+        self.lane: Optional[int] = None
+        #: machine steps in which this request's member was active
+        self.steps_used: int = 0
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    def done(self) -> bool:
+        """True once the request has a result or an error."""
+        return self.state in (DONE, FAILED)
+
+    def result(self) -> Any:
+        """The program outputs (an array, or a tuple for multi-output).
+
+        Raises the request's error if it failed, or ``RuntimeError`` if it
+        is still queued or running (drive the engine first).
+        """
+        if self.state == FAILED:
+            assert self._error is not None
+            raise self._error
+        if self._value is PENDING:
+            raise RuntimeError(
+                f"request {self.request_id} is still {self.state}; "
+                "run the engine (e.g. engine.run_until_idle()) first"
+            )
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        """The error that failed this request, if any."""
+        return self._error
+
+    def queue_wait(self) -> Optional[int]:
+        """Ticks spent queued before reaching a lane (None while queued)."""
+        if self.inject_tick is None:
+            return None
+        return self.inject_tick - self.request.submit_tick
+
+    # -- engine-side transitions (not part of the caller API) ---------------
+
+    def _mark_running(self, lane: int, tick: int) -> None:
+        self.state = RUNNING
+        self.lane = lane
+        self.inject_tick = tick
+
+    def _resolve(self, value: Any, tick: int) -> None:
+        self.state = DONE
+        self._value = value
+        self.finish_tick = tick
+
+    def _fail(self, error: BaseException, tick: int) -> None:
+        self.state = FAILED
+        self._error = error
+        self.finish_tick = tick
+
+    def __repr__(self) -> str:
+        return f"ResultHandle(id={self.request_id}, state={self.state!r})"
+
+
+@dataclass
+class RequestQueue:
+    """Bounded priority queue (higher priority first, FIFO within a level)."""
+
+    max_depth: Optional[int] = None
+    _heap: List[Tuple[int, int, ResultHandle]] = field(default_factory=list)
+    _seq: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def full(self) -> bool:
+        return self.max_depth is not None and len(self._heap) >= self.max_depth
+
+    def push(self, handle: ResultHandle) -> None:
+        if self.full():
+            raise QueueFullError(
+                f"request queue is at max_depth={self.max_depth}; "
+                "drive the engine or raise the limit"
+            )
+        heapq.heappush(
+            self._heap, (-handle.request.priority, self._seq, handle)
+        )
+        self._seq += 1
+
+    def pop(self) -> ResultHandle:
+        """The highest-priority (then oldest) queued handle."""
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> ResultHandle:
+        return self._heap[0][2]
+
+
+def split_request_inputs(inputs: Sequence[Any]) -> Tuple[np.ndarray, ...]:
+    """Normalize one request's per-example inputs to numpy arrays."""
+    return tuple(np.asarray(x) for x in inputs)

@@ -1,0 +1,104 @@
+"""Serving-level telemetry, layered over the machine's Instrumentation.
+
+The engine advances a *logical clock*: one tick per engine step (one
+machine block execution, or one idle step while the pool waits for
+arrivals).  All latency metrics are in ticks, so serving runs are exactly
+reproducible — a wall-clock mapping belongs to the benchmark harness, not
+the engine.
+
+Metrics:
+
+* **lane utilization** — busy lane-slots / offered lane-slots per tick.
+  The serving analog of the paper's Figure 6 batch utilization: a
+  drain-then-refill front end lets this decay to ``1/Z`` as stragglers
+  finish; lane recycling keeps it near 1 under load.
+* **queue wait** — ticks between submission and lane injection.
+* **time-to-first-result** — ticks until the first request retires.
+* **throughput** — completed requests per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.vm.instrumentation import Instrumentation
+
+
+@dataclass
+class ServeTelemetry:
+    """Counters for one engine's lifetime."""
+
+    num_lanes: int = 0
+    ticks: int = 0                 # engine steps (machine steps + idle steps)
+    idle_ticks: int = 0            # ticks where no lane held a live member
+    lane_slots: int = 0            # num_lanes per tick
+    busy_lane_slots: int = 0       # occupied lanes summed over ticks
+    submitted: int = 0             # requests accepted into the queue
+    rejected: int = 0              # requests refused at max_queue_depth
+    injected: int = 0              # requests seated into a lane
+    completed: int = 0             # requests retired with results
+    failed: int = 0                # requests aborted (e.g. step budget)
+    first_result_tick: Optional[int] = None
+    queue_waits: List[int] = field(default_factory=list)
+    #: the machine-level counters (primitive/batch utilization etc.)
+    instrumentation: Optional[Instrumentation] = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record_tick(self, busy_lanes: int) -> None:
+        self.ticks += 1
+        self.lane_slots += self.num_lanes
+        self.busy_lane_slots += busy_lanes
+        if busy_lanes == 0:
+            self.idle_ticks += 1
+
+    def record_inject(self, queue_wait: int) -> None:
+        self.injected += 1
+        self.queue_waits.append(queue_wait)
+
+    def record_completion(self, tick: int) -> None:
+        self.completed += 1
+        if self.first_result_tick is None:
+            self.first_result_tick = tick
+
+    # -- derived ------------------------------------------------------------
+
+    def lane_utilization(self) -> float:
+        """Fraction of offered lane-slots that held an in-flight request."""
+        return (
+            self.busy_lane_slots / self.lane_slots if self.lane_slots else 0.0
+        )
+
+    def mean_queue_wait(self) -> float:
+        """Average ticks requests spent queued before injection."""
+        waits = self.queue_waits
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def max_queue_wait(self) -> int:
+        return max(self.queue_waits) if self.queue_waits else 0
+
+    def throughput(self) -> float:
+        """Completed requests per tick."""
+        return self.completed / self.ticks if self.ticks else 0.0
+
+    def summary(self) -> str:
+        """Human-readable multi-line telemetry summary."""
+        lines = [
+            f"ticks={self.ticks} (idle={self.idle_ticks}) lanes={self.num_lanes} "
+            f"lane_utilization={self.lane_utilization():.3f}",
+            f"requests: submitted={self.submitted} rejected={self.rejected} "
+            f"injected={self.injected} completed={self.completed} "
+            f"failed={self.failed}",
+            f"queue wait: mean={self.mean_queue_wait():.1f} "
+            f"max={self.max_queue_wait()} ticks",
+            f"time-to-first-result={self.first_result_tick} ticks, "
+            f"throughput={self.throughput():.4f} requests/tick",
+        ]
+        if self.instrumentation is not None:
+            lines.append(
+                "machine: "
+                f"batch_utilization={self.instrumentation.utilization():.3f} "
+                f"kernel_calls={self.instrumentation.kernel_calls}"
+            )
+        return "\n".join(lines)

@@ -53,12 +53,28 @@ class Instrumentation:
     stacked_reads: int = 0              # reads hitting a stack-backed variable
     stacked_writes: int = 0             # writes scattering into a stack array
     register_writes: int = 0            # masked updates of stack-free variables
+    lane_slots: int = 0                 # machine lanes offered (Z per step)
+    lane_live: int = 0                  # lanes holding a live (unhalted) member
     by_prim: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
     by_tag: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
 
     def record_step(self) -> None:
         """Count one basic-block execution."""
         self.steps += 1
+
+    def record_occupancy(self, live: int, slots: int) -> None:
+        """Count one machine step's lane occupancy.
+
+        Every step the machine offers ``slots`` SIMD lanes (the batch width
+        ``Z`` under masking) of which ``live`` hold a member whose program
+        counter has not reached the exit.  The ratio is *lane utilization*
+        — the serving-level analog of per-primitive batch utilization, and
+        the quantity continuous batching exists to keep high: a drained
+        machine ends its run with mostly-dead lanes, a recycled one refills
+        them mid-flight.
+        """
+        self.lane_slots += slots
+        self.lane_live += live
 
     def record_prim(
         self,
@@ -107,6 +123,10 @@ class Instrumentation:
 
     # -- derived metrics ---------------------------------------------------
 
+    def lane_utilization(self) -> float:
+        """Fraction of offered machine lane-slots that held live members."""
+        return self.lane_live / self.lane_slots if self.lane_slots else 1.0
+
     def utilization(self, tag: Optional[str] = None, prim: Optional[str] = None) -> float:
         """Fraction of executed lane-slots that were active.
 
@@ -134,7 +154,8 @@ class Instrumentation:
         lines = [
             f"steps={self.steps} kernel_calls={self.kernel_calls} "
             f"pushes={self.pushes} pops={self.pops} "
-            f"overall_utilization={self.utilization():.3f}"
+            f"overall_utilization={self.utilization():.3f} "
+            f"lane_utilization={self.lane_utilization():.3f}"
         ]
         for tag in sorted(self.by_tag):
             c = self.by_tag[tag]

@@ -72,6 +72,9 @@ class ProgramCounterVM:
         # Optional pre-compiled per-block executors (backend fusion); entries
         # may be None to fall back to interpretation for that block.
         self.block_executors = list(block_executors) if block_executors else None
+        # Lane-occupancy accounting costs an O(Z) scan per step; only the
+        # serving engine consumes it, so it opts in.
+        self.track_occupancy = False
 
         self.storages: Dict[str, Any] = {}
         self._temps: Dict[str, np.ndarray] = {}
@@ -159,20 +162,27 @@ class ProgramCounterVM:
 
     # -- execution ------------------------------------------------------------------
 
-    def bind_inputs(self, inputs: Sequence[np.ndarray]) -> None:
-        """Write the batch inputs into the machine's input variables."""
+    def _validated_inputs(self, inputs: Sequence[np.ndarray], width: int, what: str):
+        """Yield ``(name, array)`` pairs after arity and leading-dim checks."""
         if len(inputs) != len(self.program.inputs):
             raise ValueError(
                 f"program takes {len(self.program.inputs)} inputs, got {len(inputs)}"
             )
-        everyone = np.ones(self.batch_size, dtype=bool)
         for name, value in zip(self.program.inputs, inputs):
             value = np.asarray(value)
-            if value.shape[0] != self.batch_size:
+            if value.shape[0] != width:
                 raise ValueError(
                     f"input {name!r} has leading dimension {value.shape[0]}, "
-                    f"expected batch size {self.batch_size}"
+                    f"expected {what} {width}"
                 )
+            yield name, value
+
+    def bind_inputs(self, inputs: Sequence[np.ndarray]) -> None:
+        """Write the batch inputs into the machine's input variables."""
+        everyone = np.ones(self.batch_size, dtype=bool)
+        for name, value in self._validated_inputs(
+            inputs, self.batch_size, "batch size"
+        ):
             self.storage(name).write(everyone, value)
 
     def outputs(self) -> List[np.ndarray]:
@@ -190,20 +200,33 @@ class ProgramCounterVM:
 
     def step(self) -> bool:
         """Select and execute one basic block; False when all members halted."""
+        return self.step_lanes() is not None
+
+    def step_lanes(self) -> Optional[np.ndarray]:
+        """Like :meth:`step`, but returns the executed lane indices.
+
+        Returns ``None`` when every member has halted, else the (possibly
+        empty-shaped) index array of lanes that were active in the executed
+        block — the serving engine uses this for per-request step budgets.
+        """
         i = self.scheduler.select(self.pcreg, self.exit_index)
         if i is None:
-            return False
+            return None
         self._steps += 1
         if self._steps > self.max_steps:
             raise ExecutionLimitExceeded(f"exceeded max_steps={self.max_steps}")
         self.instr.record_step()
+        if self.track_occupancy:
+            self.instr.record_occupancy(
+                int(np.count_nonzero(self.pcreg < self.exit_index)), self.batch_size
+            )
         mask = self.pcreg == i
         idx = np.flatnonzero(mask)
         if self.block_executors is not None and self.block_executors[i] is not None:
             self.block_executors[i](self, mask, idx)
         else:
             self._interpret_block(i, mask, idx)
-        return True
+        return idx
 
     def _interpret_block(self, i: int, mask: np.ndarray, idx: np.ndarray) -> None:
         temps = self._temps
@@ -272,6 +295,69 @@ class ProgramCounterVM:
             else:  # ret
                 popped = self.addr_stack.pop(mask)
                 self.pcreg[mask] = popped[mask]
+
+    # -- lane lifecycle (continuous-batching serving) -----------------------------
+    #
+    # A lane whose program counter sits at ``exit_index`` is *vacant*: the
+    # machine's masked steps never touch it, so its storage can be recycled
+    # for a fresh logical thread without disturbing in-flight neighbors.
+    # These hooks let :class:`repro.serve.Engine` retire finished members
+    # and inject queued requests mid-flight instead of draining the batch.
+
+    @property
+    def entry_index(self) -> int:
+        """Block index where a freshly injected member begins (the entry block)."""
+        return 0
+
+    def halted_mask(self) -> np.ndarray:
+        """Boolean (Z,) mask of lanes whose member has reached the exit."""
+        return self.pcreg >= self.exit_index
+
+    def halt_lanes(self, idx: np.ndarray) -> None:
+        """Force the lanes in ``idx`` to the exit (aborting their members)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        self.pcreg[idx] = self.exit_index
+
+    def reset_lanes(self, idx: np.ndarray) -> None:
+        """Return the lanes in ``idx`` to the machine's initial state.
+
+        Program counters go to the entry block, each lane's return-address
+        stack is emptied down to the exit-index base frame (Algorithm 2's pc
+        init), and every allocated storage zeroes those lanes — bitwise the
+        state a fresh machine would give them.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return
+        self.pcreg[idx] = self.entry_index
+        self.addr_stack.reset_lanes(
+            idx, top=np.full(idx.size, self.exit_index, dtype=np.int64)
+        )
+        for st in self.storages.values():
+            st.reset_lanes(idx)
+
+    def inject_lanes(self, idx: np.ndarray, inputs: Sequence[np.ndarray]) -> None:
+        """Start new members in the lanes ``idx`` with the given inputs.
+
+        ``inputs`` carries one array per program input with leading dimension
+        ``len(idx)`` (the gathered batch of the injected requests).  The
+        lanes must be vacant; in-flight lanes are untouched.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        self.reset_lanes(idx)
+        for name, value in self._validated_inputs(
+            inputs, idx.size, "injected lane count"
+        ):
+            self.storage(name).write_at(idx, value)
+
+    def retire_lanes(self, idx: np.ndarray) -> List[np.ndarray]:
+        """Gather the program outputs of the (halted) lanes in ``idx``.
+
+        Returns one ``(len(idx), *event)`` array per program output; the
+        lanes themselves stay vacant until the next injection.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        return [self.storage(name).read_at(idx) for name in self.program.outputs]
 
     # -- inspection (Figure 3 snapshots) ----------------------------------------
 

@@ -130,6 +130,21 @@ class BatchedStack:
         self.sp[idx] = new_sp
         return popped
 
+    # -- lane lifecycle -----------------------------------------------------
+
+    def reset_lanes(self, idx: np.ndarray, top: Optional[np.ndarray] = None) -> None:
+        """Return the lanes in ``idx`` to the freshly-constructed state.
+
+        The lane's saved frames are zeroed, its stack pointer drops to the
+        implicit base frame, and its cached top becomes ``top`` (or zero).
+        Used by the serving engine to recycle a lane for a new request.
+        """
+        if idx.size == 0:
+            return
+        self.sp[idx] = 0
+        self.data[:, idx] = 0
+        self.cache[idx] = 0 if top is None else top
+
     # -- inspection -----------------------------------------------------------
 
     def depths(self) -> np.ndarray:
@@ -214,6 +229,15 @@ class UncachedBatchedStack:
             raise StackUnderflowError("pop on empty stack")
         self.sp[idx] = np.maximum(sp - 1, 0)
         return popped
+
+    def reset_lanes(self, idx: np.ndarray, top: Optional[np.ndarray] = None) -> None:
+        """Return the lanes in ``idx`` to the freshly-constructed state."""
+        if idx.size == 0:
+            return
+        self.sp[idx] = 0
+        self.data[:, idx] = 0
+        if top is not None:
+            self.data[0, idx] = top
 
     def depths(self) -> np.ndarray:
         return self.sp + 1

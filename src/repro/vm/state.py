@@ -79,6 +79,11 @@ class RegisterStorage:
         arr = self._ensure(np.empty(proto_shape, dtype=np.asarray(value_gathered).dtype))
         arr[idx] = value_gathered
 
+    def reset_lanes(self, idx: np.ndarray) -> None:
+        """Zero the lanes in ``idx``, as if they were freshly allocated."""
+        if self.array is not None and idx.size:
+            self.array[idx] = 0
+
 
 class StackedStorage:
     """Storage backed by a batched stack; allocation deferred to first write."""
@@ -163,3 +168,8 @@ class StackedStorage:
         if self.stack is None:
             raise UninitializedRead(f"variable {self.name!r} popped before assignment")
         self.stack.pop_at(idx)
+
+    def reset_lanes(self, idx: np.ndarray) -> None:
+        """Drop the lanes in ``idx`` back to an empty, zeroed stack."""
+        if self.stack is not None and idx.size:
+            self.stack.reset_lanes(idx)

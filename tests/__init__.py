@@ -1,0 +1,2 @@
+"""Package marker so the suite's relative imports (``from .programs import
+...``) resolve under plain ``python -m pytest`` from the repo root."""

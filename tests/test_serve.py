@@ -1,0 +1,321 @@
+"""Tests for the continuous-batching serving engine (repro.serve).
+
+The load-bearing property is *lane-recycling correctness*: a request's
+trajectory through the machine must be bit-identical whether it ran in a
+static batch (one ``run_pc`` call) or was injected mid-flight into a lane
+vacated by an unrelated request.  Everything else — admission control,
+step budgets, telemetry — is checked on top of that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Engine,
+    LanePool,
+    QueueFullError,
+    RequestQueue,
+    ResultHandle,
+    ServeRequest,
+    StepBudgetExceeded,
+)
+from repro.vm.program_counter import ProgramCounterVM
+
+from .programs import ALL_EXAMPLES, fib, gcd, poly, rng_walk
+
+# Programs spanning recursion, loops, floats, RNG, and multiple outputs.
+SERVE_CORPUS = ["fib", "gcd", "collatz_steps", "poly", "rng_walk", "swap_chain",
+                "recursive_pair", "newton_sqrt", "ackermann"]
+
+
+def rows_of(arrays):
+    """Per-request input tuples from a batch of input arrays."""
+    z = np.asarray(arrays[0]).shape[0]
+    return [tuple(np.asarray(a)[b] for a in arrays) for b in range(z)]
+
+
+class TestLaneRecyclingCorrectness:
+    @pytest.mark.parametrize("name", SERVE_CORPUS)
+    @pytest.mark.parametrize("num_lanes", [1, 2, 3])
+    def test_engine_matches_static_run_pc(self, name, num_lanes):
+        fn, inputs = ALL_EXAMPLES[name]
+        expected = fn.run_pc(*inputs, max_stack_depth=64)
+        engine = fn.serve(num_lanes=num_lanes, max_stack_depth=64)
+        results = engine.map(rows_of(inputs))
+        expected_tuple = expected if isinstance(expected, tuple) else (expected,)
+        for b, result in enumerate(results):
+            result_tuple = result if isinstance(result, tuple) else (result,)
+            assert len(result_tuple) == len(expected_tuple)
+            for out, (got, exp) in enumerate(zip(result_tuple, expected_tuple)):
+                got = np.asarray(got)
+                assert got.dtype == exp.dtype, (name, b, out)
+                np.testing.assert_array_equal(got, exp[b], err_msg=f"{name}[{b}].{out}")
+
+    @pytest.mark.parametrize("mode", ["mask", "gather"])
+    def test_both_vm_modes(self, mode):
+        ns = np.array([3, 10, 1, 8, 12, 5, 9, 0], dtype=np.int64)
+        expected = fib.run_pc(ns)
+        engine = fib.serve(num_lanes=3, mode=mode)
+        results = engine.map(rows_of((ns,)))
+        np.testing.assert_array_equal(np.stack(results), expected)
+
+    def test_more_requests_than_lanes_recycles(self):
+        ns = np.arange(12, dtype=np.int64)
+        engine = fib.serve(num_lanes=2)
+        results = engine.map(rows_of((ns,)))
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+        # 12 requests flowed through 2 lanes: injection count proves recycling.
+        assert engine.telemetry.injected == 12
+        assert engine.telemetry.completed == 12
+        assert engine.pool.busy_count() == 0
+
+    def test_interleaved_submission_mid_flight(self):
+        """Requests submitted while others are in flight still match."""
+        engine = gcd.serve(num_lanes=2)
+        first = [engine.submit(np.int64(a), np.int64(b))
+                 for a, b in [(1071, 462), (17, 5)]]
+        for _ in range(3):
+            engine.tick()
+        second = [engine.submit(np.int64(a), np.int64(b))
+                  for a, b in [(100, 75), (3, 0), (270, 192)]]
+        engine.run_until_idle()
+        a = np.array([1071, 17, 100, 3, 270], dtype=np.int64)
+        b = np.array([462, 5, 75, 0, 192], dtype=np.int64)
+        expected = gcd.run_pc(a, b)
+        got = np.array([h.result() for h in first + second])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_drain_policy_matches_too(self):
+        ns = np.array([6, 2, 11, 4, 9, 7], dtype=np.int64)
+        engine = fib.serve(num_lanes=2, refill="drain")
+        results = engine.map(rows_of((ns,)))
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+
+    def test_continuous_beats_drain_utilization(self):
+        """Skewed request lengths: recycling keeps lanes fuller than draining."""
+        ns = np.array([14, 1, 13, 1, 14, 1, 13, 1], dtype=np.int64)
+        utils = {}
+        for refill in ("continuous", "drain"):
+            engine = fib.serve(num_lanes=2, refill=refill)
+            engine.map(rows_of((ns,)))
+            utils[refill] = engine.telemetry.lane_utilization()
+        assert utils["continuous"] > utils["drain"]
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_rejection(self):
+        engine = poly.serve(num_lanes=1, max_queue_depth=2)
+        engine.submit(np.float64(1.0))
+        engine.submit(np.float64(2.0))   # queue now at max_depth
+        with pytest.raises(QueueFullError):
+            engine.submit(np.float64(3.0))
+        assert engine.telemetry.rejected == 1
+        assert engine.telemetry.submitted == 2
+        engine.run_until_idle()
+        assert engine.telemetry.completed == 2
+
+    def test_queue_drains_then_accepts_again(self):
+        engine = poly.serve(num_lanes=1, max_queue_depth=1)
+        h1 = engine.submit(np.float64(1.5))
+        with pytest.raises(QueueFullError):
+            engine.submit(np.float64(2.5))
+        engine.run_until_idle()
+        h2 = engine.submit(np.float64(2.5))
+        engine.run_until_idle()
+        np.testing.assert_array_equal(
+            np.array([h1.result(), h2.result()]),
+            poly.run_pc(np.array([1.5, 2.5])),
+        )
+
+    def test_wrong_arity_rejected(self):
+        engine = gcd.serve(num_lanes=1)
+        with pytest.raises(ValueError, match="takes 2 inputs"):
+            engine.submit(np.int64(4))
+
+    def test_bad_event_shape_fails_its_own_handle(self):
+        """Malformed inputs must fail that handle, not poison the engine."""
+        engine = fib.serve(num_lanes=2)
+        good_before = engine.submit(np.int64(6))
+        engine.run_until_idle()          # scalar storage now allocated
+        bad = engine.submit(np.array([1, 2], dtype=np.int64))  # wrong event shape
+        good_after = engine.submit(np.int64(7))
+        engine.run_until_idle()
+        assert bad.state == "failed"
+        with pytest.raises(ValueError, match="event shape"):
+            bad.result()
+        assert good_before.result() == 13
+        assert good_after.result() == 21
+        assert engine.telemetry.failed == 1
+        assert engine.pool.busy_count() == 0  # the poisoned lane was vacated
+
+    def test_run_until_idle_exact_max_ticks_is_not_an_error(self):
+        engine = fib.serve(num_lanes=1)
+        engine.submit(np.int64(5))
+        ticks = engine.run_until_idle()
+        engine2 = fib.serve(num_lanes=1)
+        engine2.submit(np.int64(5))
+        assert engine2.run_until_idle(max_ticks=ticks) == ticks
+        engine3 = fib.serve(num_lanes=1)
+        engine3.submit(np.int64(5))
+        with pytest.raises(RuntimeError, match="still busy"):
+            engine3.run_until_idle(max_ticks=ticks - 1)
+
+    def test_priority_admitted_first(self):
+        engine = poly.serve(num_lanes=1)
+        lo = engine.submit(np.float64(0.0), priority=0)
+        hi = engine.submit(np.float64(1.0), priority=5)
+        engine.run_until_idle()
+        assert hi.inject_tick < lo.inject_tick
+
+    def test_fifo_within_priority(self):
+        q = RequestQueue(max_depth=None)
+        handles = [
+            ResultHandle(ServeRequest(request_id=i, inputs=(), priority=0))
+            for i in range(5)
+        ]
+        for h in handles:
+            q.push(h)
+        assert [q.pop().request_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestStepBudgets:
+    def test_budget_exhaustion_fails_request(self):
+        # fib(25) needs far more than 10 active machine steps.
+        engine = fib.serve(num_lanes=2, default_step_budget=10)
+        doomed = engine.submit(np.int64(25))
+        engine.run_until_idle()
+        assert doomed.done()
+        assert isinstance(doomed.exception(), StepBudgetExceeded)
+        with pytest.raises(StepBudgetExceeded):
+            doomed.result()
+        assert engine.telemetry.failed == 1
+
+    def test_budget_failure_recycles_the_lane(self):
+        engine = fib.serve(num_lanes=1)
+        doomed = engine.submit(np.int64(25), step_budget=5)
+        survivor = engine.submit(np.int64(10))
+        engine.run_until_idle()
+        assert isinstance(doomed.exception(), StepBudgetExceeded)
+        np.testing.assert_array_equal(
+            survivor.result(), fib.run_pc(np.array([10], dtype=np.int64))[0]
+        )
+        assert engine.telemetry.failed == 1
+        assert engine.telemetry.completed == 1
+
+    def test_generous_budget_is_harmless(self):
+        engine = fib.serve(num_lanes=2)
+        h = engine.submit(np.int64(9), step_budget=100_000)
+        engine.run_until_idle()
+        assert h.result() == 55
+        assert 0 < h.steps_used < 100_000
+
+
+class TestTelemetry:
+    def test_counters_consistent(self):
+        ns = np.array([5, 9, 2, 12, 7, 3], dtype=np.int64)
+        engine = fib.serve(num_lanes=2)
+        engine.map(rows_of((ns,)))
+        t = engine.telemetry
+        assert t.submitted == t.injected == t.completed == 6
+        assert t.rejected == 0 and t.failed == 0
+        assert t.ticks > 0
+        assert 0.0 < t.lane_utilization() <= 1.0
+        assert t.lane_slots == t.ticks * 2
+        assert t.first_result_tick is not None
+        assert 0.0 < t.throughput() <= 1.0
+        assert len(t.queue_waits) == 6
+        # 6 requests through 2 lanes: someone must have waited.
+        assert t.max_queue_wait() > 0
+        assert "lane_utilization" in t.summary()
+
+    def test_queue_wait_zero_when_lanes_free(self):
+        engine = poly.serve(num_lanes=4)
+        h = engine.submit(np.float64(2.0))
+        engine.run_until_idle()
+        assert h.queue_wait() == 0
+
+    def test_vm_instrumentation_shared(self):
+        engine = fib.serve(num_lanes=2)
+        engine.map(rows_of((np.array([8, 4], dtype=np.int64),)))
+        instr = engine.telemetry.instrumentation
+        assert instr is engine.vm.instr
+        assert instr.kernel_calls > 0
+        assert 0.0 < instr.lane_utilization() <= 1.0
+
+    def test_handle_repr_and_pending_result(self):
+        engine = fib.serve(num_lanes=1)
+        h = engine.submit(np.int64(20))
+        assert "queued" in repr(h)
+        with pytest.raises(RuntimeError, match="still"):
+            h.result()
+        engine.run_until_idle()
+        assert h.done()
+
+
+class TestVmLaneHooks:
+    """The VM-level lifecycle primitives the engine is built on."""
+
+    def test_inject_retire_roundtrip(self):
+        program = fib.stack_program()
+        vm = ProgramCounterVM(program, batch_size=4)
+        vm.halt_lanes(np.arange(4))
+        assert bool(vm.halted_mask().all())
+        vm.inject_lanes(np.array([1, 3]), [np.array([7, 9], dtype=np.int64)])
+        assert list(vm.halted_mask()) == [True, False, True, False]
+        while not vm.halted_mask().all():
+            vm.step()
+        (out,) = vm.retire_lanes(np.array([1, 3]))
+        np.testing.assert_array_equal(
+            out, fib.run_pc(np.array([7, 9], dtype=np.int64))
+        )
+
+    def test_inject_validates_shapes(self):
+        vm = ProgramCounterVM(fib.stack_program(), batch_size=2)
+        vm.halt_lanes(np.arange(2))
+        with pytest.raises(ValueError, match="takes 1 inputs"):
+            vm.inject_lanes(np.array([0]), [])
+        with pytest.raises(ValueError, match="leading dimension"):
+            vm.inject_lanes(np.array([0]), [np.array([1, 2], dtype=np.int64)])
+
+    def test_reset_lane_restores_initial_state(self):
+        """A recycled lane is bitwise a fresh lane: same outputs, same stacks."""
+        program = fib.stack_program()
+        vm = ProgramCounterVM(program, batch_size=2)
+        vm.halt_lanes(np.arange(2))
+        # First occupant: deep recursion dirties lane 0's stacks.
+        vm.inject_lanes(np.array([0]), [np.array([11], dtype=np.int64)])
+        while not vm.halted_mask().all():
+            vm.step()
+        vm.reset_lanes(np.array([0]))
+        assert vm.pcreg[0] == vm.entry_index
+        assert vm.addr_stack.sp[0] == 0
+        assert vm.addr_stack.cache[0] == vm.exit_index
+        for st in vm.storages.values():
+            if getattr(st, "array", None) is not None:
+                assert not np.any(st.array[0])
+            if getattr(st, "stack", None) is not None:
+                assert st.stack.sp[0] == 0
+                assert not np.any(st.stack.data[:, 0])
+
+    def test_lane_pool_deterministic_and_guarded(self):
+        pool = LanePool(2)
+        h = [ResultHandle(ServeRequest(request_id=i, inputs=())) for i in range(3)]
+        assert pool.acquire(h[0]) == 0
+        assert pool.acquire(h[1]) == 1
+        with pytest.raises(RuntimeError, match="no vacant lane"):
+            pool.acquire(h[2])
+        assert pool.release(0) is h[0]
+        with pytest.raises(RuntimeError, match="already vacant"):
+            pool.release(0)
+        assert pool.acquire(h[2]) == 0  # lowest-index-first, deterministic
+        assert list(pool.busy_lanes()) == [0, 1]
+        with pytest.raises(ValueError):
+            LanePool(0)
+
+    def test_rng_requests_are_schedule_invariant(self):
+        """Counter-based RNG: serving order must not change any member's draws."""
+        ctrs, ns = ALL_EXAMPLES["rng_walk"][1]
+        expected = rng_walk.run_pc(ctrs, ns, max_stack_depth=64)
+        engine = rng_walk.serve(num_lanes=2, max_stack_depth=64)
+        results = engine.map(rows_of((ctrs, ns)))
+        np.testing.assert_array_equal(np.stack(results), expected)

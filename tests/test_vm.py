@@ -50,6 +50,34 @@ class TestSchedulers:
         s.reset()
         assert s.select(np.array([0, 2]), 6) == 0
 
+    def test_round_robin_no_starvation_across_wrap(self):
+        """Every live block is selected within len(live) picks, from any cursor."""
+        pcs = np.array([0, 2, 4])
+        live = {0, 2, 4}
+        for start_cursor in range(7):
+            s = RoundRobinScheduler()
+            s._cursor = start_cursor
+            picks = [s.select(pcs, 6) for _ in range(len(live))]
+            assert set(picks) == live, (start_cursor, picks)
+
+    def test_round_robin_reaches_block_behind_cursor(self):
+        """A block that becomes live behind the cursor is still reached."""
+        s = RoundRobinScheduler()
+        assert s.select(np.array([4, 6]), 6) == 4      # cursor advances past 4
+        # Block 0 wakes up behind the cursor; the wrap must pick it up.
+        assert s.select(np.array([0, 4]), 6) == 0
+        assert s.select(np.array([0, 4]), 6) == 4
+
+    def test_round_robin_reset_restores_determinism_across_runs(self):
+        """Reusing one scheduler instance across run() calls is deterministic."""
+        a = np.array([1071, 17, 100, 3], dtype=np.int64)
+        b = np.array([462, 5, 75, 0], dtype=np.int64)
+        rr = RoundRobinScheduler()
+        first = gcd.run_pc(a, b, scheduler=rr)
+        second = gcd.run_pc(a, b, scheduler=rr)  # run() must reset the cursor
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, gcd.run_pc(a, b, scheduler="round_robin"))
+
     def test_make_scheduler_specs(self):
         assert isinstance(make_scheduler("earliest"), EarliestBlockScheduler)
         assert isinstance(make_scheduler(MostActiveScheduler), MostActiveScheduler)
