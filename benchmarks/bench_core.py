@@ -2,40 +2,60 @@
 
 Not tied to a paper figure; these catch performance regressions in the
 substrate that every experiment sits on.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_core.py --benchmark-only`` — the
+  pytest-benchmark suite (interactive, statistical);
+* ``python benchmarks/bench_core.py [--quick] [--out BENCH_core.json]`` —
+  a standalone run that writes a machine-readable result file (throughput,
+  plan-derived dispatch counts) so the performance trajectory is tracked
+  across PRs instead of only printed.
 """
 
-import numpy as np
-import pytest
+import argparse
+import json
+import os
+import sys
 
-from common import fib, fib_inputs
-from repro.backend.fusion import run_fused
-from repro.vm.stack import BatchedStack
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+from common import fib, fib_inputs  # noqa: E402
+from repro.vm.stack import BatchedStack  # noqa: E402
+
+try:
+    import pytest
+except ImportError:  # standalone mode needs no pytest
+    pytest = None
+
+
+# -- pytest-benchmark suite ----------------------------------------------------
 
 
 def test_compile_pipeline(benchmark):
     """Full frontend + lowering pipeline on the recursive Fibonacci."""
-    from repro.frontend.api import AutobatchFunction
     from repro.lowering.pipeline import lower_program
 
     program = fib.program  # frontend compile (cached) outside the loop
     benchmark(lambda: lower_program(program, optimize=True))
 
 
-@pytest.mark.parametrize("machine", ("reference", "local", "pc", "pc_fused"))
+if pytest is not None:
+    _machine_mark = pytest.mark.parametrize(
+        "machine", ("reference", "local", "pc", "pc_fused")
+    )
+else:  # pragma: no cover - script mode never collects tests
+    _machine_mark = lambda f: f  # noqa: E731
+
+
+@_machine_mark
 def test_fib_machines(benchmark, machine):
     inputs = fib_inputs(64)
-    if machine == "reference":
-        benchmark(lambda: fib.run_reference(inputs))
-    elif machine == "local":
-        benchmark(lambda: fib.run_local(inputs))
-    elif machine == "pc":
-        benchmark(lambda: fib.run_pc(inputs, max_stack_depth=32))
-    else:
-        benchmark(
-            lambda: run_fused(
-                fib.stack_program(optimize=True), [inputs], max_stack_depth=32
-            )
-        )
+    benchmark(lambda: _run_machine(machine, inputs))
     benchmark.extra_info["machine"] = machine
 
 
@@ -59,3 +79,100 @@ def test_gradient_primitive_dispatch(benchmark):
     target = BayesianLogisticRegression(n_data=500, n_features=16, seed=0)
     q = target.initial_state(64, seed=1)
     benchmark(lambda: target.grad_log_prob(q))
+
+
+# -- standalone JSON mode ------------------------------------------------------
+
+
+def _run_machine(machine: str, inputs: np.ndarray):
+    if machine == "reference":
+        return fib.run_reference(inputs)
+    if machine == "local":
+        return fib.run_local(inputs)
+    if machine == "pc":
+        return fib.run_pc(inputs, max_stack_depth=32)
+    if machine == "pc_fused":
+        return fib.run_pc(inputs, executor="fused", max_stack_depth=32)
+    raise ValueError(machine)
+
+
+def _machine_result(machine: str, batch_size: int, repeats: int) -> dict:
+    from repro.bench.timing import best_of
+    from repro.vm.instrumentation import Instrumentation
+
+    inputs = fib_inputs(batch_size)
+    timing = best_of(lambda: _run_machine(machine, inputs), k=repeats, warmup=1)
+    row = {
+        "workload": "fib",
+        "machine": machine,
+        "batch_size": batch_size,
+        "best_seconds": timing.best_seconds,
+        "mean_seconds": timing.mean_seconds,
+        "lanes_per_second": batch_size / timing.best_seconds,
+    }
+    if machine in ("pc", "pc_fused"):
+        executor = "fused" if machine == "pc_fused" else "eager"
+        instr = Instrumentation()
+        fib.run_pc(
+            inputs, executor=executor, instrumentation=instr, max_stack_depth=32
+        )
+        plan = fib.execution_plan(executor=executor)
+        row.update(
+            executor=executor,
+            steps=instr.steps,
+            kernel_calls=instr.kernel_calls,
+            dispatches=plan.dispatch_count(instr),
+        )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batch and fewer repeats for CI smoke runs")
+    parser.add_argument("--out", default=os.path.join(os.curdir, "BENCH_core.json"),
+                        help="result file path (default ./BENCH_core.json)")
+    args = parser.parse_args(argv)
+
+    batch_size = 16 if args.quick else 64
+    repeats = 2 if args.quick else 5
+
+    from repro.bench.timing import best_of
+    from repro.lowering.pipeline import lower_program
+
+    program = fib.program
+    compile_timing = best_of(
+        lambda: lower_program(program, optimize=True), k=repeats, warmup=1
+    )
+
+    rows = [
+        _machine_result(machine, batch_size, repeats)
+        for machine in ("reference", "local", "pc", "pc_fused")
+    ]
+
+    pc = next(r for r in rows if r["machine"] == "pc")
+    fused = next(r for r in rows if r["machine"] == "pc_fused")
+    result = {
+        "benchmark": "bench_core",
+        "config": {"batch_size": batch_size, "repeats": repeats,
+                   "quick": bool(args.quick)},
+        "compile_pipeline_seconds": compile_timing.best_seconds,
+        "machines": rows,
+        "dispatch_ratio_eager_over_fused":
+            pc["dispatches"] / fused["dispatches"],
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    for row in rows:
+        extra = (f", dispatches={row['dispatches']}"
+                 if "dispatches" in row else "")
+        print(f"  {row['machine']:>10}: {row['best_seconds']:.4f}s best, "
+              f"{row['lanes_per_second']:.1f} lanes/s{extra}")
+    print(f"  eager/fused dispatch ratio: "
+          f"{result['dispatch_ratio_eager_over_fused']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

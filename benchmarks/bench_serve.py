@@ -1,25 +1,33 @@
-"""Open-loop serving benchmark: continuous batching vs drain-then-refill.
+"""Open-loop serving benchmark: continuous batching vs drain-then-refill,
+eager vs fused block execution.
 
 Requests (``fib`` calls with skewed sizes) arrive by a Poisson process on
 the engine's logical clock — open-loop, so a slow server cannot throttle
-its own offered load.  Both policies see the *identical* arrival sequence
-and run on the same machine width; the only difference is the refill
-discipline:
+its own offered load.  Every engine sees the *identical* arrival sequence
+and runs on the same machine width; the rows differ only in
 
-* ``continuous`` — a retired lane is re-injected from the queue on the
-  next tick (the ``repro.serve`` tentpole),
-* ``drain`` — requests are admitted only into a fully drained machine
-  (the static ``run_pc``-style baseline).
+* the refill discipline: ``continuous`` (a retired lane is re-injected
+  from the queue on the next tick — the ``repro.serve`` tentpole) vs
+  ``drain`` (requests admitted only into a fully drained machine — the
+  static ``run_pc``-style baseline), and
+* the block executor: ``eager`` (one host dispatch per primitive/storage
+  array op) vs ``fused`` (one generated call per basic block).
 
-Reported per policy: steady-state lane utilization, makespan in ticks,
-queue-wait distribution, time-to-first-result, throughput, and wall time.
-Continuous batching must win on lane utilization — that inequality is
-asserted, not just printed.
+Reported per engine: steady-state lane utilization, makespan in ticks,
+queue-wait distribution, time-to-first-result, throughput, plan-derived
+dispatch count, and wall time.  Two inequalities are asserted, not just
+printed: continuous batching must beat drain on lane utilization, and the
+fused engine must need at most a third of the eager engine's dispatches at
+equal (tick-clock) throughput.
 
-Run: ``python benchmarks/bench_serve.py [--quick]``
+Results are also written to a machine-readable ``BENCH_serve.json`` so the
+perf trajectory is tracked across PRs.
+
+Run: ``python benchmarks/bench_serve.py [--quick] [--out BENCH_serve.json]``
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -49,9 +57,9 @@ def skewed_sizes(n_requests: int, seed: int) -> np.ndarray:
     return np.where(rng.rand(n_requests) < 0.25, large, small).astype(np.int64)
 
 
-def run_policy(refill: str, requests, arrivals, num_lanes: int):
-    """Drive one engine through the arrival schedule; returns telemetry + results."""
-    engine = fib.serve(num_lanes=num_lanes, refill=refill)
+def run_engine(refill: str, executor: str, requests, arrivals, num_lanes: int):
+    """Drive one engine through the arrival schedule; returns engine + results."""
+    engine = fib.serve(num_lanes=num_lanes, refill=refill, executor=executor)
     handles = []
     i = 0
     wall_start = time.perf_counter()
@@ -73,6 +81,8 @@ def main():
     parser.add_argument("--rate", type=float, default=None,
                         help="offered load in requests per machine tick")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=os.path.join(os.curdir, "BENCH_serve.json"),
+                        help="result file path (default ./BENCH_serve.json)")
     args = parser.parse_args()
 
     n_requests = args.requests if args.requests is not None else (40 if args.quick else 200)
@@ -89,37 +99,90 @@ def main():
           f"Poisson rate {rate}/tick, {num_lanes} lanes\n")
 
     expected = fib.run_pc(sizes)
-    rows, utils = [], {}
-    for refill in ("continuous", "drain"):
-        engine, results, wall = run_policy(refill, requests, arrivals, num_lanes)
+    variants = [
+        ("continuous", "eager"),
+        ("continuous", "fused"),
+        ("drain", "eager"),
+    ]
+    rows, metrics = [], {}
+    for refill, executor in variants:
+        engine, results, wall = run_engine(
+            refill, executor, requests, arrivals, num_lanes
+        )
         if not np.array_equal(np.stack(results), expected):
-            raise AssertionError(f"{refill}: results diverge from static run_pc")
+            raise AssertionError(
+                f"{refill}/{executor}: results diverge from static run_pc"
+            )
         t = engine.telemetry
-        utils[refill] = t.lane_utilization()
+        metrics[(refill, executor)] = {
+            "refill": refill,
+            "executor": executor,
+            "lane_utilization": t.lane_utilization(),
+            "ticks": int(t.ticks),
+            "mean_queue_wait": t.mean_queue_wait(),
+            "max_queue_wait": int(t.max_queue_wait()),
+            "time_to_first_result": t.first_result_tick,
+            "throughput_requests_per_tick": t.throughput(),
+            "prim_utilization": t.instrumentation.utilization(),
+            "machine_steps": int(t.instrumentation.steps),
+            "kernel_calls": int(t.instrumentation.kernel_calls),
+            "dispatches": int(engine.dispatch_count()),
+            "wall_seconds": wall,
+        }
+        m = metrics[(refill, executor)]
         rows.append([
             refill,
-            f"{t.lane_utilization():.3f}",
-            f"{t.ticks:,}",
-            f"{t.mean_queue_wait():.0f}",
-            f"{t.max_queue_wait():,}",
-            f"{t.first_result_tick}",
-            f"{t.throughput():.4f}",
-            f"{t.instrumentation.utilization():.3f}",
-            f"{wall:.3f}",
+            executor,
+            f"{m['lane_utilization']:.3f}",
+            f"{m['ticks']:,}",
+            f"{m['mean_queue_wait']:.0f}",
+            f"{m['time_to_first_result']}",
+            f"{m['throughput_requests_per_tick']:.4f}",
+            f"{m['dispatches']:,}",
+            f"{m['wall_seconds']:.3f}",
         ])
 
     print(format_table(
-        ["policy", "lane util", "ticks", "mean wait", "max wait",
-         "ttfr", "req/tick", "prim util", "wall s"],
+        ["policy", "executor", "lane util", "ticks", "mean wait",
+         "ttfr", "req/tick", "dispatches", "wall s"],
         rows,
     ))
 
-    gain = utils["continuous"] / utils["drain"] if utils["drain"] else float("inf")
+    cont_eager = metrics[("continuous", "eager")]
+    cont_fused = metrics[("continuous", "fused")]
+    drain = metrics[("drain", "eager")]
+
+    gain = (cont_eager["lane_utilization"] / drain["lane_utilization"]
+            if drain["lane_utilization"] else float("inf"))
+    dispatch_ratio = cont_fused["dispatches"] / cont_eager["dispatches"]
     print(f"\ncontinuous/drain lane-utilization ratio: {gain:.2f}x")
-    assert utils["continuous"] > utils["drain"], (
+    print(f"fused/eager dispatch ratio (continuous): {dispatch_ratio:.3f} "
+          f"({cont_fused['dispatches']:,} vs {cont_eager['dispatches']:,})")
+
+    result = {
+        "benchmark": "bench_serve",
+        "config": {"requests": n_requests, "lanes": num_lanes, "rate": rate,
+                   "seed": args.seed, "quick": bool(args.quick)},
+        "engines": list(metrics.values()),
+        "continuous_over_drain_lane_utilization": gain,
+        "fused_over_eager_dispatch_ratio": dispatch_ratio,
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    assert cont_eager["lane_utilization"] > drain["lane_utilization"], (
         "continuous batching failed to beat drain-then-refill on lane utilization"
     )
-    print("OK: continuous batching sustains higher lane utilization")
+    assert cont_fused["ticks"] == cont_eager["ticks"], (
+        "executors diverged on the logical clock (throughput not equal)"
+    )
+    assert dispatch_ratio <= 1 / 3, (
+        f"fused engine needed {dispatch_ratio:.2f} of eager's dispatches; "
+        "expected <= 1/3"
+    )
+    print("OK: continuous batching sustains higher lane utilization; "
+          "fused execution needs <= 1/3 of the dispatches at equal throughput")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,6 @@ import time
 import numpy as np
 
 from repro import autobatch
-from repro.backend.fusion import run_fused
 from repro.bench.report import format_table
 from repro.dynbatch import DynamicBatcher, LazyContext
 from repro.matchbox import MaskedBatch, cond, matchbox_call
@@ -76,9 +75,14 @@ def main():
           kernel_calls=lambda: instr2.kernel_calls,
           note="flat machine; batches across stack depths")
 
+    instr3 = Instrumentation()
     timed("program counter, fused (XLA analog)",
-          lambda: run_fused(fib.stack_program(), [batch], max_stack_depth=32),
+          lambda: fib.run_pc(batch, executor="fused", instrumentation=instr3,
+                             max_stack_depth=32),
+          kernel_calls=lambda: instr3.kernel_calls,
           note="one dispatch per block")
+    rows[-1][-1] = (f"one dispatch per block "
+                    f"({fib.execution_plan('fused').dispatch_count(instr3):,} total)")
 
     def run_matchbox():
         (out,) = mb_fib(MaskedBatch(batch))

@@ -48,10 +48,8 @@ def main():
     print("plain Python, one member at a time:", fib.run_reference(batch))
     print("Algorithm 1 (local static):       ", fib.run_local(batch))
     print("Algorithm 2 (program counter):    ", fib.run_pc(batch))
-    from repro.backend.fusion import run_fused
-
     print("Algorithm 2 + fused blocks (XLA analog):",
-          run_fused(fib.stack_program(), [batch]))
+          fib.run_pc(batch, executor="fused"))
 
     print("\n== divergent loop: collatz ==")
     ns = np.array([6, 27, 97, 1, 703])

@@ -41,24 +41,29 @@ def main():
         for i in range(n_requests)
     ]
 
-    engine = chain.serve(
-        num_lanes=num_lanes,
-        max_stack_depth=max_depth + 8,
-        max_queue_depth=2 * n_requests,
-    )
+    def serve_stream(executor):
+        """Drive the identical staggered stream through one engine."""
+        engine = chain.serve(
+            num_lanes=num_lanes,
+            max_stack_depth=max_depth + 8,
+            max_queue_depth=2 * n_requests,
+            executor=executor,
+        )
+        # A staggered stream: a few requests up front, the rest trickling
+        # in while earlier chains are mid-trajectory.
+        handles = [engine.submit(*requests[i]) for i in range(num_lanes)]
+        next_req = num_lanes
+        while engine.tick() or next_req < n_requests:
+            if next_req < n_requests and engine.now % 50 == 0:
+                handles.append(engine.submit(*requests[next_req]))
+                next_req += 1
+        return engine, handles
+
     print(f"serving {n_requests} NUTS chain requests ({n_traj} trajectories each) "
           f"through {num_lanes} lanes on "
           f"logistic regression ({target.n_data} x {target.dim})\n")
 
-    # A staggered stream: a few requests up front, the rest trickling in
-    # while earlier chains are mid-trajectory.
-    handles = [engine.submit(*requests[i]) for i in range(num_lanes)]
-    next_req = num_lanes
-    while engine.tick() or next_req < n_requests:
-        if next_req < n_requests and engine.now % 50 == 0:
-            handles.append(engine.submit(*requests[next_req]))
-            next_req += 1
-
+    engine, handles = serve_stream("eager")
     finals = np.stack([h.result()[0] for h in handles])
     grads = np.array([float(h.result()[1]) for h in handles])
     order = np.argsort([h.finish_tick for h in handles])
@@ -83,6 +88,17 @@ def main():
     served_q = np.stack([h.result()[0] for h in probe])
     assert np.array_equal(served_q, static[0]), "served chain diverged from static"
     print("\nserved results are bit-identical to a static run_pc batch")
+
+    # Executor differential: the same stream under fused block execution
+    # must land bit-identically, with a fraction of the host dispatches.
+    fused_engine, fused_handles = serve_stream("fused")
+    fused_finals = np.stack([h.result()[0] for h in fused_handles])
+    assert np.array_equal(fused_finals, finals), (
+        "fused serving diverged from eager serving"
+    )
+    print(f"fused serving is bit-identical to eager; dispatches "
+          f"{fused_engine.dispatch_count():,} (fused) vs "
+          f"{engine.dispatch_count():,} (eager)")
     print(f"posterior-mean accuracy over served chains: "
           f"{target.accuracy(finals.mean(axis=0)):.3f}")
 

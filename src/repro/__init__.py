@@ -28,10 +28,10 @@ from repro.frontend import (
     primitive,
 )
 from repro.serve import Engine, QueueFullError, StepBudgetExceeded
-from repro.vm import Instrumentation
+from repro.vm import BlockExecutor, ExecutionPlan, Instrumentation
 from repro import ops
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AutobatchFunction",
@@ -43,6 +43,8 @@ __all__ = [
     "Engine",
     "QueueFullError",
     "StepBudgetExceeded",
+    "BlockExecutor",
+    "ExecutionPlan",
     "Instrumentation",
     "ops",
     "__version__",

@@ -15,13 +15,19 @@ XLA (kernel fusion, low dispatch overhead).  This package reproduces the
 """
 
 from repro.backend.device import CPU_DEVICE, GPU_DEVICE, DeviceModel
-from repro.backend.fusion import FusionUnsupported, compile_block_executors, run_fused
+from repro.backend.fusion import (
+    FusedBlockExecutor,
+    FusionUnsupported,
+    compile_block_executors,
+    run_fused,
+)
 from repro.backend.kernels import KernelLibrary
 
 __all__ = [
     "CPU_DEVICE",
     "GPU_DEVICE",
     "DeviceModel",
+    "FusedBlockExecutor",
     "FusionUnsupported",
     "compile_block_executors",
     "run_fused",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 from repro.vm.instrumentation import Instrumentation
 
@@ -33,6 +34,14 @@ class DeviceModel:
     element_time: float             # seconds per weighted element (width 1)
     parallel_width: int             # weighted elements processed concurrently
 
+    def launch_overhead(self, accounting: str) -> float:
+        """Seconds per host→device launch for a dispatch-accounting family."""
+        if accounting == "fused":
+            return self.fused_dispatch_overhead
+        if accounting == "eager":
+            return self.dispatch_overhead
+        raise ValueError(f"unknown dispatch accounting {accounting!r}")
+
     def kernel_seconds(self, flops_per_call: float) -> float:
         """Compute time of one kernel call, excluding dispatch.
 
@@ -43,10 +52,17 @@ class DeviceModel:
         waves = max(1.0, math.ceil(flops_per_call / self.parallel_width))
         return self.element_time * waves
 
-    def estimate(self, instr: Instrumentation, strategy: str = "eager") -> float:
+    def estimate(self, instr: Instrumentation, strategy: Any = "eager") -> float:
         """Simulated seconds for a run summarized by ``instr``.
 
-        ``strategy`` chooses the dispatch accounting:
+        ``strategy`` chooses the dispatch accounting.  The preferred form
+        is an :class:`~repro.vm.executors.ExecutionPlan` (or any object
+        with ``device_dispatch_count(instr)`` and ``accounting``): the
+        launch count then comes from the executor that actually ran the
+        blocks instead of a hard-coded per-string formula.  (Kernel-level
+        launches only, so strategies whose instrumentation lacks storage
+        counters remain comparable in one figure; stack traffic is charged
+        separately below.)  The legacy string forms remain:
 
         * ``"eager"`` — one dispatch per primitive execution (TF Eager);
         * ``"fused"`` — one dispatch per basic-block execution (XLA);
@@ -63,7 +79,11 @@ class DeviceModel:
             compute += counter.executions * self.kernel_seconds(flops_per_call)
             total_kernel_calls += counter.executions
 
-        if strategy == "eager":
+        if hasattr(strategy, "device_dispatch_count"):
+            dispatch = strategy.device_dispatch_count(
+                instr
+            ) * self.launch_overhead(strategy.accounting)
+        elif strategy == "eager":
             dispatch = total_kernel_calls * self.dispatch_overhead
         elif strategy == "fused":
             dispatch = instr.steps * self.fused_dispatch_overhead

@@ -8,9 +8,25 @@ with temporaries as local variables, storage handles and kernel functions
 pre-bound in the closure, and the terminator inlined.  The machine then
 makes one call per block execution instead of one per operation.
 
+Since the executor refactor this is just one implementation of the
+:class:`~repro.vm.executors.BlockExecutor` protocol —
+:class:`FusedBlockExecutor`, selected with ``executor="fused"`` on
+``run_pc``, :class:`~repro.serve.engine.Engine`, or
+:meth:`~repro.frontend.api.AutobatchFunction.execution_plan`.  There is no
+separate fused driver loop: :func:`run_fused` survives only as a thin
+wrapper that compiles an :class:`~repro.vm.executors.ExecutionPlan` and
+hands it to the ordinary machine.
+
+Generated blocks are *observationally identical* to interpretation: they
+run their arithmetic under ``np.errstate(all="ignore")`` (masked-off lanes
+must never raise spurious floating-point warnings) and record the same
+:class:`~repro.vm.instrumentation.Instrumentation` counters the interpreter
+does, so eager and fused runs produce bit-identical outputs **and** op
+counts — the property the differential tests pin down.
+
 The same generated executors serve two strategies from the paper's Figure 5:
 
-* ``pc_xla`` — the program-counter VM with every block fused;
+* ``pc_fused`` — the program-counter VM with every block fused;
 * ``hybrid`` — local static autobatching driving fused straight-line blocks
   (see :mod:`repro.bench.figure5`), which the paper found fastest at very
   large batch sizes.
@@ -19,11 +35,11 @@ The same generated executors serve two strategies from the paper's Figure 5:
 from __future__ import annotations
 
 import textwrap
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.frontend.registry import PrimitiveRegistry, default_registry
+from repro.frontend.registry import PrimitiveRegistry
 from repro.ir.instructions import (
     Branch,
     ConstOp,
@@ -36,36 +52,70 @@ from repro.ir.instructions import (
     StackProgram,
     VarKind,
 )
-from repro.vm.program_counter import ProgramCounterVM
+from repro.vm.executors import (
+    BlockExecutor,
+    ExecutionPlan,
+    register_executor,
+)
+from repro.vm.instrumentation import Instrumentation, elements_per_lane
+from repro.vm.local_static import _const_array
 
 
 class FusionUnsupported(ValueError):
     """Raised when a program/configuration cannot be fused."""
 
 
-def _const_expr(value, batch_size: int) -> np.ndarray:
-    if isinstance(value, bool):
-        return np.full(batch_size, value, dtype=bool)
-    if isinstance(value, int):
-        return np.full(batch_size, value, dtype=np.int64)
-    return np.full(batch_size, value, dtype=np.float64)
+class _CompiledBlock:
+    """One block's generated source, compiled code object, and bind spec.
+
+    Machine-independent: the expensive work (source generation plus
+    ``compile()``) happens once per plan; :meth:`bind` only resolves the
+    spec's names against one VM (storage handles, kernel functions,
+    batch-width constants) and ``exec``s the pre-compiled code object into
+    that namespace.
+    """
+
+    __slots__ = ("index", "source", "code", "spec")
+
+    def __init__(self, index: int, source: str, spec: List[tuple]):
+        self.index = index
+        self.source = source
+        self.code = compile(source, f"<fused block {index}>", "exec")
+        self.spec = spec
+
+    def bind(self, vm: Any, registry: PrimitiveRegistry) -> Callable:
+        namespace: Dict[str, object] = {"np": np, "_el": elements_per_lane}
+        for name, kind, payload in self.spec:
+            if kind == "storage":
+                namespace[name] = vm.storage(payload)
+            elif kind == "prim_fn":
+                namespace[name] = registry.get(payload).fn
+            elif kind == "prim":
+                namespace[name] = registry.get(payload)
+            elif kind == "const":
+                namespace[name] = _const_array(payload, vm.batch_size)
+            else:  # "ret": a PushJump return-target row
+                namespace[name] = np.full(vm.batch_size, payload, dtype=np.int64)
+        namespace["_z"] = vm.batch_size
+        exec(self.code, namespace)
+        fn = namespace[f"_fused_block_{self.index}"]
+        fn.__fused_source__ = self.source  # type: ignore[attr-defined]
+        return fn
 
 
 class _BlockCompiler:
     """Generates the fused executor source for one basic block."""
 
-    def __init__(self, program: StackProgram, registry: PrimitiveRegistry, vm: ProgramCounterVM):
+    def __init__(self, program: StackProgram):
         self.program = program
-        self.registry = registry
-        self.vm = vm
-        self.namespace: Dict[str, object] = {"np": np}
+        self.spec: List[tuple] = []
         self._mangle: Dict[str, str] = {}
         self._n = 0
 
-    def _bind(self, prefix: str, obj: object) -> str:
+    def _bind(self, prefix: str, kind: str, payload: object) -> str:
         name = f"{prefix}{self._n}"
         self._n += 1
-        self.namespace[name] = obj
+        self.spec.append((name, kind, payload))
         return name
 
     def _temp_local(self, var: str) -> str:
@@ -73,54 +123,74 @@ class _BlockCompiler:
             self._mangle[var] = f"t{len(self._mangle)}"
         return self._mangle[var]
 
-    def _read_expr(self, var: str) -> str:
-        if self.program.kind(var) is VarKind.TEMP:
+    def _read_expr(self, var: str, lines: List[str]) -> str:
+        """Expression reading ``var``, emitting the interpreter's read record."""
+        kind = self.program.kind(var)
+        if kind is VarKind.TEMP:
             return self._temp_local(var)
-        storage_name = self._bind("s", self.vm.storage(var))
+        if kind is VarKind.STACKED:
+            lines.append("_i.stacked_reads += 1")
+        storage_name = self._bind("s", "storage", var)
         return f"{storage_name}.read()"
 
-    def compile(self, block_index: int) -> Callable:
-        """Compile block ``block_index`` into one fused callable."""
+    def _write_lines(self, var: str, expr: str, lines: List[str]) -> None:
+        """Statements writing ``expr`` to ``var`` with the interpreter's
+        storage-write record."""
+        kind = self.program.kind(var)
+        if kind is VarKind.TEMP:
+            lines.append(f"{self._temp_local(var)} = {expr}")
+            return
+        if kind is VarKind.STACKED:
+            lines.append("_i.stacked_writes += 1")
+        else:
+            lines.append("_i.register_writes += 1")
+        s = self._bind("s", "storage", var)
+        lines.append(f"{s}.write(mask, np.asarray({expr}))")
+
+    def compile(self, block_index: int) -> _CompiledBlock:
+        """Generate and compile block ``block_index``'s fused source."""
         block = self.program.blocks[block_index]
         lines: List[str] = []
 
-        for op in block.ops:
+        for j, op in enumerate(block.ops):
             if isinstance(op, ConstOp):
-                const = self._bind("c", _const_expr(op.value, self.vm.batch_size))
-                if self.program.kind(op.output) is VarKind.TEMP:
-                    lines.append(f"{self._temp_local(op.output)} = {const}")
-                else:
-                    s = self._bind("s", self.vm.storage(op.output))
-                    lines.append(f"{s}.write(mask, {const})")
+                const = self._bind("c", "const", op.value)
+                self._write_lines(op.output, const, lines)
             elif isinstance(op, PrimOp):
-                prim = self.registry.get(op.fn)
-                k = self._bind("k", prim.fn)
-                args = ", ".join(self._read_expr(v) for v in op.inputs)
+                k = self._bind("k", "prim_fn", op.fn)
+                p = self._bind("p", "prim", op.fn)
+                args = ", ".join(self._read_expr(v, lines) for v in op.inputs)
                 if len(op.outputs) == 1:
                     out = op.outputs[0]
                     if self.program.kind(out) is VarKind.TEMP:
-                        lines.append(f"{self._temp_local(out)} = {k}({args})")
+                        first = self._temp_local(out)
+                        lines.append(f"{first} = {k}({args})")
                     else:
-                        s = self._bind("s", self.vm.storage(out))
-                        lines.append(f"{s}.write(mask, np.asarray({k}({args})))")
+                        first = f"v{block_index}_{j}"
+                        lines.append(f"{first} = {k}({args})")
+                        self._write_lines(out, first, lines)
                 else:
-                    tmps = [f"o{block_index}_{i}" for i in range(len(op.outputs))]
+                    tmps = [
+                        f"o{block_index}_{j}_{i}" for i in range(len(op.outputs))
+                    ]
                     lines.append(f"{', '.join(tmps)} = {k}({args})")
                     for tmp, out in zip(tmps, op.outputs):
-                        if self.program.kind(out) is VarKind.TEMP:
-                            lines.append(f"{self._temp_local(out)} = {tmp}")
-                        else:
-                            s = self._bind("s", self.vm.storage(out))
-                            lines.append(f"{s}.write(mask, np.asarray({tmp}))")
+                        self._write_lines(out, tmp, lines)
+                    first = tmps[0]
+                lines.append(
+                    f"_i.record_prim({p}.name, {p}.tags, _na, _z, "
+                    f"elements=_el({first}), weight={p}.cost_weight)"
+                )
             elif isinstance(op, PushOp):
-                prim = self.registry.get(op.fn)
-                k = self._bind("k", prim.fn)
-                args = ", ".join(self._read_expr(v) for v in op.inputs)
-                s = self._bind("s", self.vm.storage(op.output))
+                k = self._bind("k", "prim_fn", op.fn)
+                args = ", ".join(self._read_expr(v, lines) for v in op.inputs)
+                s = self._bind("s", "storage", op.output)
                 lines.append(f"{s}.push(mask, np.asarray({k}({args})))")
+                lines.append("_i.record_push(_na)")
             elif isinstance(op, PopOp):
-                s = self._bind("s", self.vm.storage(op.var))
+                s = self._bind("s", "storage", op.var)
                 lines.append(f"{s}.pop(mask)")
+                lines.append("_i.record_pop(_na)")
             else:
                 raise FusionUnsupported(f"cannot fuse op {op!r}")
 
@@ -128,17 +198,14 @@ class _BlockCompiler:
         if isinstance(term, Jump):
             lines.append(f"vm.pcreg[mask] = {term.target}")
         elif isinstance(term, Branch):
-            cond = self._read_expr(term.cond)
+            cond = self._read_expr(term.cond, lines)
             lines.append(f"_c = np.asarray({cond}, dtype=bool)")
             lines.append(
                 f"vm.pcreg[mask] = np.where(_c, {term.true_target}, "
                 f"{term.false_target})[mask]"
             )
         elif isinstance(term, PushJump):
-            ret = self._bind(
-                "r",
-                np.full(self.vm.batch_size, term.return_target, dtype=np.int64),
-            )
+            ret = self._bind("r", "ret", term.return_target)
             lines.append(f"vm.addr_stack.push(mask, {ret})")
             lines.append(f"vm.pcreg[mask] = {term.jump_target}")
         elif isinstance(term, Return):
@@ -147,34 +214,82 @@ class _BlockCompiler:
         else:
             raise FusionUnsupported(f"cannot fuse terminator {term!r}")
 
-        body = textwrap.indent("\n".join(lines) or "pass", "    ")
-        source = f"def _fused_block_{block_index}(vm, mask, idx):\n{body}\n"
-        exec(compile(source, f"<fused block {block_index}>", "exec"), self.namespace)
-        fn = self.namespace[f"_fused_block_{block_index}"]
-        fn.__fused_source__ = source  # type: ignore[attr-defined]
-        return fn
+        body = textwrap.indent("\n".join(lines) or "pass", "        ")
+        source = (
+            f"def _fused_block_{block_index}(vm, mask, idx):\n"
+            f"    _i = vm.instr\n"
+            f"    _na = int(idx.size)\n"
+            f"    with np.errstate(all='ignore'):\n"
+            f"{body}\n"
+        )
+        return _CompiledBlock(block_index, source, self.spec)
 
 
-def compile_block_executors(
-    vm: ProgramCounterVM,
-    registry: Optional[PrimitiveRegistry] = None,
-) -> List[Callable]:
-    """Compile fused executors for every block of ``vm``'s program.
+class FusedBlockExecutor(BlockExecutor):
+    """Every block pre-compiled into one generated straight-line callable.
+
+    One host dispatch per block execution instead of one per primitive —
+    the XLA analog, and the executor behind Figure 5's ``pc_fused`` line
+    and the serving engine's ``executor="fused"``.
 
     Only the masking execution mode is supported (the paper notes that the
     statically-indeterminate intermediate sizes of gather-scatter defeat
     XLA-style compilation, which is exactly the constraint here).
     """
-    if vm.mode != "mask":
-        raise FusionUnsupported(
-            "block fusion requires masking mode (gather-scatter has "
-            "statically indeterminate intermediate shapes)"
-        )
-    registry = registry or vm.registry
-    return [
-        _BlockCompiler(vm.program, registry, vm).compile(i)
-        for i in range(len(vm.program.blocks))
-    ]
+
+    name = "fused"
+    accounting = "fused"
+
+    def __init__(self, registry: Optional[PrimitiveRegistry] = None):
+        self.registry = registry
+        # Source generation + compile() happen once per program; VMs only
+        # re-resolve the bind spec (an ExecutionPlan pairs one executor
+        # instance with one program, so this cache is effectively per plan).
+        self._compiled_for: Optional[StackProgram] = None
+        self._compiled: List[_CompiledBlock] = []
+
+    def _compiled_blocks(self, program: StackProgram) -> List[_CompiledBlock]:
+        if self._compiled_for is not program:
+            self._compiled = [
+                _BlockCompiler(program).compile(i)
+                for i in range(len(program.blocks))
+            ]
+            self._compiled_for = program
+        return self._compiled
+
+    def bind(self, vm: Any) -> List[Callable]:
+        if vm.mode != "mask":
+            raise FusionUnsupported(
+                "block fusion requires masking mode (gather-scatter has "
+                "statically indeterminate intermediate shapes)"
+            )
+        registry = self.registry or vm.registry
+        return [
+            blk.bind(vm, registry) for blk in self._compiled_blocks(vm.program)
+        ]
+
+    def dispatch_count(self, instr: Instrumentation) -> int:
+        """One host→device launch per basic-block execution."""
+        return instr.steps
+
+    def device_dispatch_count(self, instr: Instrumentation) -> int:
+        """Identical: the fused block *is* the launch unit (XLA accounting)."""
+        return instr.steps
+
+
+register_executor(FusedBlockExecutor.name, FusedBlockExecutor)
+
+
+def compile_block_executors(
+    vm: Any,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> List[Callable]:
+    """Compile fused executors for every block of ``vm``'s program.
+
+    Legacy entry point kept for the ``vm.block_executors`` override API;
+    new code selects ``executor="fused"`` and lets the plan bind itself.
+    """
+    return FusedBlockExecutor(registry).bind(vm)
 
 
 def run_fused(
@@ -185,21 +300,21 @@ def run_fused(
     scheduler="earliest",
     max_steps: int = 10 ** 9,
 ):
-    """Run a stack program with every block fused (the ``pc_xla`` strategy)."""
-    arrays = [np.asarray(x) for x in inputs]
-    vm = ProgramCounterVM(
-        program,
-        batch_size=arrays[0].shape[0],
+    """Run a stack program with every block fused (the ``pc_xla`` strategy).
+
+    Thin wrapper over :class:`~repro.vm.executors.ExecutionPlan`: the fused
+    machine *is* the ordinary program-counter machine with a fused plan —
+    there is no separate driver loop.
+    """
+    from repro.vm.program_counter import run_program_counter
+
+    plan = ExecutionPlan.compile(program, executor=FusedBlockExecutor(registry))
+    return run_program_counter(
+        plan,
+        inputs,
         registry=registry,
         mode="mask",
         scheduler=scheduler,
         max_stack_depth=max_stack_depth,
         max_steps=max_steps,
     )
-    vm.block_executors = compile_block_executors(vm, registry)
-    old = np.seterr(all="ignore")
-    try:
-        outputs = vm.run(arrays)
-    finally:
-        np.seterr(**old)
-    return outputs[0] if len(outputs) == 1 else tuple(outputs)

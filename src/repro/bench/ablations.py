@@ -10,9 +10,10 @@ lowering optimizations; this harness measures each head-to-head:
 * **B. block-selection heuristic** (free choice 2) — ``earliest`` (the
   Algorithm 1/2 default), ``most_active``, ``round_robin``; all are correct,
   they differ in step count and batching quality.
-* **C. lowering optimizations on/off** (Section 3's optimizations 1-5,
-  toggled as a block) — measured through stack traffic (pushes/pops and
-  per-lane stack movement) and machine steps.
+* **C. lowering optimizations** (Section 3's optimizations 2, 3, and 5,
+  swept individually via :class:`~repro.lowering.pipeline.LoweringOptions`
+  plus the all-on/all-off extremes) — measured through stack traffic
+  (pushes/pops and per-lane stack movement) and machine steps.
 
 Run as ``python -m repro.bench.ablations``.
 """
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.timing import best_of
+from repro.lowering.pipeline import LoweringOptions
 from repro.nuts.kernel import NutsKernel
 from repro.targets.gaussian import CorrelatedGaussian
 from repro.vm.instrumentation import Instrumentation
@@ -77,6 +79,26 @@ def _fib_workload(config: AblationConfig):
     rng = np.random.RandomState(config.seed)
     inputs = rng.choice(config.fib_inputs, size=config.batch_size)
     return _fib, (np.asarray(inputs, dtype=np.int64),)
+
+
+@autobatch
+def _chain_calls(n):
+    # Adjacent recursive calls: the save/restore between them is the
+    # Pop;Push pair that optimization 5 cancels (fib's single-expression
+    # recursion never produces one, so it cannot exercise that toggle).
+    if n <= 0:
+        return 1
+    a = n - 1
+    b = n - 2
+    left = _chain_calls(a)
+    right = _chain_calls(b)
+    return left + right
+
+
+def _calls_workload(config: AblationConfig):
+    rng = np.random.RandomState(config.seed)
+    inputs = rng.choice(config.fib_inputs, size=config.batch_size)
+    return _chain_calls, (np.asarray(inputs, dtype=np.int64),)
 
 
 def _nuts_workload(config: AblationConfig):
@@ -164,14 +186,28 @@ def ablation_scheduler(config: AblationConfig = AblationConfig()) -> List[Ablati
     return rows
 
 
+#: Ablation C variants: ``optimize=`` values passed straight through the
+#: public ``run_pc`` API (per-optimization toggles are LoweringOptions
+#: instances — each gets its own cached lowering and execution plan).
+OPTIMIZATION_VARIANTS: List = [
+    ("optimized", True),
+    ("no_temp_opt", LoweringOptions(temp_opt=False)),
+    ("no_register_opt", LoweringOptions(register_opt=False)),
+    ("no_pop_push_opt", LoweringOptions(pop_push_opt=False)),
+    ("unoptimized", False),
+]
+
+
 def ablation_optimizations(config: AblationConfig = AblationConfig()) -> List[AblationRow]:
-    """Lowering optimizations on vs off (stack traffic is the headline)."""
+    """Lowering optimizations swept individually (stack traffic is the
+    headline): all-on, each of optimizations 2/3/5 disabled alone, all-off."""
     rows: List[AblationRow] = []
     for workload_name, (program, inputs) in (
         ("fib", _fib_workload(config)),
+        ("calls", _calls_workload(config)),
         ("nuts", _nuts_workload(config)),
     ):
-        for optimize in (True, False):
+        for variant, optimize in OPTIMIZATION_VARIANTS:
             def run(instr, optimize=optimize):
                 return program.run_pc(
                     *inputs,
@@ -181,12 +217,7 @@ def ablation_optimizations(config: AblationConfig = AblationConfig()) -> List[Ab
                 )
 
             rows.append(
-                _run_variant(
-                    workload_name,
-                    "optimized" if optimize else "unoptimized",
-                    run,
-                    config.repeats,
-                )
+                _run_variant(workload_name, variant, run, config.repeats)
             )
     return rows
 

@@ -43,11 +43,15 @@ from repro.backend.device import CPU_DEVICE, GPU_DEVICE, DeviceModel
 from repro.baselines.stan_like import StanLikeSampler
 from repro.bench.report import crossover, format_series, format_table
 from repro.bench.timing import best_of
-from repro.nuts.kernel import NutsKernel
+from repro.nuts.kernel import PC_STRATEGY_EXECUTORS, NutsKernel
 from repro.targets.logistic import BayesianLogisticRegression
 from repro.vm.instrumentation import Instrumentation
 
 #: Every Figure 5 strategy, all executed for real wall-clock measurement.
+#: The program-counter rows differ only in their block executor — selected
+#: through :data:`~repro.nuts.kernel.PC_STRATEGY_EXECUTORS`, not separate
+#: run functions — and their simulated dispatch costs come from the
+#: matching :class:`~repro.vm.executors.ExecutionPlan`.
 EXECUTED_STRATEGIES = ("pc_fused", "pc", "local", "hybrid", "reference", "stan")
 ALL_STRATEGIES = EXECUTED_STRATEGIES
 
@@ -211,7 +215,7 @@ class Figure5Result:
 
 def _simulate(
     instr: Instrumentation,
-    accounting: str,
+    accounting,  # a legacy accounting string or an ExecutionPlan
     devices: Sequence[DeviceModel] = (CPU_DEVICE, GPU_DEVICE),
 ) -> Dict[str, float]:
     return {d.name: d.estimate(instr, strategy=accounting) for d in devices}
@@ -286,10 +290,10 @@ def run_figure5(config: Figure5Config = Figure5Config()) -> Figure5Result:
                 )
                 measured_grads = timing.value.total_grad_evals
                 seconds = timing.best_seconds
-                if strategy == "pc":
-                    sim = _simulate(instr_pc, "eager")
-                elif strategy == "pc_fused":
-                    sim = _simulate(instr_pc, "fused")
+                if strategy in PC_STRATEGY_EXECUTORS:
+                    # Plan-derived dispatch accounting: the same machine run,
+                    # costed by the executor that would launch its kernels.
+                    sim = _simulate(instr_pc, kernel.plan(strategy))
                 elif strategy == "local":
                     sim = _simulate(instr_local, "eager") if instr_local else {}
                 elif strategy == "hybrid":

@@ -32,6 +32,7 @@ from repro.frontend.registry import PrimitiveRegistry, default_registry
 from repro.ir.builder import ProgramBuilder
 from repro.ir.instructions import Function, Program, StackProgram
 from repro.ir.validate import validate_program
+from repro.lowering.pipeline import LoweringOptions, normalize_lowering_options
 
 
 class AutobatchFunction:
@@ -49,7 +50,8 @@ class AutobatchFunction:
         self._compiled: Optional[CompiledFunction] = None
         self._program: Optional[Program] = None
         self._callee_objects: Dict[str, "AutobatchFunction"] = {}
-        self._stack_programs: Dict[Tuple, StackProgram] = {}
+        self._stack_programs: Dict[LoweringOptions, StackProgram] = {}
+        self._execution_plans: Dict[Tuple, Any] = {}
         functools.update_wrapper(self, pyfunc, updated=())
 
     # -- plain Python execution (the reference semantics) --------------------
@@ -115,14 +117,48 @@ class AutobatchFunction:
             self._callee_objects = seen
         return self._program
 
-    def stack_program(self, optimize: bool = True) -> StackProgram:
-        """The lowered stack-dialect program for the program-counter machine."""
-        key = (optimize,)
+    def stack_program(self, optimize: Any = True) -> StackProgram:
+        """The lowered stack-dialect program for the program-counter machine.
+
+        ``optimize`` may be a bool (all lowering optimizations on/off) or a
+        :class:`~repro.lowering.pipeline.LoweringOptions` instance for
+        per-optimization toggles; each distinct configuration is lowered
+        once and cached.
+        """
+        key = normalize_lowering_options(optimize)
         if key not in self._stack_programs:
             from repro.lowering.pipeline import lower_program
 
-            self._stack_programs[key] = lower_program(self.program, optimize=optimize)
+            self._stack_programs[key] = lower_program(self.program, optimize=key)
         return self._stack_programs[key]
+
+    def execution_plan(
+        self, executor: Any = "eager", optimize: Any = True
+    ) -> Any:
+        """A cached :class:`~repro.vm.executors.ExecutionPlan` for this function.
+
+        The plan pairs the lowered program with a block-executor choice
+        (``"eager"`` per-op dispatch or ``"fused"`` one-call-per-block);
+        one plan per (executor, lowering options) pair is compiled, then
+        shared by every machine ``run_pc`` or ``serve`` creates.
+        """
+        from repro.vm.executors import ExecutionPlan, resolve_executor
+
+        opts = normalize_lowering_options(optimize)
+        ex = resolve_executor(executor)
+        if not (executor is None or isinstance(executor, str)):
+            # A caller-supplied executor instance/class may carry its own
+            # state or share a name with an unrelated class; only specs
+            # resolved through the name registry go through the cache.
+            return ExecutionPlan(
+                program=self.stack_program(opts), executor=ex, options=opts
+            )
+        key = (ex.name, opts)
+        if key not in self._execution_plans:
+            self._execution_plans[key] = ExecutionPlan(
+                program=self.stack_program(opts), executor=ex, options=opts
+            )
+        return self._execution_plans[key]
 
     # -- batched execution ----------------------------------------------------
 
@@ -136,13 +172,20 @@ class AutobatchFunction:
         )
 
     def run_pc(self, *inputs: np.ndarray, **options: Any) -> Any:
-        """Run under program-counter autobatching (paper Algorithm 2)."""
+        """Run under program-counter autobatching (paper Algorithm 2).
+
+        ``executor="eager"`` (default) interprets blocks op-at-a-time;
+        ``executor="fused"`` runs each block as one pre-compiled callable
+        (bit-identical results, one dispatch per block).  ``optimize``
+        accepts a bool or a :class:`~repro.lowering.pipeline.LoweringOptions`.
+        """
         from repro.vm.program_counter import run_program_counter
 
         optimize = options.pop("optimize", True)
+        executor = options.pop("executor", "eager")
         registry = options.pop("registry", self.registry)
         return run_program_counter(
-            self.stack_program(optimize=optimize),
+            self.execution_plan(executor=executor, optimize=optimize),
             list(inputs),
             registry=registry,
             **options,
@@ -161,7 +204,9 @@ class AutobatchFunction:
             engine.run_until_idle()
             handle.result()
 
-        Options are forwarded to :class:`~repro.serve.engine.Engine`.
+        Options are forwarded to :class:`~repro.serve.engine.Engine`;
+        ``executor="fused"`` serves through fused basic blocks (identical
+        results, one host dispatch per block).
         """
         from repro.serve.engine import Engine
 

@@ -46,15 +46,26 @@ class LoweringOptions:
         return cls(temp_opt=False, register_opt=False, pop_push_opt=False)
 
 
+def normalize_lowering_options(
+    optimize: Union[bool, LoweringOptions]
+) -> LoweringOptions:
+    """Coerce the public ``optimize`` argument to a :class:`LoweringOptions`.
+
+    ``True``/``False`` keep their historical meaning (all optimizations
+    on/off); a :class:`LoweringOptions` instance passes through, so ablation
+    benches can toggle individual optimizations via the public API.
+    """
+    if isinstance(optimize, LoweringOptions):
+        return optimize
+    return LoweringOptions() if optimize else LoweringOptions.none()
+
+
 def lower_program(
     program: Program,
     optimize: Union[bool, LoweringOptions] = True,
 ) -> StackProgram:
     """Compile a callable-IR program to a flat stack-dialect program."""
-    if isinstance(optimize, LoweringOptions):
-        opts = optimize
-    else:
-        opts = LoweringOptions() if optimize else LoweringOptions.none()
+    opts = normalize_lowering_options(optimize)
 
     validate_program(program)
     problems: List[str] = []

@@ -42,6 +42,10 @@ from repro.vm.instrumentation import Instrumentation
 #: Execution strategies understood by :meth:`NutsKernel.run`.
 KERNEL_STRATEGIES = ("reference", "local", "hybrid", "pc", "pc_fused", "pc_noopt")
 
+#: Block-executor selection for the program-counter strategies: the machine
+#: is identical, only the :class:`~repro.vm.executors.ExecutionPlan` differs.
+PC_STRATEGY_EXECUTORS = {"pc": "eager", "pc_noopt": "eager", "pc_fused": "fused"}
+
 
 @dataclass
 class NutsResult:
@@ -75,6 +79,22 @@ class NutsKernel:
     def initial_rng(self, batch_size: int, seed: int = 0) -> np.ndarray:
         """Independent per-member RNG counters."""
         return make_counters(seed, batch_size)
+
+    def plan(self, strategy: str = "pc"):
+        """The :class:`~repro.vm.executors.ExecutionPlan` a PC strategy runs.
+
+        The bench harnesses use this for plan-derived dispatch accounting
+        in the device cost models.
+        """
+        if strategy not in PC_STRATEGY_EXECUTORS:
+            raise ValueError(
+                f"strategy {strategy!r} does not run on the program-counter "
+                f"machine; expected one of {sorted(PC_STRATEGY_EXECUTORS)}"
+            )
+        return self.functions.nuts_chain.execution_plan(
+            executor=PC_STRATEGY_EXECUTORS[strategy],
+            optimize=(strategy != "pc_noopt"),
+        )
 
     def run(
         self,
@@ -133,24 +153,15 @@ class NutsKernel:
                 instrumentation=instrumentation,
                 fuse_blocks=(strategy == "hybrid"),
             )
-        elif strategy in ("pc", "pc_noopt"):
+        else:  # pc / pc_noopt / pc_fused: one machine, per-strategy plan
             out = chain.run_pc(
                 *inputs,
-                optimize=(strategy == "pc"),
+                optimize=(strategy != "pc_noopt"),
+                executor=PC_STRATEGY_EXECUTORS[strategy],
                 mode=mode,
                 scheduler=scheduler,
                 max_stack_depth=max_stack_depth,
                 instrumentation=instrumentation,
-            )
-        else:  # pc_fused
-            from repro.backend.fusion import run_fused
-
-            out = run_fused(
-                chain.stack_program(optimize=True),
-                list(inputs),
-                registry=chain.registry,
-                max_stack_depth=max_stack_depth,
-                scheduler=scheduler,
             )
         wall = time.perf_counter() - start
 

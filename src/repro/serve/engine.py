@@ -26,6 +26,7 @@ import numpy as np
 from repro.frontend.registry import PrimitiveRegistry
 from repro.ir.instructions import StackProgram
 from repro.serve.lanes import LanePool
+from repro.vm.executors import ExecutionPlan
 from repro.serve.queue import (
     QueueFullError,
     RequestQueue,
@@ -64,6 +65,12 @@ class Engine:
         ``"continuous"`` (inject into vacated lanes mid-flight) or
         ``"drain"`` (admit only into a fully drained machine — the static
         baseline).
+    executor:
+        Block-executor choice for the machine: ``"eager"`` (per-op
+        dispatch) or ``"fused"`` (each block one pre-compiled callable —
+        same results, a fraction of the dispatches).  Lane recycling is
+        executor-agnostic: the retire/reset/inject hooks go through the
+        machine's :class:`~repro.vm.executors.ExecutionPlan`.
     """
 
     def __init__(
@@ -76,7 +83,8 @@ class Engine:
         scheduler: Any = "earliest",
         max_stack_depth: int = 32,
         top_cache: bool = True,
-        optimize: bool = True,
+        optimize: Any = True,
+        executor: Any = None,
         max_queue_depth: Optional[int] = None,
         default_step_budget: Optional[int] = None,
         refill: str = "continuous",
@@ -87,21 +95,30 @@ class Engine:
             raise ValueError(
                 f"refill must be one of {REFILL_POLICIES}, got {refill!r}"
             )
-        if isinstance(program, StackProgram):
-            stack_program = program
+        if isinstance(program, ExecutionPlan):
+            if executor is not None:
+                raise ValueError(
+                    "pass either an ExecutionPlan or executor=, not both"
+                )
+            plan = program
+        elif isinstance(program, StackProgram):
+            plan = ExecutionPlan.compile(program, executor=executor)
         elif hasattr(program, "stack_program"):
             if registry is None:
                 registry = getattr(program, "registry", None)
-            stack_program = program.stack_program(optimize=optimize)
+            plan = ExecutionPlan.compile(
+                program, executor=executor, optimize=optimize
+            )
         else:
             raise TypeError(
-                "program must be an AutobatchFunction or a StackProgram, "
-                f"got {type(program).__name__}"
+                "program must be an AutobatchFunction, a StackProgram, or "
+                f"an ExecutionPlan, got {type(program).__name__}"
             )
         self.refill = refill
         self.default_step_budget = default_step_budget
+        self.plan = plan
         self.vm = ProgramCounterVM(
-            stack_program,
+            plan,
             batch_size=num_lanes,
             registry=registry,
             mode=mode,
@@ -129,6 +146,15 @@ class Engine:
     def now(self) -> int:
         """The engine's logical clock (ticks elapsed)."""
         return self._tick
+
+    @property
+    def executor(self) -> str:
+        """Name of the block executor running the machine's blocks."""
+        return self.plan.name
+
+    def dispatch_count(self) -> int:
+        """Host→device launches so far under this engine's execution plan."""
+        return self.plan.dispatch_count(self.vm.instr)
 
     def submit(
         self,
@@ -313,5 +339,6 @@ class Engine:
     def __repr__(self) -> str:
         return (
             f"Engine(lanes={self.pool.num_lanes}, busy={self.pool.busy_count()}, "
-            f"queued={len(self.queue)}, tick={self._tick}, refill={self.refill!r})"
+            f"queued={len(self.queue)}, tick={self._tick}, refill={self.refill!r}, "
+            f"executor={self.plan.name!r})"
         )

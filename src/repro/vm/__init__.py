@@ -10,10 +10,20 @@
 Shared machinery: batched stacks with top caching (:mod:`repro.vm.stack`),
 storage classes (:mod:`repro.vm.state`), masking vs gather-scatter primitive
 application (:mod:`repro.vm.masking`), block-selection heuristics
-(:mod:`repro.vm.scheduler`), and execution counters
-(:mod:`repro.vm.instrumentation`).
+(:mod:`repro.vm.scheduler`), execution counters
+(:mod:`repro.vm.instrumentation`), and the pluggable block-executor layer
+(:mod:`repro.vm.executors`) that lets backends swap how the program-counter
+machine runs each basic block (eager interpretation vs fused codegen).
 """
 
+from repro.vm.executors import (
+    BlockExecutor,
+    EagerBlockExecutor,
+    ExecutionPlan,
+    executor_names,
+    register_executor,
+    resolve_executor,
+)
 from repro.vm.local_static import run_local_static
 from repro.vm.program_counter import ProgramCounterVM, run_program_counter
 from repro.vm.instrumentation import Instrumentation
@@ -27,4 +37,10 @@ __all__ = [
     "BatchedStack",
     "UncachedBatchedStack",
     "StackOverflowError",
+    "BlockExecutor",
+    "EagerBlockExecutor",
+    "ExecutionPlan",
+    "executor_names",
+    "register_executor",
+    "resolve_executor",
 ]

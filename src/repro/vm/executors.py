@@ -1,0 +1,401 @@
+"""The pluggable block-executor layer.
+
+The program-counter machine's step loop is strategy-agnostic: select a
+block, compute its mask, execute it.  *How* a block executes — op-at-a-time
+interpretation (the TF-Eager analog) or one pre-compiled fused callable per
+block (the XLA analog) — is a backend choice, and this module is the seam
+where backends plug in:
+
+* :class:`BlockExecutor` — the protocol: given a VM instance, produce one
+  callable per basic block, plus the dispatch accounting the device cost
+  models need.
+* :class:`EagerBlockExecutor` — the reference implementation: the stack-IR
+  interpreter that used to live inside ``ProgramCounterVM._interpret_block``,
+  one Python-level dispatch per primitive.
+* :class:`~repro.backend.fusion.FusedBlockExecutor` — each block generated
+  as straight-line Python, one dispatch per block (registered lazily so the
+  VM layer never imports the backend).
+* :class:`ExecutionPlan` — a program plus its lowering options and executor
+  choice, compiled once (and cached on
+  :class:`~repro.frontend.api.AutobatchFunction`), bound per machine via
+  :meth:`ExecutionPlan.bind`.
+
+A future array backend (a non-numpy kernel set, a real accelerator bridge)
+implements :class:`BlockExecutor` and registers itself with
+:func:`register_executor`; nothing above this layer changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.ir.instructions import (
+    Branch,
+    ConstOp,
+    Jump,
+    PopOp,
+    PrimOp,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+)
+from repro.lowering.pipeline import LoweringOptions, normalize_lowering_options
+from repro.vm.instrumentation import Instrumentation, elements_per_lane
+from repro.vm.local_static import _const_array
+
+
+class BlockExecutor:
+    """Strategy object turning a program's blocks into per-block callables.
+
+    Subclasses implement :meth:`bind`; everything else in the machine —
+    scheduling, masking, lane lifecycle — is executor-independent.  Each
+    bound callable has the signature ``(vm, mask, idx)`` and must leave the
+    machine state (storages, pc register, address stack, instrumentation)
+    exactly as the eager interpreter would: executors are *observationally
+    interchangeable*, which the differential tests enforce bit-for-bit.
+    """
+
+    #: Name used in ``executor="..."`` selection and plan cache keys.
+    name: str = "abstract"
+    #: Dispatch accounting family for the device cost models
+    #: (``"eager"`` = per-op launches, ``"fused"`` = per-block launches).
+    accounting: str = "eager"
+
+    def bind(self, vm: Any) -> List[Callable]:
+        """One callable per block of ``vm.program``, closed over ``vm``."""
+        raise NotImplementedError
+
+    def dispatch_count(self, instr: Instrumentation) -> int:
+        """Host-issued batched-array-op launches for a run under this executor.
+
+        The full count — primitive kernels plus stack and storage
+        scatter/gather traffic — used by the serving/bench reports.
+        """
+        raise NotImplementedError
+
+    def device_dispatch_count(self, instr: Instrumentation) -> int:
+        """Compute-kernel launches only, for the device cost models.
+
+        Narrower than :meth:`dispatch_count` so strategies whose
+        instrumentation does not cover storage traffic (the local machine)
+        stay comparable in one simulated figure; storage traffic is charged
+        separately by :meth:`~repro.backend.device.DeviceModel.estimate`.
+        """
+        raise NotImplementedError
+
+    # -- lane-lifecycle hooks (continuous-batching serving) -----------------
+    #
+    # The serving engine recycles lanes mid-flight; executors that cache
+    # per-lane state must invalidate it here.  The built-in executors keep
+    # no such state, so the defaults are no-ops — but the seam exists so a
+    # backend with persistent device buffers can participate in serving.
+
+    def on_reset_lanes(self, vm: Any, idx: np.ndarray) -> None:
+        """Lanes ``idx`` were returned to the initial machine state."""
+
+    def on_inject_lanes(self, vm: Any, idx: np.ndarray) -> None:
+        """Fresh members were injected into lanes ``idx``."""
+
+    def on_retire_lanes(self, vm: Any, idx: np.ndarray) -> None:
+        """Outputs of halted lanes ``idx`` were gathered for delivery."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _InterpretedBlock:
+    """One block's op-at-a-time execution plan (the eager path)."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, vm: Any, block) -> None:
+        registry = vm.registry
+        steps: List[tuple] = []
+        for op in block.ops:
+            if isinstance(op, ConstOp):
+                steps.append(("const", op.output, op.value))
+            elif isinstance(op, PrimOp):
+                steps.append(("prim", registry.get(op.fn), op.outputs, op.inputs))
+            elif isinstance(op, PushOp):
+                steps.append(("push", registry.get(op.fn), op.output, op.inputs))
+            elif isinstance(op, PopOp):
+                steps.append(("pop", op.var))
+            else:
+                raise TypeError(f"unexpected op in stack IR: {op!r}")
+        term = block.terminator
+        if isinstance(term, Jump):
+            steps.append(("jump", term.target))
+        elif isinstance(term, Branch):
+            steps.append(("branch", term.cond, term.true_target, term.false_target))
+        elif isinstance(term, PushJump):
+            steps.append(("pushjump", term.return_target, term.jump_target))
+        elif isinstance(term, Return):
+            steps.append(("ret",))
+        else:
+            raise TypeError(f"unexpected terminator in stack IR: {term!r}")
+        self.steps = steps
+
+    def __call__(self, vm: Any, mask: np.ndarray, idx: np.ndarray) -> None:
+        temps = vm._temps
+        temps.clear()
+        gather = vm.mode == "gather"
+        ridx = idx if gather else None
+        slots = int(idx.size) if gather else vm.batch_size
+        n_active = int(idx.size)
+
+        for step in self.steps:
+            tag = step[0]
+            if tag == "prim":
+                _, prim, outputs, inputs = step
+                args = [vm._read(v, ridx) for v in inputs]
+                with np.errstate(all="ignore"):
+                    out = prim.fn(*args)
+                outs = out if prim.n_outputs > 1 else (out,)
+                for name, value in zip(outputs, outs):
+                    vm._write(name, value, mask, idx)
+                vm.instr.record_prim(
+                    prim.name,
+                    prim.tags,
+                    n_active,
+                    slots,
+                    elements=elements_per_lane(outs[0]),
+                    weight=prim.cost_weight,
+                )
+            elif tag == "const":
+                _, name, value = step
+                width = idx.size if gather else vm.batch_size
+                vm._write(name, _const_array(value, width), mask, idx)
+            elif tag == "push":
+                _, prim, output, inputs = step
+                args = [vm._read(v, ridx) for v in inputs]
+                with np.errstate(all="ignore"):
+                    value = prim.fn(*args)
+                st = vm.storage(output)
+                if gather:
+                    st.push_at(idx, np.asarray(value))
+                else:
+                    st.push(mask, np.asarray(value))
+                vm.instr.record_push(n_active)
+            elif tag == "pop":
+                _, name = step
+                st = vm.storage(name)
+                if gather:
+                    st.pop_at(idx)
+                else:
+                    st.pop(mask)
+                vm.instr.record_pop(n_active)
+            elif tag == "jump":
+                vm.pcreg[mask] = step[1]
+            elif tag == "branch":
+                _, cond_var, t_true, t_false = step
+                cond = np.asarray(vm._read(cond_var, ridx), dtype=bool)
+                if gather:
+                    vm.pcreg[idx] = np.where(cond, t_true, t_false)
+                else:
+                    vm.pcreg[mask] = np.where(cond, t_true, t_false)[mask]
+            elif tag == "pushjump":
+                _, ret_target, jump_target = step
+                vm.addr_stack.push(
+                    mask, np.full(vm.batch_size, ret_target, dtype=np.int64)
+                )
+                vm.pcreg[mask] = jump_target
+            else:  # ret
+                popped = vm.addr_stack.pop(mask)
+                vm.pcreg[mask] = popped[mask]
+
+
+class EagerBlockExecutor(BlockExecutor):
+    """Op-at-a-time interpretation: one Python dispatch per primitive.
+
+    This is the reference executor — the paper's "TensorFlow Eager"
+    analog — and the only one that supports gather-scatter mode (fusion
+    requires the statically known shapes of masking).
+    """
+
+    name = "eager"
+    accounting = "eager"
+
+    def bind(self, vm: Any) -> List[Callable]:
+        return [_InterpretedBlock(vm, blk) for blk in vm.program.blocks]
+
+    def dispatch_count(self, instr: Instrumentation) -> int:
+        """Every batched array op the host issues is one eager dispatch:
+        primitive kernels, stack scatters/gathers, and masked storage
+        updates all launch separately."""
+        return (
+            instr.kernel_calls
+            + instr.pushes
+            + instr.pops
+            + instr.stacked_reads
+            + instr.stacked_writes
+            + instr.register_writes
+        )
+
+    def device_dispatch_count(self, instr: Instrumentation) -> int:
+        """One device launch per primitive kernel (TF-Eager accounting)."""
+        return instr.kernel_calls
+
+
+class BoundPlan:
+    """An :class:`ExecutionPlan` attached to one machine instance.
+
+    Holds the per-block callables and forwards the VM's lane-lifecycle
+    events to the executor, so serving-engine recycling works no matter
+    which backend runs the blocks.
+    """
+
+    __slots__ = ("plan", "vm", "blocks")
+
+    def __init__(self, plan: "ExecutionPlan", vm: Any, blocks: List[Callable]):
+        if len(blocks) != len(plan.program.blocks):
+            raise ValueError(
+                f"executor produced {len(blocks)} block callables for a "
+                f"{len(plan.program.blocks)}-block program"
+            )
+        self.plan = plan
+        self.vm = vm
+        self.blocks = blocks
+
+    def on_reset_lanes(self, idx: np.ndarray) -> None:
+        self.plan.executor.on_reset_lanes(self.vm, idx)
+
+    def on_inject_lanes(self, idx: np.ndarray) -> None:
+        self.plan.executor.on_inject_lanes(self.vm, idx)
+
+    def on_retire_lanes(self, idx: np.ndarray) -> None:
+        self.plan.executor.on_retire_lanes(self.vm, idx)
+
+    def __repr__(self) -> str:
+        return f"BoundPlan({self.plan.executor.name!r}, blocks={len(self.blocks)})"
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A lowered program plus the choice of how to execute its blocks.
+
+    The plan is machine-independent (compiled once, cached on
+    :class:`~repro.frontend.api.AutobatchFunction` keyed by executor name
+    and :class:`~repro.lowering.pipeline.LoweringOptions`); :meth:`bind`
+    attaches it to one :class:`~repro.vm.program_counter.ProgramCounterVM`,
+    producing the per-block callables that machine's step loop dispatches
+    through.
+    """
+
+    program: StackProgram
+    executor: BlockExecutor
+    options: Optional[LoweringOptions] = None
+
+    @classmethod
+    def compile(
+        cls,
+        program: Any,
+        executor: Union[str, BlockExecutor] = "eager",
+        optimize: Union[bool, LoweringOptions] = True,
+    ) -> "ExecutionPlan":
+        """Build a plan from a :class:`StackProgram`, an
+        :class:`~repro.frontend.api.AutobatchFunction` (or anything with a
+        ``stack_program(optimize=...)`` method), with the executor given by
+        name or instance."""
+        if hasattr(program, "execution_plan"):
+            # Delegate the *raw* spec so the function's per-(executor,
+            # options) plan cache can key on the name.
+            return program.execution_plan(executor=executor, optimize=optimize)
+        ex = resolve_executor(executor)
+        if isinstance(program, StackProgram):
+            opts = optimize if isinstance(optimize, LoweringOptions) else None
+            return cls(program=program, executor=ex, options=opts)
+        if hasattr(program, "stack_program"):
+            opts = normalize_lowering_options(optimize)
+            return cls(
+                program=program.stack_program(optimize=opts),
+                executor=ex,
+                options=opts,
+            )
+        raise TypeError(
+            "program must be a StackProgram or provide .stack_program(), "
+            f"got {type(program).__name__}"
+        )
+
+    @property
+    def name(self) -> str:
+        """The executor's selection name (``"eager"``, ``"fused"``, ...)."""
+        return self.executor.name
+
+    @property
+    def accounting(self) -> str:
+        """Dispatch-accounting family for the device cost models."""
+        return self.executor.accounting
+
+    def dispatch_count(self, instr: Instrumentation) -> int:
+        """Host-issued array-op launches for a run summarized by ``instr``."""
+        return self.executor.dispatch_count(instr)
+
+    def device_dispatch_count(self, instr: Instrumentation) -> int:
+        """Compute-kernel launches only (device cost-model accounting)."""
+        return self.executor.device_dispatch_count(instr)
+
+    def bind(self, vm: Any) -> BoundPlan:
+        """Compile/attach the per-block callables for one machine."""
+        return BoundPlan(self, vm, list(self.executor.bind(vm)))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(executor={self.executor.name!r}, "
+            f"blocks={len(self.program.blocks)}, options={self.options!r})"
+        )
+
+
+#: Executor factories by selection name.  The fused executor registers
+#: itself on first use (``repro.backend.fusion`` imports this module, not
+#: the other way around).
+_EXECUTOR_FACTORIES: Dict[str, Type[BlockExecutor]] = {
+    EagerBlockExecutor.name: EagerBlockExecutor,
+}
+
+
+def register_executor(name: str, factory: Type[BlockExecutor]) -> None:
+    """Make ``executor=name`` resolvable everywhere (idempotent)."""
+    existing = _EXECUTOR_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"executor name {name!r} is already registered")
+    _EXECUTOR_FACTORIES[name] = factory
+
+
+def executor_names() -> Sequence[str]:
+    """Currently registered executor selection names."""
+    _load_backend_executors()
+    return tuple(sorted(_EXECUTOR_FACTORIES))
+
+
+def _load_backend_executors() -> None:
+    # The backend package registers its executors at import; importing it
+    # lazily keeps repro.vm importable without repro.backend and avoids a
+    # circular import (fusion.py imports this module).
+    import repro.backend.fusion  # noqa: F401
+
+
+def resolve_executor(spec: Union[str, BlockExecutor, None]) -> BlockExecutor:
+    """Turn an ``executor=`` argument into a :class:`BlockExecutor`."""
+    if spec is None:
+        return EagerBlockExecutor()
+    if isinstance(spec, BlockExecutor):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, BlockExecutor):
+        return spec()
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"executor must be a name or a BlockExecutor, got {type(spec).__name__}"
+        )
+    if spec not in _EXECUTOR_FACTORIES:
+        _load_backend_executors()
+    try:
+        factory = _EXECUTOR_FACTORIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {spec!r}; known: {sorted(_EXECUTOR_FACTORIES)}"
+        )
+    return factory()

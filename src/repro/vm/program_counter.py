@@ -16,25 +16,15 @@ trajectory in tandem with the 8th gradient of another's 2nd).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.frontend.registry import PrimitiveRegistry, default_registry
-from repro.ir.instructions import (
-    Branch,
-    ConstOp,
-    Jump,
-    PopOp,
-    PrimOp,
-    PushJump,
-    PushOp,
-    Return,
-    StackProgram,
-    VarKind,
-)
-from repro.vm.instrumentation import Instrumentation, elements_per_lane
-from repro.vm.local_static import ExecutionLimitExceeded, _const_array
+from repro.ir.instructions import StackProgram, VarKind
+from repro.vm.executors import ExecutionPlan, resolve_executor
+from repro.vm.instrumentation import Instrumentation
+from repro.vm.local_static import ExecutionLimitExceeded
 from repro.vm.scheduler import make_scheduler
 from repro.vm.stack import BatchedStack
 from repro.vm.state import RegisterStorage, StackedStorage
@@ -45,7 +35,7 @@ class ProgramCounterVM:
 
     def __init__(
         self,
-        program: StackProgram,
+        program: Union[StackProgram, ExecutionPlan],
         batch_size: int,
         registry: Optional[PrimitiveRegistry] = None,
         mode: str = "mask",
@@ -55,9 +45,17 @@ class ProgramCounterVM:
         instrumentation: Optional[Instrumentation] = None,
         max_steps: int = 10 ** 9,
         block_executors: Optional[Sequence[Optional[Callable]]] = None,
+        executor: Any = None,
     ):
         if mode not in ("mask", "gather"):
             raise ValueError(f"mode must be 'mask' or 'gather', got {mode!r}")
+        if isinstance(program, ExecutionPlan):
+            plan = program
+            program = plan.program
+            if executor is not None:
+                raise ValueError("pass either an ExecutionPlan or executor=, not both")
+        else:
+            plan = ExecutionPlan(program=program, executor=resolve_executor(executor))
         self.program = program
         self.batch_size = int(batch_size)
         self.registry = registry or default_registry
@@ -69,8 +67,8 @@ class ProgramCounterVM:
         self.instr.batch_size = self.batch_size
         self.max_steps = max_steps
         self.exit_index = program.exit_index
-        # Optional pre-compiled per-block executors (backend fusion); entries
-        # may be None to fall back to interpretation for that block.
+        # Optional per-block executor overrides (legacy API); entries may be
+        # None to fall back to the plan's executor for that block.
         self.block_executors = list(block_executors) if block_executors else None
         # Lane-occupancy accounting costs an O(Z) scan per step; only the
         # serving engine consumes it, so it opts in.
@@ -91,7 +89,11 @@ class ProgramCounterVM:
             np.ones(self.batch_size, dtype=bool),
             np.full(self.batch_size, self.exit_index, dtype=np.int64),
         )
-        self._plans = [self._plan_block(blk) for blk in program.blocks]
+        # Compile/attach the plan's per-block callables; the step loop only
+        # ever dispatches through these.
+        self.plan = plan
+        self._bound = plan.bind(self)
+        self._block_fns = self._bound.blocks
         self._steps = 0
 
     # -- storage ----------------------------------------------------------------
@@ -131,34 +133,6 @@ class ProgramCounterVM:
             self.storage(name).write(mask, np.asarray(value))
         else:
             self.storage(name).write_at(idx, np.asarray(value))
-
-    # -- planning -----------------------------------------------------------------
-
-    def _plan_block(self, block) -> List[tuple]:
-        plan: List[tuple] = []
-        for op in block.ops:
-            if isinstance(op, ConstOp):
-                plan.append(("const", op.output, op.value))
-            elif isinstance(op, PrimOp):
-                plan.append(("prim", self.registry.get(op.fn), op.outputs, op.inputs))
-            elif isinstance(op, PushOp):
-                plan.append(("push", self.registry.get(op.fn), op.output, op.inputs))
-            elif isinstance(op, PopOp):
-                plan.append(("pop", op.var))
-            else:
-                raise TypeError(f"unexpected op in stack IR: {op!r}")
-        term = block.terminator
-        if isinstance(term, Jump):
-            plan.append(("jump", term.target))
-        elif isinstance(term, Branch):
-            plan.append(("branch", term.cond, term.true_target, term.false_target))
-        elif isinstance(term, PushJump):
-            plan.append(("pushjump", term.return_target, term.jump_target))
-        elif isinstance(term, Return):
-            plan.append(("ret",))
-        else:
-            raise TypeError(f"unexpected terminator in stack IR: {term!r}")
-        return plan
 
     # -- execution ------------------------------------------------------------------
 
@@ -225,76 +199,8 @@ class ProgramCounterVM:
         if self.block_executors is not None and self.block_executors[i] is not None:
             self.block_executors[i](self, mask, idx)
         else:
-            self._interpret_block(i, mask, idx)
+            self._block_fns[i](self, mask, idx)
         return idx
-
-    def _interpret_block(self, i: int, mask: np.ndarray, idx: np.ndarray) -> None:
-        temps = self._temps
-        temps.clear()
-        gather = self.mode == "gather"
-        ridx = idx if gather else None
-        slots = int(idx.size) if gather else self.batch_size
-        n_active = int(idx.size)
-
-        for step in self._plans[i]:
-            tag = step[0]
-            if tag == "prim":
-                _, prim, outputs, inputs = step
-                args = [self._read(v, ridx) for v in inputs]
-                with np.errstate(all="ignore"):
-                    out = prim.fn(*args)
-                outs = out if prim.n_outputs > 1 else (out,)
-                for name, value in zip(outputs, outs):
-                    self._write(name, value, mask, idx)
-                self.instr.record_prim(
-                    prim.name,
-                    prim.tags,
-                    n_active,
-                    slots,
-                    elements=elements_per_lane(outs[0]),
-                    weight=prim.cost_weight,
-                )
-            elif tag == "const":
-                _, name, value = step
-                width = idx.size if gather else self.batch_size
-                self._write(name, _const_array(value, width), mask, idx)
-            elif tag == "push":
-                _, prim, output, inputs = step
-                args = [self._read(v, ridx) for v in inputs]
-                with np.errstate(all="ignore"):
-                    value = prim.fn(*args)
-                st = self.storage(output)
-                if gather:
-                    st.push_at(idx, np.asarray(value))
-                else:
-                    st.push(mask, np.asarray(value))
-                self.instr.record_push(n_active)
-            elif tag == "pop":
-                _, name = step
-                st = self.storage(name)
-                if gather:
-                    st.pop_at(idx)
-                else:
-                    st.pop(mask)
-                self.instr.record_pop(n_active)
-            elif tag == "jump":
-                self.pcreg[mask] = step[1]
-            elif tag == "branch":
-                _, cond_var, t_true, t_false = step
-                cond = np.asarray(self._read(cond_var, ridx), dtype=bool)
-                if gather:
-                    self.pcreg[idx] = np.where(cond, t_true, t_false)
-                else:
-                    self.pcreg[mask] = np.where(cond, t_true, t_false)[mask]
-            elif tag == "pushjump":
-                _, ret_target, jump_target = step
-                self.addr_stack.push(
-                    mask, np.full(self.batch_size, ret_target, dtype=np.int64)
-                )
-                self.pcreg[mask] = jump_target
-            else:  # ret
-                popped = self.addr_stack.pop(mask)
-                self.pcreg[mask] = popped[mask]
 
     # -- lane lifecycle (continuous-batching serving) -----------------------------
     #
@@ -335,6 +241,7 @@ class ProgramCounterVM:
         )
         for st in self.storages.values():
             st.reset_lanes(idx)
+        self._bound.on_reset_lanes(idx)
 
     def inject_lanes(self, idx: np.ndarray, inputs: Sequence[np.ndarray]) -> None:
         """Start new members in the lanes ``idx`` with the given inputs.
@@ -349,6 +256,7 @@ class ProgramCounterVM:
             inputs, idx.size, "injected lane count"
         ):
             self.storage(name).write_at(idx, value)
+        self._bound.on_inject_lanes(idx)
 
     def retire_lanes(self, idx: np.ndarray) -> List[np.ndarray]:
         """Gather the program outputs of the (halted) lanes in ``idx``.
@@ -357,6 +265,7 @@ class ProgramCounterVM:
         lanes themselves stay vacant until the next injection.
         """
         idx = np.asarray(idx, dtype=np.int64)
+        self._bound.on_retire_lanes(idx)
         return [self.storage(name).read_at(idx) for name in self.program.outputs]
 
     # -- inspection (Figure 3 snapshots) ----------------------------------------
@@ -381,7 +290,7 @@ class ProgramCounterVM:
 
 
 def run_program_counter(
-    program: StackProgram,
+    program: Union[StackProgram, ExecutionPlan],
     inputs: Sequence[np.ndarray],
     registry: Optional[PrimitiveRegistry] = None,
     mode: str = "mask",
@@ -391,9 +300,13 @@ def run_program_counter(
     instrumentation: Optional[Instrumentation] = None,
     max_steps: int = 10 ** 9,
     block_executors: Optional[Sequence[Optional[Callable]]] = None,
+    executor: Any = None,
 ):
     """Run a stack program on a batch of inputs under Algorithm 2.
 
+    ``program`` may be a bare :class:`StackProgram` (optionally with
+    ``executor="eager"|"fused"`` or a :class:`~repro.vm.executors.BlockExecutor`)
+    or a pre-compiled :class:`~repro.vm.executors.ExecutionPlan`.
     Returns a single array for single-output programs, else a tuple.
     """
     arrays = [np.asarray(x) for x in inputs]
@@ -410,6 +323,7 @@ def run_program_counter(
         instrumentation=instrumentation,
         max_steps=max_steps,
         block_executors=block_executors,
+        executor=executor,
     )
     outputs = vm.run(arrays)
     return outputs[0] if len(outputs) == 1 else tuple(outputs)

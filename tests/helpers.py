@@ -25,6 +25,17 @@ def assert_results_equal(expected, actual, context=""):
         )
 
 
+def assert_instrumentation_identical(a, b, context=""):
+    """Field-by-field op-count comparison (names the divergent counter)."""
+    for field in (
+        "steps", "kernel_calls", "pushes", "pops", "push_lanes", "pop_lanes",
+        "stacked_reads", "stacked_writes", "register_writes",
+    ):
+        assert getattr(a, field) == getattr(b, field), f"{context}: {field}"
+    assert dict(a.by_prim) == dict(b.by_prim), f"{context}: by_prim"
+    assert dict(a.by_tag) == dict(b.by_tag), f"{context}: by_tag"
+
+
 def run_all_strategies(fn, inputs, max_stack_depth=64):
     """Run every execution strategy; return {name: result}."""
     results = {"reference": fn.run_reference(*inputs)}
@@ -35,6 +46,9 @@ def run_all_strategies(fn, inputs, max_stack_depth=64):
         )
     results["pc/noopt"] = fn.run_pc(
         *inputs, optimize=False, max_stack_depth=max_stack_depth
+    )
+    results["pc/fused"] = fn.run_pc(
+        *inputs, executor="fused", max_stack_depth=max_stack_depth
     )
     results["pc/nocache"] = fn.run_pc(
         *inputs, top_cache=False, max_stack_depth=max_stack_depth

@@ -1,0 +1,239 @@
+"""Tests for the pluggable block-executor layer (ExecutionPlan et al.).
+
+The contract under test: executors are *observationally interchangeable*.
+For any program, the eager interpreter and the fused code generator must
+produce bit-identical outputs and bit-identical
+:class:`~repro.vm.instrumentation.Instrumentation` op counts — whether the
+machine runs a static batch (``run_pc``) or recycles lanes under the
+serving engine.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend.fusion import FusedBlockExecutor, FusionUnsupported
+from repro.lowering.pipeline import LoweringOptions
+from repro.serve.engine import Engine
+from repro.vm.executors import (
+    EagerBlockExecutor,
+    ExecutionPlan,
+    executor_names,
+    resolve_executor,
+)
+from repro.vm.instrumentation import Instrumentation
+from repro.vm.program_counter import ProgramCounterVM
+
+from .helpers import assert_instrumentation_identical, assert_results_equal
+from .programs import ALL_EXAMPLES, fib, gcd
+
+
+class TestResolution:
+    def test_names(self):
+        names = executor_names()
+        assert "eager" in names and "fused" in names
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_executor("eager"), EagerBlockExecutor)
+        assert isinstance(resolve_executor("fused"), FusedBlockExecutor)
+
+    def test_resolve_instance_passthrough(self):
+        ex = FusedBlockExecutor()
+        assert resolve_executor(ex) is ex
+
+    def test_resolve_none_is_eager(self):
+        assert isinstance(resolve_executor(None), EagerBlockExecutor)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("tpu")
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            resolve_executor(42)
+
+
+class TestExecutionPlan:
+    def test_cached_per_executor_and_options(self):
+        p1 = fib.execution_plan(executor="fused")
+        p2 = fib.execution_plan(executor="fused")
+        p3 = fib.execution_plan(executor="eager")
+        p4 = fib.execution_plan(executor="fused", optimize=False)
+        assert p1 is p2
+        assert p3 is not p1 and p4 is not p1
+        assert p1.name == "fused" and p3.name == "eager"
+
+    def test_lowering_options_instance_distinguished(self):
+        """The regression the cache-key satellite fixes: per-optimization
+        ablation configs must not collide with the all-on default."""
+        ablation = LoweringOptions(pop_push_opt=False)
+        p_opt = fib.execution_plan(optimize=True)
+        p_ablation = fib.execution_plan(optimize=ablation)
+        assert p_opt is not p_ablation
+        assert p_ablation.options == ablation
+        assert fib.stack_program(ablation) is not fib.stack_program(True)
+        assert fib.stack_program(ablation) is fib.stack_program(ablation)
+
+    def test_compile_from_stack_program(self):
+        plan = ExecutionPlan.compile(fib.stack_program(), executor="fused")
+        assert plan.name == "fused"
+        assert plan.program is fib.stack_program()
+
+    def test_dispatch_counts_by_accounting(self):
+        instr = Instrumentation()
+        fib.run_pc(np.array([6, 9, 3]), instrumentation=instr, max_stack_depth=32)
+        eager = fib.execution_plan("eager").dispatch_count(instr)
+        fused = fib.execution_plan("fused").dispatch_count(instr)
+        assert fused == instr.steps
+        assert eager > fused  # per-op launches vs one per block
+        # Device accounting is kernel-level (comparable across machines).
+        assert fib.execution_plan("eager").device_dispatch_count(instr) \
+            == instr.kernel_calls
+        assert fib.execution_plan("fused").device_dispatch_count(instr) \
+            == instr.steps
+        assert fib.execution_plan("eager").accounting == "eager"
+        assert fib.execution_plan("fused").accounting == "fused"
+
+    def test_plan_estimate_matches_legacy_string_accounting(self):
+        """Plan-derived device estimates must agree exactly with the legacy
+        string accounting, so Figure 5's strategies stay comparable."""
+        from repro.backend.device import CPU_DEVICE, GPU_DEVICE
+
+        instr = Instrumentation()
+        fib.run_pc(np.array([6, 9, 3]), instrumentation=instr, max_stack_depth=32)
+        for device in (CPU_DEVICE, GPU_DEVICE):
+            for executor in ("eager", "fused"):
+                assert device.estimate(instr, fib.execution_plan(executor)) \
+                    == device.estimate(instr, executor)
+
+    def test_plan_cache_shared_with_engine(self):
+        """Engine(fn, ..., executor=name) must reuse the function's cached
+        plan, not compile a fresh one per engine."""
+        engine = Engine(fib, num_lanes=2, executor="fused")
+        assert engine.plan is fib.execution_plan("fused")
+        assert Engine(fib, num_lanes=2).plan is fib.execution_plan("eager")
+
+    def test_engine_rejects_plan_plus_executor(self):
+        with pytest.raises(ValueError, match="not both"):
+            Engine(fib.execution_plan("eager"), num_lanes=2, executor="fused")
+
+    def test_vm_rejects_plan_plus_executor(self):
+        plan = fib.execution_plan("eager")
+        with pytest.raises(ValueError, match="not both"):
+            ProgramCounterVM(plan, batch_size=2, executor="fused")
+
+    def test_fused_plan_rejects_gather_mode(self):
+        with pytest.raises(FusionUnsupported, match="masking"):
+            ProgramCounterVM(
+                fib.execution_plan("fused"), batch_size=2, mode="gather"
+            )
+
+    def test_fused_codegen_compiled_once_per_plan(self):
+        """Binding the same fused plan to two machines must reuse the
+        compiled code objects — only namespaces are per-VM."""
+        plan = fib.execution_plan("fused")
+        vm1 = ProgramCounterVM(plan, batch_size=2, max_stack_depth=8)
+        vm2 = ProgramCounterVM(plan, batch_size=5, max_stack_depth=8)
+        for f1, f2 in zip(vm1._block_fns, vm2._block_fns):
+            assert f1.__code__ is f2.__code__
+        # ...and the bound machines still run correctly at their widths.
+        np.testing.assert_array_equal(vm1.run([np.array([4, 7])])[0], [5, 21])
+        np.testing.assert_array_equal(
+            vm2.run([np.array([3, 7, 4, 5, 6])])[0], [3, 21, 5, 8, 13]
+        )
+
+
+class TestEagerFusedDifferential:
+    @pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+    def test_outputs_and_opcounts_identical(self, name):
+        fn, inputs = ALL_EXAMPLES[name]
+        instr = {}
+        outs = {}
+        for executor in ("eager", "fused"):
+            instr[executor] = Instrumentation()
+            outs[executor] = fn.run_pc(
+                *inputs,
+                executor=executor,
+                instrumentation=instr[executor],
+                max_stack_depth=64,
+            )
+        assert_results_equal(outs["eager"], outs["fused"], context=name)
+        assert_instrumentation_identical(instr["eager"], instr["fused"])
+
+    def test_device_model_estimates_comparable(self):
+        """Same run, two plans: fused must cost less on every device."""
+        from repro.backend.device import CPU_DEVICE, GPU_DEVICE
+
+        instr = Instrumentation()
+        fib.run_pc(np.array([9, 4, 11]), instrumentation=instr, max_stack_depth=32)
+        for device in (CPU_DEVICE, GPU_DEVICE):
+            t_eager = device.estimate(instr, fib.execution_plan("eager"))
+            t_fused = device.estimate(instr, fib.execution_plan("fused"))
+            assert t_fused < t_eager
+
+
+class TestServingDifferential:
+    def test_engine_fused_matches_eager_and_static(self):
+        ns = np.array([7, 3, 9, 12, 5, 8, 14, 2], dtype=np.int64)
+        expected = fib.run_pc(ns, max_stack_depth=64)
+        results = {}
+        engines = {}
+        for executor in ("eager", "fused"):
+            engine = Engine(fib, num_lanes=3, executor=executor, max_stack_depth=64)
+            results[executor] = engine.map([(n,) for n in ns])
+            engines[executor] = engine
+        np.testing.assert_array_equal(np.stack(results["eager"]), expected)
+        np.testing.assert_array_equal(np.stack(results["fused"]), expected)
+        assert_instrumentation_identical(
+            engines["eager"].vm.instr, engines["fused"].vm.instr
+        )
+        assert engines["fused"].dispatch_count() < engines["eager"].dispatch_count()
+
+    def test_fused_lane_recycling_multi_input(self):
+        pairs = [(48, 36), (7, 0), (12, 18), (27, 6), (9, 9), (100, 8)]
+        a = np.array([p[0] for p in pairs], dtype=np.int64)
+        b = np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = gcd.run_pc(a, b, max_stack_depth=64)
+        engine = gcd.serve(num_lanes=2, executor="fused", max_stack_depth=64)
+        results = engine.map([(x, y) for x, y in pairs])
+        np.testing.assert_array_equal(np.stack(results), expected)
+
+    def test_fused_drain_policy(self):
+        ns = np.array([6, 11, 4, 9], dtype=np.int64)
+        engine = fib.serve(num_lanes=2, executor="fused", refill="drain")
+        results = engine.map([(n,) for n in ns])
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+
+    def test_fused_step_budget_abort_then_recycle(self):
+        from repro.serve.queue import StepBudgetExceeded
+
+        engine = fib.serve(num_lanes=1, executor="fused")
+        doomed = engine.submit(np.int64(16), step_budget=5)
+        survivor = engine.submit(np.int64(9))
+        engine.run_until_idle()
+        with pytest.raises(StepBudgetExceeded):
+            doomed.result()
+        np.testing.assert_array_equal(
+            survivor.result(), fib.run_pc(np.array([9], dtype=np.int64))[0]
+        )
+
+
+class TestFusedErrorHygiene:
+    def test_masked_lanes_raise_no_fp_warnings(self):
+        """gcd's loop computes ``a % b`` for every lane, including masked-off
+        lanes where b == 0; neither executor may let the spurious
+        divide-by-zero warning escape."""
+        a = np.array([12, 17, 100, 3], dtype=np.int64)
+        b = np.array([18, 5, 75, 0], dtype=np.int64)
+        for executor in ("eager", "fused"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                gcd.run_pc(a, b, executor=executor, max_stack_depth=64)
+
+    def test_generated_source_wraps_errstate(self):
+        vm = ProgramCounterVM(
+            fib.execution_plan("fused"), batch_size=2, max_stack_depth=8
+        )
+        source = vm._block_fns[0].__fused_source__
+        assert "np.errstate(all='ignore')" in source

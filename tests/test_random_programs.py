@@ -19,6 +19,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from .helpers import assert_instrumentation_identical
+
 _MODULE_DIR = Path(tempfile.mkdtemp(prefix="repro_genprog_"))
 _MODULE_COUNT = [0]
 _COMPILED = {}
@@ -164,8 +166,64 @@ def test_generated_program_all_strategies_agree(spec, a_vals, b_vals, depth):
         lambda: fn.run_pc(a, b, n, max_stack_depth=16),
         lambda: fn.run_pc(a, b, n, mode="gather", max_stack_depth=16),
         lambda: fn.run_pc(a, b, n, optimize=False, max_stack_depth=16),
+        lambda: fn.run_pc(a, b, n, executor="fused", max_stack_depth=16),
     ):
         np.testing.assert_array_equal(run(), expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program_strategy,
+    st.lists(st.integers(-5, 20), min_size=1, max_size=6),
+    st.lists(st.integers(-5, 20), min_size=1, max_size=6),
+    st.integers(0, 4),
+)
+def test_generated_program_eager_vs_fused_executors(spec, a_vals, b_vals, depth):
+    """Executors must be bitwise interchangeable: identical outputs AND
+    identical instrumentation op counts on every generated program."""
+    from repro.vm.instrumentation import Instrumentation
+
+    fn = compile_source(render_program(spec))
+    z = min(len(a_vals), len(b_vals))
+    a = np.asarray(a_vals[:z], dtype=np.int64)
+    b = np.asarray(b_vals[:z], dtype=np.int64)
+    n = np.full(z, depth, dtype=np.int64)
+    instr = {"eager": Instrumentation(), "fused": Instrumentation()}
+    outs = {
+        ex: fn.run_pc(
+            a, b, n, executor=ex, instrumentation=instr[ex], max_stack_depth=16
+        )
+        for ex in ("eager", "fused")
+    }
+    np.testing.assert_array_equal(outs["eager"], outs["fused"])
+    assert_instrumentation_identical(instr["eager"], instr["fused"])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    program_strategy,
+    st.lists(st.integers(-5, 20), min_size=2, max_size=8),
+    st.lists(st.integers(-5, 20), min_size=2, max_size=8),
+    st.integers(0, 3),
+)
+def test_generated_program_eager_vs_fused_serving(spec, a_vals, b_vals, depth):
+    """Lane-recycled serving through either executor must match the static
+    batch bit-for-bit and record identical op counts."""
+    fn = compile_source(render_program(spec))
+    z = min(len(a_vals), len(b_vals))
+    a = np.asarray(a_vals[:z], dtype=np.int64)
+    b = np.asarray(b_vals[:z], dtype=np.int64)
+    n = np.full(z, depth, dtype=np.int64)
+    expected = fn.run_pc(a, b, n, max_stack_depth=16)
+    engines = {}
+    for ex in ("eager", "fused"):
+        engine = fn.serve(num_lanes=2, executor=ex, max_stack_depth=16)
+        results = engine.map([(a[i], b[i], n[i]) for i in range(z)])
+        np.testing.assert_array_equal(np.stack(results), expected)
+        engines[ex] = engine
+    assert_instrumentation_identical(
+        engines["eager"].vm.instr, engines["fused"].vm.instr
+    )
 
 
 @settings(max_examples=15, deadline=None)
