@@ -1,5 +1,5 @@
-"""Open-loop serving benchmark: continuous batching vs drain-then-refill,
-eager vs fused block execution.
+"""Serving benchmarks: continuous batching vs drain-then-refill, eager vs
+fused block execution, and (``--cluster``) multi-engine shard scaling.
 
 Requests (``fib`` calls with skewed sizes) arrive by a Poisson process on
 the engine's logical clock — open-loop, so a slow server cannot throttle
@@ -23,7 +23,15 @@ equal (tick-clock) throughput.
 Results are also written to a machine-readable ``BENCH_serve.json`` so the
 perf trajectory is tracked across PRs.
 
-Run: ``python benchmarks/bench_serve.py [--quick] [--out BENCH_serve.json]``
+``--cluster`` switches to the shard-scaling benchmark instead: the same
+closed-load request set through 1, 2, and 4 engine shards of equal lane
+width (``repro.serve.cluster``, fused executor, one shared execution
+plan).  Outputs must stay bit-identical to the static batch at every shard
+count, 4-shard aggregate throughput must reach >= 2.5x the single-engine
+baseline, and the fused compile counter must show exactly one codegen for
+the whole sweep (code-cache sharing).  Results go to ``BENCH_cluster.json``.
+
+Run: ``python benchmarks/bench_serve.py [--quick] [--cluster] [--out FILE]``
 """
 
 import argparse
@@ -72,18 +80,146 @@ def run_engine(refill: str, executor: str, requests, arrivals, num_lanes: int):
     return engine, [h.result() for h in handles], wall
 
 
+def run_cluster_scaling(args) -> None:
+    """Shard-scaling sweep: 1 -> 2 -> 4 engines at equal lane width."""
+    n_requests = args.requests if args.requests is not None else (80 if args.quick else 240)
+    num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 8)
+    if n_requests <= 0 or num_lanes <= 0:
+        raise SystemExit("--requests and --lanes must be positive")
+    shard_counts = (1, 2, 4)
+
+    sizes = skewed_sizes(n_requests, seed=args.seed)
+    requests = [(np.int64(n),) for n in sizes]
+    expected = fib.run_pc(sizes)
+
+    print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
+          f"closed load, {num_lanes} lanes per shard, policy={args.policy}, "
+          f"executor=fused\n")
+
+    # One shared plan serves the whole sweep; per-cluster bind counts are
+    # deltas against it (a fleet of N machines must add exactly N binds).
+    shared_plan = fib.execution_plan(executor="fused")
+    rows, metrics = [], {}
+    for shards in shard_counts:
+        binds_before = shared_plan.stats.bind_count
+        cluster = fib.serve_cluster(
+            shards, num_lanes=num_lanes, executor="fused",
+            policy=args.policy, seed=args.seed,
+        )
+        assert cluster.plan is shared_plan
+        wall_start = time.perf_counter()
+        results = cluster.map(requests)
+        wall = time.perf_counter() - wall_start
+        if not np.array_equal(np.stack(results), expected):
+            raise AssertionError(
+                f"{shards}-shard cluster results diverge from static run_pc"
+            )
+        t = cluster.telemetry
+        metrics[shards] = {
+            "shards": shards,
+            "lanes_per_shard": num_lanes,
+            "policy": args.policy,
+            "ticks": int(t.ticks),
+            "fleet_utilization": t.fleet_utilization(),
+            "throughput_requests_per_tick": t.aggregate_throughput(),
+            "mean_queue_wait": t.mean_queue_wait(),
+            "completion_skew": t.completion_skew(),
+            "spillovers": int(t.spillovers),
+            "dispatches": int(cluster.dispatch_count()),
+            "fused_compile_count": int(cluster.plan.executor.compile_count),
+            "plan_bind_count": int(cluster.plan.stats.bind_count - binds_before),
+            "wall_seconds": wall,
+        }
+        m = metrics[shards]
+        rows.append([
+            f"{shards}",
+            f"{m['ticks']:,}",
+            f"{m['fleet_utilization']:.3f}",
+            f"{m['throughput_requests_per_tick']:.4f}",
+            f"{m['completion_skew']:.3f}",
+            f"{m['dispatches']:,}",
+            f"{m['fused_compile_count']}",
+            f"{m['wall_seconds']:.3f}",
+        ])
+
+    print(format_table(
+        ["shards", "ticks", "fleet util", "req/tick", "skew",
+         "dispatches", "compiles", "wall s"],
+        rows,
+    ))
+
+    base = metrics[1]["throughput_requests_per_tick"]
+    scaling = {
+        shards: (metrics[shards]["throughput_requests_per_tick"] / base
+                 if base else float("inf"))
+        for shards in shard_counts
+    }
+    print("\naggregate-throughput scaling vs single engine: "
+          + "  ".join(f"{s}x-shard={scaling[s]:.2f}x" for s in shard_counts))
+
+    result = {
+        "benchmark": "bench_serve_cluster",
+        "config": {"requests": n_requests, "lanes_per_shard": num_lanes,
+                   "policy": args.policy, "seed": args.seed,
+                   "quick": bool(args.quick)},
+        "shards": [metrics[s] for s in shard_counts],
+        "throughput_scaling": {str(s): scaling[s] for s in shard_counts},
+    }
+    out = args.out or os.path.join(os.curdir, "BENCH_cluster.json")
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    assert scaling[4] >= 2.5, (
+        f"4-shard aggregate throughput is {scaling[4]:.2f}x the single-engine "
+        "baseline; expected >= 2.5x at equal lane width"
+    )
+    for shards in shard_counts:
+        assert metrics[shards]["fused_compile_count"] == 1, (
+            f"{shards}-shard cluster shows "
+            f"{metrics[shards]['fused_compile_count']} fused compiles; "
+            "code-cache sharing should compile exactly once"
+        )
+        assert metrics[shards]["plan_bind_count"] == shards, (
+            f"{shards}-shard cluster bound the plan "
+            f"{metrics[shards]['plan_bind_count']} times; expected one "
+            "binding per shard"
+        )
+    print("OK: outputs bit-identical at every shard count; 4 shards sustain "
+          f"{scaling[4]:.2f}x single-engine throughput with one fused compile")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sweep for CI smoke runs")
+    parser.add_argument("--cluster", action="store_true",
+                        help="run the multi-engine shard-scaling benchmark")
+    parser.add_argument("--policy", default=None,
+                        choices=["round_robin", "least_loaded", "power_of_two"],
+                        help="cluster routing policy (--cluster only; "
+                             "default least_loaded)")
     parser.add_argument("--lanes", type=int, default=None)
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--rate", type=float, default=None,
                         help="offered load in requests per machine tick")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default=os.path.join(os.curdir, "BENCH_serve.json"),
-                        help="result file path (default ./BENCH_serve.json)")
+    parser.add_argument("--out", default=None,
+                        help="result file path (default ./BENCH_serve.json, "
+                             "or ./BENCH_cluster.json with --cluster)")
     args = parser.parse_args()
+
+    if args.cluster:
+        if args.rate is not None:
+            parser.error(
+                "--rate is open-loop only; the --cluster sweep is closed-load"
+            )
+        if args.policy is None:
+            args.policy = "least_loaded"
+        run_cluster_scaling(args)
+        return
+    if args.policy is not None:
+        parser.error("--policy only applies to the --cluster sweep")
 
     n_requests = args.requests if args.requests is not None else (40 if args.quick else 200)
     num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 16)
@@ -167,9 +303,10 @@ def main():
         "continuous_over_drain_lane_utilization": gain,
         "fused_over_eager_dispatch_ratio": dispatch_ratio,
     }
-    with open(args.out, "w") as f:
+    out = args.out or os.path.join(os.curdir, "BENCH_serve.json")
+    with open(out, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
 
     assert cont_eager["lane_utilization"] > drain["lane_utilization"], (
         "continuous batching failed to beat drain-then-refill on lane utilization"

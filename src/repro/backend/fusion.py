@@ -35,7 +35,7 @@ The same generated executors serve two strategies from the paper's Figure 5:
 from __future__ import annotations
 
 import textwrap
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,17 @@ from repro.vm.local_static import _const_array
 
 class FusionUnsupported(ValueError):
     """Raised when a program/configuration cannot be fused."""
+
+
+#: Process-wide count of per-program fused codegen events, across every
+#: executor instance.  Snapshot before/after building a machine fleet to
+#: prove code-cache sharing: N same-plan machines must add exactly 1.
+_TOTAL_FUSED_COMPILES = [0]
+
+
+def total_fused_compiles() -> int:
+    """How many programs have been fused (codegen + compile) process-wide."""
+    return _TOTAL_FUSED_COMPILES[0]
 
 
 class _CompiledBlock:
@@ -242,20 +253,32 @@ class FusedBlockExecutor(BlockExecutor):
 
     def __init__(self, registry: Optional[PrimitiveRegistry] = None):
         self.registry = registry
-        # Source generation + compile() happen once per program; VMs only
-        # re-resolve the bind spec (an ExecutionPlan pairs one executor
-        # instance with one program, so this cache is effectively per plan).
-        self._compiled_for: Optional[StackProgram] = None
-        self._compiled: List[_CompiledBlock] = []
+        # Source generation + compile() happen once per *program*; every
+        # bind only re-resolves the spec's names against one VM.  The cache
+        # is keyed per program (identity), so one executor instance can be
+        # shared by many plans/machines — a whole serving cluster binds one
+        # code cache — and alternating binds across programs never thrash.
+        # The cache holds a strong reference to each program so an id() is
+        # never reused while its entry is alive; entries live as long as
+        # the executor, so a long-lived instance should serve a bounded
+        # program population (plans already pin their programs anyway).
+        self._compiled: Dict[int, Tuple[StackProgram, List[_CompiledBlock]]] = {}
+        #: Per-program codegen events this instance has performed (the
+        #: compile-once counter the cluster bench/tests assert on).
+        self.compile_count = 0
 
     def _compiled_blocks(self, program: StackProgram) -> List[_CompiledBlock]:
-        if self._compiled_for is not program:
-            self._compiled = [
+        entry = self._compiled.get(id(program))
+        if entry is None:
+            blocks = [
                 _BlockCompiler(program).compile(i)
                 for i in range(len(program.blocks))
             ]
-            self._compiled_for = program
-        return self._compiled
+            self._compiled[id(program)] = (program, blocks)
+            self.compile_count += 1
+            _TOTAL_FUSED_COMPILES[0] += 1
+            return blocks
+        return entry[1]
 
     def bind(self, vm: Any) -> List[Callable]:
         if vm.mode != "mask":

@@ -213,6 +213,30 @@ class AutobatchFunction:
         options.setdefault("registry", self.registry)
         return Engine(self, num_lanes, **options)
 
+    def serve_cluster(
+        self, num_engines: int, num_lanes: int, **options: Any
+    ) -> Any:
+        """A sharded :class:`~repro.serve.cluster.Cluster` of serving engines.
+
+        ``num_engines`` machines of width ``num_lanes`` each, behind one
+        ``submit``/``map``/``run_until_idle`` façade with pluggable request
+        routing::
+
+            cluster = fib.serve_cluster(4, num_lanes=8, policy="least_loaded",
+                                        executor="fused")
+            results = cluster.map([(np.int64(n),) for n in sizes])
+            print(cluster.telemetry.summary())
+
+        Every shard binds this function's *one* cached
+        :class:`~repro.vm.executors.ExecutionPlan` (per executor/options),
+        so fused block code is generated once for the whole fleet.  Options
+        are forwarded to :class:`~repro.serve.cluster.Cluster`.
+        """
+        from repro.serve.cluster import Cluster
+
+        options.setdefault("registry", self.registry)
+        return Cluster(self, num_engines, num_lanes, **options)
+
     def __repr__(self) -> str:
         return f"AutobatchFunction({self.name!r})"
 

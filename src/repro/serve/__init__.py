@@ -39,23 +39,47 @@ traffic the machine never drains: the batch is a rolling population of
 requests at different program points and stack depths — exactly the
 heterogeneity Algorithm 2 was built to batch.
 
+Multi-engine sharding
+---------------------
+One engine is bounded by its machine's SIMD width.
+:class:`~repro.serve.cluster.Cluster` scales past it: N engine shards —
+each its own lane pool and logical machine — behind the same
+``submit``/``map``/``run_until_idle`` surface, with pluggable routing
+(round-robin, least-loaded, power-of-two-choices), spillover admission
+(reject only when *every* shard's queue is full), and a
+:class:`~repro.serve.telemetry.ClusterTelemetry` fleet rollup.  All shards
+bind one shared :class:`~repro.vm.executors.ExecutionPlan`, so fused code
+is generated once for the whole fleet (code-cache sharing).
+
 Module map
 ----------
 * :mod:`repro.serve.engine` — :class:`Engine`: the tick loop, admission
   control (bounded queue, per-request step budgets), and the
   ``refill="drain"`` baseline discipline for benchmarking.
+* :mod:`repro.serve.cluster` — :class:`Cluster`: N engine shards, routing
+  policies, spillover admission, one shared execution plan.
 * :mod:`repro.serve.queue` — :class:`ServeRequest`, :class:`ResultHandle`,
   the bounded priority :class:`RequestQueue`, and the serving errors.
 * :mod:`repro.serve.lanes` — :class:`LanePool`: deterministic
   lane-to-request assignment.
-* :mod:`repro.serve.telemetry` — :class:`ServeTelemetry`: lane
-  utilization, queue wait, time-to-first-result, and throughput on the
-  engine's logical clock.
+* :mod:`repro.serve.telemetry` — :class:`ServeTelemetry` (per engine) and
+  :class:`ClusterTelemetry` (fleet rollup): lane utilization, queue wait,
+  time-to-first-result, throughput, and shard skew on the logical clock.
 
-Entry points: ``Engine(fn, num_lanes)`` directly, or
-``fn.serve(num_lanes)`` on any :func:`repro.autobatch` function.
+Entry points: ``Engine(fn, num_lanes)`` / ``fn.serve(num_lanes)`` for one
+machine, ``Cluster(fn, num_engines, num_lanes)`` /
+``fn.serve_cluster(num_engines, num_lanes)`` for a fleet.
 """
 
+from repro.serve.cluster import (
+    Cluster,
+    LeastLoadedPolicy,
+    PowerOfTwoPolicy,
+    ROUTING_POLICIES,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    resolve_policy,
+)
 from repro.serve.engine import Engine, REFILL_POLICIES
 from repro.serve.lanes import LanePool
 from repro.serve.queue import (
@@ -65,11 +89,18 @@ from repro.serve.queue import (
     ServeRequest,
     StepBudgetExceeded,
 )
-from repro.serve.telemetry import ServeTelemetry
+from repro.serve.telemetry import ClusterTelemetry, ServeTelemetry
 
 __all__ = [
+    "Cluster",
+    "ClusterTelemetry",
     "Engine",
+    "LeastLoadedPolicy",
+    "PowerOfTwoPolicy",
     "REFILL_POLICIES",
+    "ROUTING_POLICIES",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
     "LanePool",
     "QueueFullError",
     "RequestQueue",
@@ -77,4 +108,5 @@ __all__ = [
     "ServeRequest",
     "StepBudgetExceeded",
     "ServeTelemetry",
+    "resolve_policy",
 ]

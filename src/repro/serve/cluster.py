@@ -1,0 +1,364 @@
+"""Multi-engine sharded serving: one façade over N lane-recycled machines.
+
+One :class:`~repro.serve.engine.Engine` is bounded by its machine's SIMD
+width — ``num_lanes`` requests in flight, one block execution per tick.
+:class:`Cluster` scales past that by owning ``num_engines`` engine shards,
+each with its own lane pool and logical machine, behind the same
+``submit``/``map``/``run_until_idle`` surface.  A cluster tick ticks every
+shard once (the shards' logical clocks stay in lock-step), so aggregate
+throughput grows with the shard count while per-request trajectories stay
+bit-identical to a single machine: lanes are independent under masked
+execution, so *where* a request runs never changes *what* it computes.
+
+Routing is pluggable (:class:`RoutingPolicy`): ``round_robin`` cycles
+shards, ``least_loaded`` picks the shard with the fewest outstanding
+requests (queue depth plus busy lanes — vacant lanes lower the score), and
+``power_of_two`` samples two shards with a seeded RNG and takes the less
+loaded (the classic load-balancing compromise: almost least-loaded balance
+at O(1) cost).  Admission spills over: if the routed shard's queue is
+full, the next shard in preference order takes the request, and only when
+*every* shard's queue is full does ``submit`` raise
+:class:`~repro.serve.queue.QueueFullError`.
+
+The cluster also realizes the code-cache-sharing item from the roadmap:
+the :class:`~repro.vm.executors.ExecutionPlan` is compiled **once** (or
+taken from the function's plan cache) and bound to every shard's machine,
+so N fused engines share one generated-code cache — the fused executor's
+``compile_count`` stays at 1 no matter the fleet size, which the cluster
+benchmark asserts.
+
+Entry points: ``Cluster(fn, num_engines, num_lanes)`` directly, or
+``fn.serve_cluster(num_engines, num_lanes)`` on any autobatched function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.serve.engine import Engine, drive_until_idle, serve_all
+from repro.serve.queue import QueueFullError, ResultHandle
+from repro.serve.telemetry import ClusterTelemetry
+from repro.vm.executors import ExecutionPlan
+
+
+class RoutingPolicy:
+    """Strategy choosing which shard admits each submitted request.
+
+    :meth:`preference` returns shard indices in descending preference; the
+    cluster seats the request on the first shard in that order with queue
+    space (spillover), so a policy only has to rank, not to reject.
+    Policies may hold state (cursors, RNGs) — one instance belongs to one
+    cluster.
+    """
+
+    #: Name used in ``policy="..."`` selection.
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0):
+        del seed  # deterministic policies ignore it
+
+    def preference(self, cluster: "Cluster") -> Sequence[int]:
+        """Shard indices, most preferred first; must cover every shard."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through shards in index order, one submission per step."""
+
+    name = "round_robin"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self._next = 0
+
+    def preference(self, cluster: "Cluster") -> Sequence[int]:
+        n = len(cluster.engines)
+        start = self._next % n
+        self._next += 1
+        return [(start + k) % n for k in range(n)]
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Prefer the shard with the fewest outstanding requests.
+
+    Load is :meth:`Engine.load`: queue depth plus busy lanes, so a shard
+    with vacant lanes beats an equally-queued full one.  Ties break on the
+    lower shard index, keeping routing deterministic.
+    """
+
+    name = "least_loaded"
+
+    def preference(self, cluster: "Cluster") -> Sequence[int]:
+        return sorted(
+            range(len(cluster.engines)),
+            key=lambda i: (cluster.engines[i].load(), i),
+        )
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Sample two shards (seeded RNG), route to the less loaded one.
+
+    The "power of two choices" scheme: nearly least-loaded balance while
+    inspecting only two shards per request.  The RNG is seeded at
+    construction, so a replayed submission sequence routes identically.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self._rng = np.random.RandomState(seed)
+
+    def preference(self, cluster: "Cluster") -> Sequence[int]:
+        n = len(cluster.engines)
+        if n == 1:
+            return [0]
+        i, j = (int(x) for x in self._rng.choice(n, size=2, replace=False))
+        key = lambda k: (cluster.engines[k].load(), k)  # noqa: E731
+        first, second = (i, j) if key(i) <= key(j) else (j, i)
+        spill = [k for k in range(n) if k != first and k != second]
+        return [first, second] + spill
+
+
+#: Routing-policy factories by selection name.
+ROUTING_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    PowerOfTwoPolicy.name: PowerOfTwoPolicy,
+}
+
+
+def resolve_policy(
+    spec: Union[str, RoutingPolicy, Type[RoutingPolicy], None],
+    seed: int = 0,
+) -> RoutingPolicy:
+    """Turn a ``policy=`` argument into a :class:`RoutingPolicy` instance."""
+    if spec is None:
+        return RoundRobinPolicy(seed=seed)
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, RoutingPolicy):
+        return spec(seed=seed)
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"policy must be a name or a RoutingPolicy, got {type(spec).__name__}"
+        )
+    try:
+        factory = ROUTING_POLICIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {spec!r}; known: {sorted(ROUTING_POLICIES)}"
+        )
+    return factory(seed=seed)
+
+
+class Cluster:
+    """Serve streaming requests across a fleet of engine shards.
+
+    Parameters
+    ----------
+    program:
+        An :class:`~repro.frontend.api.AutobatchFunction`, a
+        :class:`~repro.ir.instructions.StackProgram`, or a pre-compiled
+        :class:`~repro.vm.executors.ExecutionPlan`.  Whatever the form,
+        exactly one plan is compiled (or fetched from the function's plan
+        cache) and shared by every shard's machine.
+    num_engines:
+        Number of engine shards, each with its own lane pool and queue.
+    num_lanes:
+        Machine width *per shard*; the fleet holds
+        ``num_engines * num_lanes`` requests in flight at most.
+    policy:
+        Routing policy name (``"round_robin"``, ``"least_loaded"``,
+        ``"power_of_two"``), instance, or class.
+    seed:
+        Seed for stochastic policies (``power_of_two``); deterministic
+        policies ignore it.
+    max_queue_depth:
+        Per-shard queue bound.  ``submit`` spills an overflowing request
+        to the next shard in preference order and raises
+        :class:`QueueFullError` only when every shard is full.
+    executor / optimize / engine options:
+        As on :class:`~repro.serve.engine.Engine`; forwarded to every
+        shard (they share the compiled plan, not per-machine state).
+    """
+
+    def __init__(
+        self,
+        program: Any,
+        num_engines: int,
+        num_lanes: int,
+        *,
+        policy: Union[str, RoutingPolicy, Type[RoutingPolicy], None] = "round_robin",
+        seed: int = 0,
+        registry: Optional[Any] = None,
+        executor: Any = None,
+        optimize: Any = True,
+        max_queue_depth: Optional[int] = None,
+        default_step_budget: Optional[int] = None,
+        **engine_options: Any,
+    ):
+        if num_engines <= 0:
+            raise ValueError(f"num_engines must be positive, got {num_engines}")
+        if "instrumentation" in engine_options:
+            # One shared counter across N machines would overcount N-fold
+            # (and Cluster.dispatch_count would then sum it N times).
+            raise ValueError(
+                "instrumentation cannot be shared across shards; read the "
+                "per-shard counters via cluster.engines[i].vm.instr instead"
+            )
+        if isinstance(program, ExecutionPlan):
+            if executor is not None:
+                raise ValueError(
+                    "pass either an ExecutionPlan or executor=, not both"
+                )
+            plan = program
+        else:
+            # Compile once here; every shard binds this same plan (the
+            # code-cache-sharing contract the compile counter verifies).
+            plan = ExecutionPlan.compile(
+                program, executor=executor, optimize=optimize
+            )
+        if registry is None:
+            registry = getattr(program, "registry", None)
+        self.plan = plan
+        self.policy = resolve_policy(policy, seed=seed)
+        self.engines: List[Engine] = [
+            Engine(
+                plan,
+                num_lanes,
+                registry=registry,
+                max_queue_depth=max_queue_depth,
+                default_step_budget=default_step_budget,
+                **engine_options,
+            )
+            for _ in range(num_engines)
+        ]
+        self.telemetry = ClusterTelemetry(
+            shards=[e.telemetry for e in self.engines]
+        )
+        self._tick = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_engines(self) -> int:
+        return len(self.engines)
+
+    @property
+    def num_lanes(self) -> int:
+        """Lane count per shard (total capacity is num_engines times this)."""
+        return self.engines[0].pool.num_lanes
+
+    @property
+    def now(self) -> int:
+        """The cluster's logical clock (lock-step with every shard)."""
+        return self._tick
+
+    @property
+    def executor(self) -> str:
+        """Name of the block executor shared by every shard."""
+        return self.plan.name
+
+    def load(self) -> int:
+        """Outstanding requests fleet-wide (queued plus in flight)."""
+        return sum(e.load() for e in self.engines)
+
+    def dispatch_count(self) -> int:
+        """Host→device launches summed across every shard's machine."""
+        return sum(e.dispatch_count() for e in self.engines)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        *inputs: Any,
+        priority: int = 0,
+        step_budget: Optional[int] = None,
+    ) -> ResultHandle:
+        """Route one request to a shard; returns its handle.
+
+        The routing policy ranks the shards; the first with queue space
+        admits the request (``handle.shard`` records which).  Raises
+        :class:`QueueFullError` only when every shard's queue is full.
+        """
+        n_expected = len(self.engines[0].vm.program.inputs)
+        if len(inputs) != n_expected:
+            raise ValueError(
+                f"program takes {n_expected} inputs, got {len(inputs)}"
+            )
+        order = list(self.policy.preference(self))
+        for shard in order:
+            engine = self.engines[shard]
+            if engine.queue.full():
+                continue
+            handle = engine.submit(
+                *inputs, priority=priority, step_budget=step_budget
+            )
+            handle.shard = shard
+            if shard != order[0]:
+                self.telemetry.spillovers += 1
+            return handle
+        self.telemetry.cluster_rejected += 1
+        raise QueueFullError(
+            f"every shard's queue is at max_depth="
+            f"{self.engines[0].queue.max_depth}"
+        )
+
+    # -- the fleet loop ------------------------------------------------------
+
+    def busy(self) -> bool:
+        """True while any shard holds queued or in-flight work."""
+        return any(e.busy() for e in self.engines)
+
+    def admission_full(self) -> bool:
+        """True while no shard can queue a new submission."""
+        return all(e.queue.full() for e in self.engines)
+
+    def tick(self) -> bool:
+        """One cluster step: tick every shard once, in shard order.
+
+        Idle shards still tick (advancing their logical clocks), so the
+        fleet's clocks stay aligned and per-shard telemetry is comparable.
+        Returns True while any shard holds work after the tick.
+        """
+        self._tick += 1
+        pending = False
+        for engine in self.engines:
+            if engine.tick():
+                pending = True
+        return pending
+
+    def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
+        """Tick until no shard has queued or in-flight work; returns ticks."""
+        return drive_until_idle(self, max_ticks)
+
+    # -- batch convenience ----------------------------------------------------
+
+    def map(
+        self,
+        request_inputs: Iterable[Sequence[Any]],
+        *,
+        priority: int = 0,
+        step_budget: Optional[int] = None,
+    ) -> List[Any]:
+        """Serve a whole collection of requests; results in request order.
+
+        Applies backpressure instead of overflowing: while every shard's
+        queue is full, the cluster ticks until a slot opens somewhere.
+        """
+        return serve_all(
+            self, request_inputs, priority=priority, step_budget=step_budget
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(engines={self.num_engines}, lanes={self.num_lanes}, "
+            f"policy={self.policy.name!r}, executor={self.plan.name!r}, "
+            f"load={self.load()}, tick={self._tick})"
+        )

@@ -43,6 +43,58 @@ from repro.vm.program_counter import ProgramCounterVM
 REFILL_POLICIES = ("continuous", "drain")
 
 
+def drive_until_idle(server: Any, max_ticks: Optional[int] = None) -> int:
+    """Tick ``server`` until it holds no queued or in-flight work.
+
+    Shared driver for :class:`Engine` and
+    :class:`~repro.serve.cluster.Cluster` (anything with ``busy``/``tick``/
+    ``now``).  Returns the ticks run; raises ``RuntimeError`` if work
+    remains after ``max_ticks``.
+    """
+    start = server.now
+    while server.busy():
+        server.tick()
+        if (
+            max_ticks is not None
+            and server.now - start >= max_ticks
+            and server.busy()
+        ):
+            raise RuntimeError(
+                f"{type(server).__name__.lower()} still busy after "
+                f"max_ticks={max_ticks}"
+            )
+    return server.now - start
+
+
+def serve_all(
+    server: Any,
+    request_inputs: Iterable[Sequence[Any]],
+    priority: int = 0,
+    step_budget: Optional[int] = None,
+) -> List[Any]:
+    """Submit every request with backpressure, drain, return results in order.
+
+    The shared body of ``Engine.map`` and ``Cluster.map``: while admission
+    is full everywhere (``server.admission_full()``), tick instead of
+    overflowing; raise :class:`QueueFullError` if the server goes idle
+    without ever being able to admit.
+    """
+    handles = []
+    for inputs in request_inputs:
+        while server.admission_full():
+            if not server.tick():
+                raise QueueFullError(
+                    f"the queue is full but the "
+                    f"{type(server).__name__.lower()} is idle; "
+                    "max_queue_depth is too small to ever admit"
+                )
+        handles.append(
+            server.submit(*inputs, priority=priority, step_budget=step_budget)
+        )
+    server.run_until_idle()
+    return [h.result() for h in handles]
+
+
 class Engine:
     """Serve streaming requests through one lane-recycled batched machine.
 
@@ -155,6 +207,14 @@ class Engine:
     def dispatch_count(self) -> int:
         """Host→device launches so far under this engine's execution plan."""
         return self.plan.dispatch_count(self.vm.instr)
+
+    def load(self) -> int:
+        """Outstanding work: queued plus in-flight requests.
+
+        The routing metric cluster policies balance on — a vacant lane
+        lowers it, a deep queue raises it.
+        """
+        return len(self.queue) + self.pool.busy_count()
 
     def submit(
         self,
@@ -291,20 +351,17 @@ class Engine:
                 self._enforce_budgets(stepped)
         return bool(self.pool.busy_count() or len(self.queue))
 
+    def busy(self) -> bool:
+        """True while the engine holds queued or in-flight work."""
+        return bool(self.pool.busy_count() or len(self.queue))
+
+    def admission_full(self) -> bool:
+        """True while no new submission can be queued."""
+        return self.queue.full()
+
     def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
         """Tick until no request is queued or in flight; returns ticks run."""
-        start = self._tick
-        while self.pool.busy_count() or len(self.queue):
-            self.tick()
-            if (
-                max_ticks is not None
-                and self._tick - start >= max_ticks
-                and (self.pool.busy_count() or len(self.queue))
-            ):
-                raise RuntimeError(
-                    f"engine still busy after max_ticks={max_ticks}"
-                )
-        return self._tick - start
+        return drive_until_idle(self, max_ticks)
 
     # -- batch convenience ----------------------------------------------------
 
@@ -322,19 +379,9 @@ class Engine:
         ``request_inputs`` is the tuple of per-example inputs for one
         request.
         """
-        handles = []
-        for inputs in request_inputs:
-            while self.queue.full():
-                if not self.tick():
-                    raise QueueFullError(
-                        "queue is full but the engine is idle; "
-                        "max_queue_depth is too small to ever admit"
-                    )
-            handles.append(
-                self.submit(*inputs, priority=priority, step_budget=step_budget)
-            )
-        self.run_until_idle()
-        return [h.result() for h in handles]
+        return serve_all(
+            self, request_inputs, priority=priority, step_budget=step_budget
+        )
 
     def __repr__(self) -> str:
         return (

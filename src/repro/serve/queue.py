@@ -66,6 +66,9 @@ class ResultHandle:
         self.finish_tick: Optional[int] = None
         #: lane the request occupied while running
         self.lane: Optional[int] = None
+        #: engine shard the request was admitted to (None outside a
+        #: :class:`~repro.serve.cluster.Cluster`)
+        self.shard: Optional[int] = None
         #: machine steps in which this request's member was active
         self.steps_used: int = 0
 

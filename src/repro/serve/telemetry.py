@@ -15,6 +15,13 @@ Metrics:
 * **queue wait** — ticks between submission and lane injection.
 * **time-to-first-result** — ticks until the first request retires.
 * **throughput** — completed requests per tick.
+
+:class:`ClusterTelemetry` rolls per-shard :class:`ServeTelemetry` up into
+fleet-level metrics — fleet utilization, aggregate throughput, per-shard
+completion skew — for the multi-engine :class:`~repro.serve.cluster.Cluster`.
+Every derived metric here returns 0.0 on an empty denominator (zero ticks,
+zero completions, all-rejected traffic) rather than raising, so telemetry
+is always safe to summarize mid-run or after a dead engine.
 """
 
 from __future__ import annotations
@@ -101,4 +108,124 @@ class ServeTelemetry:
                 f"batch_utilization={self.instrumentation.utilization():.3f} "
                 f"kernel_calls={self.instrumentation.kernel_calls}"
             )
+        return "\n".join(lines)
+
+
+@dataclass
+class ClusterTelemetry:
+    """Fleet-level rollup of per-shard :class:`ServeTelemetry`.
+
+    Holds live references to the shard telemetries, so every aggregate is
+    computed on demand from the shards' current counters; only the two
+    cluster-level admission counters (``cluster_rejected`` — every shard's
+    queue was full — and ``spillovers`` — the preferred shard was full but
+    another accepted) are recorded here directly.  ``rejected`` reports
+    cluster-level plus shard-level rejections, so out-of-band submissions
+    straight to a shard stay consistent with the summed ``submitted``.
+    """
+
+    shards: List[ServeTelemetry] = field(default_factory=list)
+    cluster_rejected: int = 0  # refusals because every shard was full
+    spillovers: int = 0        # admissions that overflowed their preferred shard
+
+    # -- aggregate counters --------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def submitted(self) -> int:
+        return sum(s.submitted for s in self.shards)
+
+    @property
+    def rejected(self) -> int:
+        """Cluster-level (all shards full) plus per-shard rejections."""
+        return self.cluster_rejected + sum(s.rejected for s in self.shards)
+
+    @property
+    def injected(self) -> int:
+        return sum(s.injected for s in self.shards)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.shards)
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failed for s in self.shards)
+
+    @property
+    def ticks(self) -> int:
+        """Cluster logical clock: shards tick in lock-step, so the max."""
+        return max((s.ticks for s in self.shards), default=0)
+
+    # -- derived -------------------------------------------------------------
+
+    def fleet_utilization(self) -> float:
+        """Busy lane-slots / offered lane-slots, summed across shards."""
+        slots = sum(s.lane_slots for s in self.shards)
+        busy = sum(s.busy_lane_slots for s in self.shards)
+        return busy / slots if slots else 0.0
+
+    def aggregate_throughput(self) -> float:
+        """Completed requests per cluster tick, across all shards."""
+        ticks = self.ticks
+        return self.completed / ticks if ticks else 0.0
+
+    def mean_queue_wait(self) -> float:
+        """Mean queued ticks across every shard's injected requests."""
+        waits = [w for s in self.shards for w in s.queue_waits]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def max_queue_wait(self) -> int:
+        return max((s.max_queue_wait() for s in self.shards), default=0)
+
+    def first_result_tick(self) -> Optional[int]:
+        firsts = [
+            s.first_result_tick
+            for s in self.shards
+            if s.first_result_tick is not None
+        ]
+        return min(firsts) if firsts else None
+
+    def completed_per_shard(self) -> List[int]:
+        return [s.completed for s in self.shards]
+
+    def completion_skew(self) -> float:
+        """Relative completion imbalance: (max - min) / mean across shards.
+
+        0.0 for a perfectly balanced fleet (and for an idle or empty one);
+        1.0 means the busiest shard completed one whole mean-share more
+        than the idlest.
+        """
+        per_shard = self.completed_per_shard()
+        if not per_shard:
+            return 0.0
+        mean = sum(per_shard) / len(per_shard)
+        if not mean:
+            return 0.0
+        return (max(per_shard) - min(per_shard)) / mean
+
+    def utilization_skew(self) -> float:
+        """Max minus min per-shard lane utilization."""
+        utils = [s.lane_utilization() for s in self.shards]
+        return max(utils) - min(utils) if utils else 0.0
+
+    def summary(self) -> str:
+        """Human-readable multi-line fleet summary."""
+        lines = [
+            f"shards={self.num_shards} ticks={self.ticks} "
+            f"fleet_utilization={self.fleet_utilization():.3f}",
+            f"requests: submitted={self.submitted} rejected={self.rejected} "
+            f"spillovers={self.spillovers} injected={self.injected} "
+            f"completed={self.completed} failed={self.failed}",
+            f"queue wait: mean={self.mean_queue_wait():.1f} "
+            f"max={self.max_queue_wait()} ticks",
+            f"throughput={self.aggregate_throughput():.4f} requests/tick, "
+            f"completion skew={self.completion_skew():.3f}, "
+            f"utilization skew={self.utilization_skew():.3f}",
+            "per-shard completed: "
+            + " ".join(str(c) for c in self.completed_per_shard()),
+        ]
         return "\n".join(lines)

@@ -27,7 +27,7 @@ implements :class:`BlockExecutor` and registers itself with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
@@ -64,6 +64,13 @@ class BlockExecutor:
     #: Dispatch accounting family for the device cost models
     #: (``"eager"`` = per-op launches, ``"fused"`` = per-block launches).
     accounting: str = "eager"
+    #: Expensive per-program compilation events (codegen + ``compile()``)
+    #: this executor has performed.  Binding an already-compiled program to
+    #: another machine must NOT increase it — that is the code-cache-sharing
+    #: contract multi-engine serving relies on, and the regression tests pin
+    #: it down.  Executors with no compile step (the eager interpreter)
+    #: leave it at 0.
+    compile_count: int = 0
 
     def bind(self, vm: Any) -> List[Callable]:
         """One callable per block of ``vm.program``, closed over ``vm``."""
@@ -240,6 +247,24 @@ class EagerBlockExecutor(BlockExecutor):
         return instr.kernel_calls
 
 
+class PlanStats:
+    """Mutable per-plan counters (the plan itself stays frozen/hashable-free).
+
+    ``bind_count`` is the number of machines the plan has been attached to;
+    together with the executor's ``compile_count`` it proves the
+    compile-once-bind-many property: a fleet of N same-width machines shows
+    ``bind_count == N`` with ``compile_count == 1``.
+    """
+
+    __slots__ = ("bind_count",)
+
+    def __init__(self) -> None:
+        self.bind_count = 0
+
+    def __repr__(self) -> str:
+        return f"PlanStats(bind_count={self.bind_count})"
+
+
 class BoundPlan:
     """An :class:`ExecutionPlan` attached to one machine instance.
 
@@ -288,6 +313,9 @@ class ExecutionPlan:
     program: StackProgram
     executor: BlockExecutor
     options: Optional[LoweringOptions] = None
+    #: Mutable binding counters; excluded from equality so two plans over
+    #: the same (program, executor, options) still compare equal.
+    stats: PlanStats = field(default_factory=PlanStats, compare=False, repr=False)
 
     @classmethod
     def compile(
@@ -339,8 +367,17 @@ class ExecutionPlan:
         return self.executor.device_dispatch_count(instr)
 
     def bind(self, vm: Any) -> BoundPlan:
-        """Compile/attach the per-block callables for one machine."""
-        return BoundPlan(self, vm, list(self.executor.bind(vm)))
+        """Compile/attach the per-block callables for one machine.
+
+        One plan binds to arbitrarily many machines of the same width
+        concurrently — each binding resolves its own per-VM state (storage
+        handles, batch-width constants) while the expensive compile work is
+        shared, which is what lets a multi-engine cluster serve one code
+        cache.  ``self.stats.bind_count`` tracks the bindings.
+        """
+        bound = BoundPlan(self, vm, list(self.executor.bind(vm)))
+        self.stats.bind_count += 1
+        return bound
 
     def __repr__(self) -> str:
         return (

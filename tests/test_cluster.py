@@ -1,0 +1,350 @@
+"""Tests for multi-engine sharded serving (repro.serve.cluster).
+
+Two load-bearing properties:
+
+* **routing invariance** — a request computes the same bits no matter which
+  shard (or policy) runs it, so any trace through any policy must match the
+  static ``run_pc`` batch and every other policy;
+* **code-cache sharing** — one :class:`~repro.vm.executors.ExecutionPlan`
+  is compiled once and bound to every shard: the fused executor's compile
+  counter stays at 1 for a whole fleet.
+
+The CI workflow runs this file as a fast gate before the full suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import autobatch
+from repro.serve import (
+    Cluster,
+    ClusterTelemetry,
+    LeastLoadedPolicy,
+    PowerOfTwoPolicy,
+    QueueFullError,
+    ROUTING_POLICIES,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ServeTelemetry,
+    StepBudgetExceeded,
+    resolve_policy,
+)
+from repro.vm.executors import ExecutionPlan
+
+from .programs import ALL_EXAMPLES, fib, gcd
+
+CLUSTER_CORPUS = ["fib", "gcd", "collatz_steps", "poly", "rng_walk",
+                  "recursive_pair", "newton_sqrt"]
+
+POLICIES = sorted(ROUTING_POLICIES)
+
+
+@autobatch
+def tri(n):
+    """Hermetic to this module, so its plan cache starts cold here."""
+    if n <= 0:
+        return 0
+    return n + tri(n - 1)
+
+
+def rows_of(arrays):
+    """Per-request input tuples from a batch of input arrays."""
+    z = np.asarray(arrays[0]).shape[0]
+    return [tuple(np.asarray(a)[b] for a in arrays) for b in range(z)]
+
+
+class TestClusterCorrectness:
+    @pytest.mark.parametrize("name", CLUSTER_CORPUS)
+    @pytest.mark.parametrize("num_engines", [1, 3])
+    def test_cluster_matches_static_run_pc(self, name, num_engines):
+        fn, inputs = ALL_EXAMPLES[name]
+        expected = fn.run_pc(*inputs, max_stack_depth=64)
+        cluster = fn.serve_cluster(
+            num_engines, num_lanes=2, max_stack_depth=64
+        )
+        results = cluster.map(rows_of(inputs))
+        expected_tuple = expected if isinstance(expected, tuple) else (expected,)
+        for b, result in enumerate(results):
+            result_tuple = result if isinstance(result, tuple) else (result,)
+            assert len(result_tuple) == len(expected_tuple)
+            for out, (got, exp) in enumerate(zip(result_tuple, expected_tuple)):
+                got = np.asarray(got)
+                assert got.dtype == exp.dtype, (name, b, out)
+                np.testing.assert_array_equal(
+                    got, exp[b], err_msg=f"{name}[{b}].{out}"
+                )
+
+    def test_cluster_matches_single_engine_trace(self):
+        ns = np.array([9, 2, 13, 5, 11, 3, 7, 14, 1, 8], dtype=np.int64)
+        engine = fib.serve(num_lanes=2)
+        single = engine.map(rows_of((ns,)))
+        cluster = fib.serve_cluster(3, num_lanes=2)
+        sharded = cluster.map(rows_of((ns,)))
+        np.testing.assert_array_equal(np.stack(sharded), np.stack(single))
+
+    def test_mid_flight_submission(self):
+        cluster = gcd.serve_cluster(2, num_lanes=1, max_stack_depth=64)
+        first = [cluster.submit(np.int64(a), np.int64(b))
+                 for a, b in [(1071, 462), (17, 5)]]
+        for _ in range(3):
+            cluster.tick()
+        second = [cluster.submit(np.int64(a), np.int64(b))
+                  for a, b in [(100, 75), (3, 0), (270, 192)]]
+        cluster.run_until_idle()
+        a = np.array([1071, 17, 100, 3, 270], dtype=np.int64)
+        b = np.array([462, 5, 75, 0, 192], dtype=np.int64)
+        got = np.array([h.result() for h in first + second])
+        np.testing.assert_array_equal(got, gcd.run_pc(a, b, max_stack_depth=64))
+
+    def test_step_budget_fails_only_its_own_request(self):
+        cluster = fib.serve_cluster(2, num_lanes=1)
+        doomed = cluster.submit(np.int64(25), step_budget=5)
+        survivors = [cluster.submit(np.int64(n)) for n in (9, 10, 11)]
+        cluster.run_until_idle()
+        assert isinstance(doomed.exception(), StepBudgetExceeded)
+        got = np.array([h.result() for h in survivors])
+        np.testing.assert_array_equal(
+            got, fib.run_pc(np.array([9, 10, 11], dtype=np.int64))
+        )
+        assert cluster.telemetry.failed == 1
+        assert cluster.telemetry.completed == 3
+
+    def test_wrong_arity_rejected_before_routing(self):
+        cluster = gcd.serve_cluster(2, num_lanes=1)
+        with pytest.raises(ValueError, match="takes 2 inputs"):
+            cluster.submit(np.int64(4))
+        assert cluster.telemetry.submitted == 0
+
+    def test_run_until_idle_max_ticks(self):
+        cluster = fib.serve_cluster(2, num_lanes=1)
+        cluster.submit(np.int64(8))
+        ticks = cluster.run_until_idle()
+        assert ticks > 0 and cluster.now == ticks
+        cluster2 = fib.serve_cluster(2, num_lanes=1)
+        cluster2.submit(np.int64(8))
+        with pytest.raises(RuntimeError, match="still busy"):
+            cluster2.run_until_idle(max_ticks=ticks - 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="num_engines"):
+            fib.serve_cluster(0, num_lanes=2)
+        with pytest.raises(ValueError, match="not both"):
+            Cluster(fib.execution_plan("eager"), 2, 2, executor="fused")
+
+    def test_shared_instrumentation_rejected(self):
+        """One counter object across N machines would overcount N-fold."""
+        from repro.vm.instrumentation import Instrumentation
+
+        with pytest.raises(ValueError, match="shared across shards"):
+            fib.serve_cluster(2, num_lanes=2, instrumentation=Instrumentation())
+
+
+class TestRoutingPolicies:
+    def test_policy_differential_same_result_set(self):
+        """The satellite contract: one trace, three policies, identical
+        results request-for-request — only telemetry may differ."""
+        ns = np.array([12, 3, 14, 5, 9, 1, 13, 7, 2, 11, 4, 8], dtype=np.int64)
+        results = {}
+        telem = {}
+        for policy in POLICIES:
+            cluster = fib.serve_cluster(
+                3, num_lanes=2, policy=policy, max_queue_depth=4, seed=7
+            )
+            results[policy] = np.stack(cluster.map(rows_of((ns,))))
+            telem[policy] = cluster.telemetry
+        expected = fib.run_pc(ns)
+        for policy in POLICIES:
+            np.testing.assert_array_equal(results[policy], expected, err_msg=policy)
+            assert telem[policy].completed == len(ns)
+            assert telem[policy].submitted == len(ns)
+
+    def test_round_robin_cycles_shards(self):
+        cluster = fib.serve_cluster(3, num_lanes=1, policy="round_robin")
+        handles = [cluster.submit(np.int64(5)) for _ in range(6)]
+        assert [h.shard for h in handles] == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_prefers_the_idle_shard(self):
+        cluster = fib.serve_cluster(2, num_lanes=1, policy="least_loaded")
+        a = cluster.submit(np.int64(12))
+        b = cluster.submit(np.int64(12))
+        c = cluster.submit(np.int64(12))
+        assert (a.shard, b.shard) == (0, 1)
+        assert c.shard == 0  # tie on load breaks to the lower index
+        cluster.run_until_idle()
+
+    def test_power_of_two_is_seed_deterministic(self):
+        def shards(seed):
+            cluster = fib.serve_cluster(
+                4, num_lanes=1, policy="power_of_two", seed=seed
+            )
+            hs = [cluster.submit(np.int64(4)) for _ in range(10)]
+            cluster.run_until_idle()
+            return [h.shard for h in hs]
+
+        assert shards(3) == shards(3)
+        assert all(0 <= s < 4 for s in shards(0))
+
+    def test_resolve_policy_forms(self):
+        assert isinstance(resolve_policy(None), RoundRobinPolicy)
+        assert isinstance(resolve_policy("least_loaded"), LeastLoadedPolicy)
+        assert isinstance(resolve_policy(PowerOfTwoPolicy), PowerOfTwoPolicy)
+        inst = LeastLoadedPolicy()
+        assert resolve_policy(inst) is inst
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            resolve_policy("sticky")
+        with pytest.raises(TypeError):
+            resolve_policy(42)
+        assert RoutingPolicy.name == "abstract"
+
+
+class TestSpilloverAdmission:
+    def test_spills_to_next_shard_when_preferred_is_full(self):
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy="round_robin", max_queue_depth=1
+        )
+        # Fill shard 0's queue out-of-band, then submit through the cluster:
+        # round robin prefers shard 0 first, which must spill to shard 1.
+        cluster.engines[0].submit(np.int64(6))
+        h = cluster.submit(np.int64(7))
+        assert h.shard == 1
+        assert cluster.telemetry.spillovers == 1
+        assert cluster.telemetry.rejected == 0
+        cluster.run_until_idle()
+        assert h.result() == 21
+
+    def test_rejects_only_when_every_shard_is_full(self):
+        cluster = fib.serve_cluster(2, num_lanes=1, max_queue_depth=1)
+        cluster.submit(np.int64(5))
+        cluster.submit(np.int64(5))
+        with pytest.raises(QueueFullError, match="every shard"):
+            cluster.submit(np.int64(5))
+        assert cluster.telemetry.rejected == 1
+        # Draining reopens admission.
+        cluster.run_until_idle()
+        h = cluster.submit(np.int64(5))
+        cluster.run_until_idle()
+        assert h.result() == 8
+
+    def test_map_applies_backpressure_instead_of_overflowing(self):
+        ns = np.arange(12, dtype=np.int64)
+        cluster = fib.serve_cluster(2, num_lanes=1, max_queue_depth=1)
+        results = cluster.map(rows_of((ns,)))
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+        assert cluster.telemetry.rejected == 0
+
+    def test_map_with_unadmittable_queue_raises(self):
+        cluster = fib.serve_cluster(2, num_lanes=1, max_queue_depth=0)
+        with pytest.raises(QueueFullError, match="idle"):
+            cluster.map([(np.int64(3),)])
+
+
+class TestCodeCacheSharing:
+    def test_one_fused_compile_for_a_whole_fleet(self):
+        cluster = tri.serve_cluster(4, num_lanes=2, executor="fused")
+        assert cluster.plan is tri.execution_plan("fused")
+        assert cluster.plan.executor.compile_count == 1
+        assert cluster.plan.stats.bind_count >= 4
+        # A second fleet over the same function reuses the same plan and
+        # generated code: the counter must not move.
+        again = tri.serve_cluster(2, num_lanes=3, executor="fused")
+        assert again.plan is cluster.plan
+        assert again.plan.executor.compile_count == 1
+        ns = np.array([4, 0, 9, 2, 7, 5], dtype=np.int64)
+        np.testing.assert_array_equal(
+            np.stack(again.map(rows_of((ns,)))), tri.run_pc(ns)
+        )
+
+    def test_shards_share_generated_code_objects(self):
+        cluster = tri.serve_cluster(3, num_lanes=2, executor="fused")
+        fns = [e.vm._block_fns for e in cluster.engines]
+        for blocks in fns[1:]:
+            for f0, fk in zip(fns[0], blocks):
+                assert f0.__code__ is fk.__code__
+        assert all(e.plan is cluster.plan for e in cluster.engines)
+
+    def test_explicit_plan_bound_to_many_machines(self):
+        plan = ExecutionPlan.compile(gcd.stack_program(), executor="fused")
+        assert plan.executor.compile_count == 0
+        cluster = Cluster(plan, 3, num_lanes=1, max_stack_depth=64)
+        assert plan.executor.compile_count == 1
+        assert plan.stats.bind_count == 3
+        pairs = [(48, 36), (7, 0), (12, 18), (270, 192), (9, 9)]
+        results = cluster.map([(np.int64(a), np.int64(b)) for a, b in pairs])
+        a = np.array([p[0] for p in pairs], dtype=np.int64)
+        b = np.array([p[1] for p in pairs], dtype=np.int64)
+        np.testing.assert_array_equal(
+            np.stack(results), gcd.run_pc(a, b, max_stack_depth=64)
+        )
+
+
+class TestClusterTelemetry:
+    def test_rollup_consistency(self):
+        ns = np.array([6, 13, 2, 9, 14, 4, 11, 7], dtype=np.int64)
+        cluster = fib.serve_cluster(2, num_lanes=2, policy="least_loaded")
+        cluster.map(rows_of((ns,)))
+        t = cluster.telemetry
+        assert t.num_shards == 2
+        assert t.submitted == t.injected == t.completed == len(ns)
+        assert t.failed == 0 and t.rejected == 0
+        assert t.ticks == cluster.now
+        for shard in t.shards:
+            assert shard.ticks == cluster.now  # lock-step clocks
+        assert sum(t.completed_per_shard()) == t.completed
+        assert 0.0 < t.fleet_utilization() <= 1.0
+        assert t.aggregate_throughput() == t.completed / t.ticks
+        assert t.mean_queue_wait() >= 0.0
+        assert t.first_result_tick() is not None
+        assert 0.0 <= t.completion_skew()
+        assert 0.0 <= t.utilization_skew() <= 1.0
+        summary = t.summary()
+        assert "fleet_utilization" in summary and "per-shard completed" in summary
+
+    def test_zero_tick_edge_cases(self):
+        """A freshly built fleet reports zeros, not ZeroDivisionError."""
+        cluster = fib.serve_cluster(3, num_lanes=2)
+        t = cluster.telemetry
+        assert t.ticks == 0
+        assert t.aggregate_throughput() == 0.0
+        assert t.fleet_utilization() == 0.0
+        assert t.mean_queue_wait() == 0.0
+        assert t.max_queue_wait() == 0
+        assert t.completion_skew() == 0.0
+        assert t.utilization_skew() == 0.0
+        assert t.first_result_tick() is None
+        assert isinstance(t.summary(), str)
+
+    def test_empty_telemetry_object(self):
+        t = ClusterTelemetry()
+        assert t.num_shards == 0 and t.ticks == 0
+        assert t.aggregate_throughput() == 0.0
+        assert t.fleet_utilization() == 0.0
+        assert t.mean_queue_wait() == 0.0
+        assert t.completion_skew() == 0.0
+        assert t.utilization_skew() == 0.0
+        assert isinstance(t.summary(), str)
+
+    def test_rejected_includes_shard_level_rejections(self):
+        """Out-of-band submissions straight to a shard stay consistent
+        with the summed fleet counters."""
+        cluster = fib.serve_cluster(2, num_lanes=1, max_queue_depth=1)
+        cluster.engines[0].submit(np.int64(5))
+        with pytest.raises(QueueFullError):
+            cluster.engines[0].submit(np.int64(5))
+        assert cluster.telemetry.rejected == 1
+        assert cluster.telemetry.cluster_rejected == 0
+        assert cluster.telemetry.submitted == 1
+        cluster.run_until_idle()
+
+    def test_all_rejected_traffic(self):
+        cluster = fib.serve_cluster(2, num_lanes=1, max_queue_depth=0)
+        for _ in range(5):
+            with pytest.raises(QueueFullError):
+                cluster.submit(np.int64(3))
+        t = cluster.telemetry
+        assert t.rejected == 5 and t.submitted == 0 and t.completed == 0
+        assert t.aggregate_throughput() == 0.0
+        assert t.mean_queue_wait() == 0.0
+        # Ticking an all-rejected fleet stays well-defined too.
+        cluster.tick()
+        assert t.aggregate_throughput() == 0.0
+        assert t.fleet_utilization() == 0.0

@@ -129,6 +129,61 @@ class TestExecutionPlan:
                 fib.execution_plan("fused"), batch_size=2, mode="gather"
             )
 
+    def test_fused_compile_counter_once_across_machines(self):
+        """The code-cache-sharing regression: one fused plan bound to two
+        machines does exactly one codegen/compile, and both machines produce
+        identical outputs AND identical instrumentation op counts."""
+        plan = ExecutionPlan.compile(
+            gcd.stack_program(), executor=FusedBlockExecutor()
+        )
+        assert plan.executor.compile_count == 0
+        assert plan.stats.bind_count == 0
+        i1, i2 = Instrumentation(), Instrumentation()
+        vm1 = ProgramCounterVM(
+            plan, batch_size=3, max_stack_depth=32, instrumentation=i1
+        )
+        assert plan.executor.compile_count == 1
+        vm2 = ProgramCounterVM(
+            plan, batch_size=3, max_stack_depth=32, instrumentation=i2
+        )
+        assert plan.executor.compile_count == 1  # bind is not compile
+        assert plan.stats.bind_count == 2
+        a = np.array([48, 17, 270], dtype=np.int64)
+        b = np.array([36, 5, 192], dtype=np.int64)
+        out1, out2 = vm1.run([a, b]), vm2.run([a, b])
+        np.testing.assert_array_equal(out1[0], out2[0])
+        assert_instrumentation_identical(i1, i2)
+
+    def test_eager_executor_never_compiles(self):
+        plan = ExecutionPlan.compile(fib.stack_program(), executor="eager")
+        ProgramCounterVM(plan, batch_size=2, max_stack_depth=8)
+        assert plan.executor.compile_count == 0
+        assert plan.stats.bind_count == 1
+
+    def test_shared_executor_alternating_programs_no_thrash(self):
+        """One executor instance serving two programs must cache both:
+        alternating binds across programs never re-trigger codegen."""
+        ex = FusedBlockExecutor()
+        p_fib = ExecutionPlan.compile(fib.stack_program(), executor=ex)
+        p_gcd = ExecutionPlan.compile(gcd.stack_program(), executor=ex)
+        ProgramCounterVM(p_fib, batch_size=2, max_stack_depth=16)
+        ProgramCounterVM(p_gcd, batch_size=2, max_stack_depth=16)
+        assert ex.compile_count == 2
+        ProgramCounterVM(p_fib, batch_size=4, max_stack_depth=16)
+        ProgramCounterVM(p_gcd, batch_size=4, max_stack_depth=16)
+        assert ex.compile_count == 2
+
+    def test_total_fused_compiles_counts_fleet_builds_once(self):
+        from repro.backend.fusion import total_fused_compiles
+
+        plan = ExecutionPlan.compile(
+            fib.stack_program(), executor=FusedBlockExecutor()
+        )
+        before = total_fused_compiles()
+        for width in (2, 3, 5, 8):
+            ProgramCounterVM(plan, batch_size=width, max_stack_depth=8)
+        assert total_fused_compiles() == before + 1
+
     def test_fused_codegen_compiled_once_per_plan(self):
         """Binding the same fused plan to two machines must reuse the
         compiled code objects — only namespaces are per-VM."""

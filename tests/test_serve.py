@@ -9,6 +9,8 @@ step budgets, telemetry — is checked on top of that.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import (
     Engine,
@@ -17,6 +19,7 @@ from repro.serve import (
     RequestQueue,
     ResultHandle,
     ServeRequest,
+    ServeTelemetry,
     StepBudgetExceeded,
 )
 from repro.vm.program_counter import ProgramCounterVM
@@ -318,4 +321,196 @@ class TestVmLaneHooks:
         expected = rng_walk.run_pc(ctrs, ns, max_stack_depth=64)
         engine = rng_walk.serve(num_lanes=2, max_stack_depth=64)
         results = engine.map(rows_of((ctrs, ns)))
+        np.testing.assert_array_equal(np.stack(results), expected)
+
+
+class TestTelemetryEdgeCases:
+    """Zero-traffic and failure-only corners must report zeros, not raise."""
+
+    def test_fresh_telemetry_all_zeroes(self):
+        t = ServeTelemetry(num_lanes=4)
+        assert t.ticks == 0
+        assert t.throughput() == 0.0
+        assert t.lane_utilization() == 0.0
+        assert t.mean_queue_wait() == 0.0
+        assert t.max_queue_wait() == 0
+        assert t.first_result_tick is None
+        assert isinstance(t.summary(), str)
+
+    def test_fresh_engine_zero_ticks(self):
+        engine = fib.serve(num_lanes=2)
+        t = engine.telemetry
+        assert t.ticks == 0 and t.throughput() == 0.0
+        assert t.lane_utilization() == 0.0 and t.mean_queue_wait() == 0.0
+        assert isinstance(t.summary(), str)
+
+    def test_zero_completions_with_failed_traffic(self):
+        """Every request aborts on its budget: completed stays 0, derived
+        metrics stay finite."""
+        engine = fib.serve(num_lanes=2, default_step_budget=1)
+        for _ in range(3):
+            engine.submit(np.int64(20))
+        engine.run_until_idle()
+        t = engine.telemetry
+        assert t.completed == 0 and t.failed == 3
+        assert t.throughput() == 0.0
+        assert t.first_result_tick is None
+        assert t.mean_queue_wait() >= 0.0
+        assert isinstance(t.summary(), str)
+
+    def test_all_rejected_traffic(self):
+        engine = fib.serve(num_lanes=1, max_queue_depth=0)
+        for _ in range(4):
+            with pytest.raises(QueueFullError):
+                engine.submit(np.int64(5))
+        t = engine.telemetry
+        assert t.rejected == 4 and t.submitted == 0
+        assert t.throughput() == 0.0 and t.mean_queue_wait() == 0.0
+        engine.tick()  # an idle tick keeps everything well-defined
+        assert t.idle_ticks == 1 and t.lane_utilization() == 0.0
+
+# -- property-based serving (hypothesis) --------------------------------------
+#
+# Random arrival/step-budget schedules against Engine and Cluster.  The
+# invariants: no lost or duplicated handle, every completed result
+# bit-identical to the unbatched reference, and queue-wait accounting
+# consistent with the logical clock.
+
+# One request: (fib argument, arrival gap in ticks, optional step budget).
+schedule_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 14),
+        st.integers(0, 3),
+        st.one_of(st.none(), st.integers(1, 2000)),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+_FIB_REF = {int(n): int(v) for n, v in zip(
+    range(15), fib.run_pc(np.arange(15, dtype=np.int64))
+)}
+
+
+def check_serving_invariants(server, handles, telemetry):
+    """Shared postconditions for a drained Engine or Cluster."""
+    # No lost handles: every submission ended in exactly one terminal state.
+    assert all(h.done() for _, h in handles)
+    done = [h for _, h in handles if h.state == "done"]
+    failed = [h for _, h in handles if h.state == "failed"]
+    assert len(done) + len(failed) == len(handles)
+    # No duplicated delivery: counters match the handle states one-for-one.
+    assert telemetry.submitted == len(handles)
+    assert telemetry.completed == len(done)
+    assert telemetry.failed == len(failed)
+    assert telemetry.injected == len(done) + len(failed)
+    # Results bit-identical to the unbatched reference.
+    for n, h in handles:
+        if h.state == "done":
+            assert int(h.result()) == _FIB_REF[n]
+        else:
+            assert isinstance(h.exception(), StepBudgetExceeded)
+    # Queue-wait accounting consistent with the logical clock.
+    for _, h in handles:
+        assert h.inject_tick is not None and h.finish_tick is not None
+        assert h.request.submit_tick <= h.inject_tick <= h.finish_tick
+        assert h.finish_tick <= server.now
+        assert h.queue_wait() == h.inject_tick - h.request.submit_tick
+
+
+class TestPropertyBasedSchedules:
+    @settings(max_examples=25, deadline=None)
+    @given(schedule=schedule_strategy, num_lanes=st.integers(1, 3))
+    def test_engine_random_schedule_invariants(self, schedule, num_lanes):
+        engine = fib.serve(num_lanes=num_lanes, max_stack_depth=64)
+        handles = []
+        for n, gap, budget in schedule:
+            for _ in range(gap):
+                engine.tick()
+            handles.append(
+                (n, engine.submit(np.int64(n), step_budget=budget))
+            )
+        engine.run_until_idle()
+        t = engine.telemetry
+        check_serving_invariants(engine, handles, t)
+        ids = [h.request_id for _, h in handles]
+        assert len(set(ids)) == len(ids)
+        assert t.ticks == engine.now
+        assert t.lane_slots == t.ticks * num_lanes
+        assert 0 <= t.busy_lane_slots <= t.lane_slots
+        assert len(t.queue_waits) == t.injected
+        assert sum(t.queue_waits) == sum(h.queue_wait() for _, h in handles)
+        assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        schedule=schedule_strategy,
+        num_engines=st.integers(1, 3),
+        num_lanes=st.integers(1, 2),
+        policy=st.sampled_from(["round_robin", "least_loaded", "power_of_two"]),
+        seed=st.integers(0, 3),
+    )
+    def test_cluster_random_schedule_invariants(
+        self, schedule, num_engines, num_lanes, policy, seed
+    ):
+        cluster = fib.serve_cluster(
+            num_engines,
+            num_lanes=num_lanes,
+            policy=policy,
+            seed=seed,
+            max_stack_depth=64,
+        )
+        handles = []
+        for n, gap, budget in schedule:
+            for _ in range(gap):
+                cluster.tick()
+            handles.append(
+                (n, cluster.submit(np.int64(n), step_budget=budget))
+            )
+        cluster.run_until_idle()
+        t = cluster.telemetry
+        check_serving_invariants(cluster, handles, t)
+        assert t.rejected == 0  # unbounded queues never reject
+        for _, h in handles:
+            assert h.shard is not None and 0 <= h.shard < num_engines
+        # Shard clocks stay in lock-step with the cluster clock.
+        assert t.ticks == cluster.now
+        for shard in t.shards:
+            assert shard.ticks == cluster.now
+        assert sum(t.completed_per_shard()) == t.completed
+        assert cluster.load() == 0
+
+
+from .test_random_programs import (  # noqa: E402  (generator reuse)
+    compile_source,
+    program_strategy,
+    render_program,
+)
+
+
+class TestGeneratedProgramServing:
+    """Reuse the random-program generator: generated programs served
+    through a sharded cluster must match their static run_pc batch."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        spec=program_strategy,
+        a_vals=st.lists(st.integers(-5, 20), min_size=2, max_size=6),
+        b_vals=st.lists(st.integers(-5, 20), min_size=2, max_size=6),
+        depth=st.integers(0, 3),
+        num_engines=st.integers(1, 3),
+    )
+    def test_generated_program_cluster_matches_static(
+        self, spec, a_vals, b_vals, depth, num_engines
+    ):
+        fn = compile_source(render_program(spec))
+        z = min(len(a_vals), len(b_vals))
+        a = np.asarray(a_vals[:z], dtype=np.int64)
+        b = np.asarray(b_vals[:z], dtype=np.int64)
+        n = np.full(z, depth, dtype=np.int64)
+        expected = fn.run_pc(a, b, n, max_stack_depth=16)
+        cluster = fn.serve_cluster(
+            num_engines, num_lanes=2, policy="least_loaded", max_stack_depth=16
+        )
+        results = cluster.map([(a[i], b[i], n[i]) for i in range(z)])
         np.testing.assert_array_equal(np.stack(results), expected)
