@@ -31,7 +31,16 @@ count, 4-shard aggregate throughput must reach >= 2.5x the single-engine
 baseline, and the fused compile counter must show exactly one codegen for
 the whole sweep (code-cache sharing).  Results go to ``BENCH_cluster.json``.
 
-Run: ``python benchmarks/bench_serve.py [--quick] [--cluster] [--out FILE]``
+``--steal`` runs the rebalancing benchmark: an *adversarially skewed*
+arrival trace (every request routed to shard 0 of 4) through the same
+cluster with work stealing off and on, plus an elastic cluster that starts
+at one shard and autoscales up.  Stealing must sustain >= 1.8x the
+no-steal aggregate throughput with bit-identical outputs, and the fused
+compile counter must stay at 1 across autoscale grow events.  Per-tick
+completion curves and the summary go to ``BENCH_steal.json``.
+
+Run: ``python benchmarks/bench_serve.py [--quick] [--cluster | --steal]
+[--out FILE]``
 """
 
 import argparse
@@ -189,12 +198,176 @@ def run_cluster_scaling(args) -> None:
           f"{scaling[4]:.2f}x single-engine throughput with one fused compile")
 
 
+def run_steal_rebalance(args) -> None:
+    """Adversarial skew: all traffic to shard 0; stealing must rebalance."""
+    from repro.serve import AutoscalePolicy, RoutingPolicy
+
+    class PinnedPolicy(RoutingPolicy):
+        """Route every request to shard 0 (spill order 0,1,2,...): the
+        worst-case skew a static router can produce."""
+
+        name = "pinned"
+
+        def preference(self, cluster):
+            return list(range(len(cluster.engines)))
+
+    n_requests = args.requests if args.requests is not None else (80 if args.quick else 240)
+    num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 8)
+    if n_requests <= 0 or num_lanes <= 0:
+        raise SystemExit("--requests and --lanes must be positive")
+    num_shards = 4
+
+    sizes = skewed_sizes(n_requests, seed=args.seed)
+    requests = [(np.int64(n),) for n in sizes]
+    expected = fib.run_pc(sizes)
+
+    print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
+          f"ALL routed to shard 0 of {num_shards}, {num_lanes} lanes per shard, "
+          f"executor=fused\n")
+
+    def drive(cluster):
+        """Submit the whole burst, tick to idle, record the completion curve."""
+        handles = [cluster.submit(*r) for r in requests]
+        curve = []
+        wall_start = time.perf_counter()
+        while cluster.busy():
+            cluster.tick()
+            curve.append(int(cluster.telemetry.completed))
+        wall = time.perf_counter() - wall_start
+        results = np.stack([h.result() for h in handles])
+        if not np.array_equal(results, expected):
+            raise AssertionError("results diverge from static run_pc")
+        return curve, wall
+
+    variants = [
+        ("no_steal", dict(policy=PinnedPolicy())),
+        ("steal", dict(policy=PinnedPolicy(), steal=True)),
+    ]
+    rows, metrics, curves = [], {}, {}
+    for label, options in variants:
+        cluster = fib.serve_cluster(
+            num_shards, num_lanes=num_lanes, executor="fused", **options
+        )
+        curve, wall = drive(cluster)
+        t = cluster.telemetry
+        metrics[label] = {
+            "variant": label,
+            "shards": num_shards,
+            "lanes_per_shard": num_lanes,
+            "ticks": int(t.ticks),
+            "fleet_utilization": t.fleet_utilization(),
+            "throughput_requests_per_tick": t.aggregate_throughput(),
+            "completion_skew": t.completion_skew(),
+            "steals": int(t.steals),
+            "steal_ticks": int(t.steal_ticks),
+            "fused_compile_count": int(cluster.plan.executor.compile_count),
+            "wall_seconds": wall,
+        }
+        curves[label] = curve
+
+    # The elastic variant starts at one shard and grows under the backlog;
+    # the same skewed burst, but the fleet follows the load.
+    autoscale = AutoscalePolicy(max_engines=num_shards, grow_patience=1,
+                                shrink_patience=8)
+    elastic = fib.serve_cluster(
+        1, num_lanes=num_lanes, executor="fused",
+        steal=True, autoscale=autoscale,
+    )
+    curve, wall = drive(elastic)
+    t = elastic.telemetry
+    metrics["elastic"] = {
+        "variant": "elastic",
+        "shards_initial": 1,
+        "shards_max": num_shards,
+        "lanes_per_shard": num_lanes,
+        "ticks": int(t.ticks),
+        "fleet_utilization": t.fleet_utilization(),
+        "throughput_requests_per_tick": t.aggregate_throughput(),
+        "completion_skew": t.completion_skew(),
+        "steals": int(t.steals),
+        "grow_events": int(t.grow_events),
+        "shrink_events": int(t.shrink_events),
+        "shards_retired": int(t.shards_retired),
+        "fused_compile_count": int(elastic.plan.executor.compile_count),
+        "wall_seconds": wall,
+    }
+    curves["elastic"] = curve
+
+    for label in ("no_steal", "steal", "elastic"):
+        m = metrics[label]
+        rows.append([
+            label,
+            f"{m['ticks']:,}",
+            f"{m['fleet_utilization']:.3f}",
+            f"{m['throughput_requests_per_tick']:.4f}",
+            f"{m['steals']:,}",
+            f"{m.get('grow_events', 0)}",
+            f"{m['fused_compile_count']}",
+            f"{m['wall_seconds']:.3f}",
+        ])
+    print(format_table(
+        ["variant", "ticks", "fleet util", "req/tick", "steals", "grows",
+         "compiles", "wall s"],
+        rows,
+    ))
+
+    base = metrics["no_steal"]["throughput_requests_per_tick"]
+    steal_gain = (metrics["steal"]["throughput_requests_per_tick"] / base
+                  if base else float("inf"))
+    elastic_gain = (metrics["elastic"]["throughput_requests_per_tick"] / base
+                    if base else float("inf"))
+    print(f"\nsteal/no-steal throughput under total skew: {steal_gain:.2f}x "
+          f"(elastic from one shard: {elastic_gain:.2f}x)")
+
+    # Downsample curves so the JSON stays small at full scale.
+    def thin(curve, points=200):
+        if len(curve) <= points:
+            return curve
+        step = len(curve) / points
+        return [curve[min(len(curve) - 1, int(i * step))] for i in range(points)] + [curve[-1]]
+
+    result = {
+        "benchmark": "bench_serve_steal",
+        "config": {"requests": n_requests, "shards": num_shards,
+                   "lanes_per_shard": num_lanes, "seed": args.seed,
+                   "quick": bool(args.quick)},
+        "variants": [metrics[k] for k in ("no_steal", "steal", "elastic")],
+        "steal_over_no_steal_throughput": steal_gain,
+        "elastic_over_no_steal_throughput": elastic_gain,
+        "completion_curves": {k: thin(v) for k, v in curves.items()},
+    }
+    out = args.out or os.path.join(os.curdir, "BENCH_steal.json")
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+
+    assert steal_gain >= 1.8, (
+        f"work stealing sustained only {steal_gain:.2f}x the no-steal "
+        "throughput under total skew; expected >= 1.8x"
+    )
+    for label in ("no_steal", "steal", "elastic"):
+        assert metrics[label]["fused_compile_count"] == 1, (
+            f"{label}: {metrics[label]['fused_compile_count']} fused "
+            "compiles; the shared plan should compile exactly once "
+            "(including across autoscale grow events)"
+        )
+    assert metrics["elastic"]["grow_events"] >= 1, (
+        "the elastic cluster never grew under a sustained backlog"
+    )
+    print(f"OK: stealing sustains {steal_gain:.2f}x no-steal throughput with "
+          "bit-identical outputs; one fused compile across "
+          f"{metrics['elastic']['grow_events']} autoscale grow events")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sweep for CI smoke runs")
     parser.add_argument("--cluster", action="store_true",
                         help="run the multi-engine shard-scaling benchmark")
+    parser.add_argument("--steal", action="store_true",
+                        help="run the work-stealing rebalancing benchmark "
+                             "(adversarially skewed arrivals)")
     parser.add_argument("--policy", default=None,
                         choices=["round_robin", "least_loaded", "power_of_two"],
                         help="cluster routing policy (--cluster only; "
@@ -205,10 +378,24 @@ def main():
                         help="offered load in requests per machine tick")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None,
-                        help="result file path (default ./BENCH_serve.json, "
-                             "or ./BENCH_cluster.json with --cluster)")
+                        help="result file path (default ./BENCH_serve.json; "
+                             "./BENCH_cluster.json with --cluster, "
+                             "./BENCH_steal.json with --steal)")
     args = parser.parse_args()
 
+    if args.cluster and args.steal:
+        parser.error("--cluster and --steal are separate benchmarks")
+    if args.steal:
+        if args.rate is not None:
+            parser.error(
+                "--rate is open-loop only; the --steal scenario is closed-load"
+            )
+        if args.policy is not None:
+            parser.error(
+                "--steal pins every arrival to shard 0; --policy does not apply"
+            )
+        run_steal_rebalance(args)
+        return
     if args.cluster:
         if args.rate is not None:
             parser.error(

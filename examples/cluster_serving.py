@@ -14,7 +14,10 @@ This walkthrough:
 2. shows code-cache sharing: every shard binds the function's one fused
    ``ExecutionPlan``, so the expensive block codegen happens exactly once
    for the whole fleet (the compile counter proves it);
-3. compares the three routing policies on a skewed workload.
+3. compares the three routing policies on a skewed workload;
+4. demonstrates rebalancing: work stealing un-skews an adversarially
+   pinned arrival trace, and an autoscaling fleet grows under the burst
+   then drains-and-retires shards after it — still one fused compile.
 
 Run: ``python examples/cluster_serving.py``
 """
@@ -81,6 +84,48 @@ def main():
               f"mean wait {t.mean_queue_wait():.1f} ticks")
     print("\nevery policy returned the identical result set — routing only "
           "moves work, never changes it")
+
+    # -- 4. rebalancing: work stealing + elasticity --------------------------
+    from repro.serve import AutoscalePolicy, RoutingPolicy
+
+    class Pinned(RoutingPolicy):
+        """Adversarial skew: every request lands on shard 0."""
+
+        name = "pinned"
+
+        def preference(self, cluster):
+            return list(range(len(cluster.engines)))
+
+    print("\nadversarial skew (all requests to shard 0 of 4):")
+    for label, options in (
+        ("no steal", {}),
+        ("steal", dict(steal=True)),
+    ):
+        cluster = collatz_steps.serve_cluster(
+            4, num_lanes=2, executor="fused", policy=Pinned(), **options
+        )
+        results = cluster.map(requests)
+        assert np.array_equal(np.stack(results), expected), label
+        t = cluster.telemetry
+        print(f"  {label:9s}: {t.ticks:6d} ticks, per-shard completed "
+              f"{t.completed_per_shard()}, steals {t.steals}")
+    print("stealing spread the pinned backlog across every shard — same "
+          "bits, a fraction of the makespan")
+
+    elastic = collatz_steps.serve_cluster(
+        1, num_lanes=2, executor="fused", steal=True,
+        autoscale=AutoscalePolicy(max_engines=4, grow_patience=1,
+                                  shrink_patience=4),
+    )
+    results = elastic.map(requests)
+    assert np.array_equal(np.stack(results), expected)
+    while elastic.num_engines > 1:  # idle ticks let the fleet shrink back
+        elastic.tick()
+    t = elastic.telemetry
+    print(f"\nelastic fleet: grew {t.grow_events}x under the burst, drained "
+          f"and retired {t.shards_retired} shard(s) after it, "
+          f"{elastic.plan.executor.compile_count} fused compile total")
+    assert elastic.plan.executor.compile_count == 1
 
 
 if __name__ == "__main__":

@@ -220,14 +220,22 @@ class AutobatchFunction:
 
         ``num_engines`` machines of width ``num_lanes`` each, behind one
         ``submit``/``map``/``run_until_idle`` façade with pluggable request
-        routing::
+        routing, plus opt-in rebalancing::
 
             cluster = fib.serve_cluster(4, num_lanes=8, policy="least_loaded",
-                                        executor="fused")
+                                        executor="fused",
+                                        steal=True,       # cross-shard work stealing
+                                        autoscale=True)   # shard elasticity
             results = cluster.map([(np.int64(n),) for n in sizes])
             print(cluster.telemetry.summary())
 
-        Every shard binds this function's *one* cached
+        ``steal=`` rebalances queued requests from backlogged shards onto
+        idle lanes each tick (a :class:`~repro.serve.cluster.StealPolicy`
+        tunes threshold/batch size); ``autoscale=`` grows the fleet under
+        sustained queue pressure and drains-then-retires shards under
+        sustained slack (an :class:`~repro.serve.cluster.AutoscalePolicy`
+        tunes bounds/patience).  Every shard — including ones added by
+        autoscale — binds this function's *one* cached
         :class:`~repro.vm.executors.ExecutionPlan` (per executor/options),
         so fused block code is generated once for the whole fleet.  Options
         are forwarded to :class:`~repro.serve.cluster.Cluster`.

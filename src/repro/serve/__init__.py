@@ -49,7 +49,13 @@ each its own lane pool and logical machine — behind the same
 (reject only when *every* shard's queue is full), and a
 :class:`~repro.serve.telemetry.ClusterTelemetry` fleet rollup.  All shards
 bind one shared :class:`~repro.vm.executors.ExecutionPlan`, so fused code
-is generated once for the whole fleet (code-cache sharing).
+is generated once for the whole fleet (code-cache sharing).  The cluster
+also *rebalances*: ``steal=`` turns on cross-shard work stealing (an
+idle-laned shard takes queued requests from the most backlogged one each
+tick, priority/arrival/step-budget metadata intact), and ``autoscale=``
+adds shard elasticity (grow under sustained queue pressure, drain-then-
+retire under sustained slack — new shards bind the same plan, so the
+fused compile count stays at 1).
 
 Module map
 ----------
@@ -72,13 +78,18 @@ machine, ``Cluster(fn, num_engines, num_lanes)`` /
 """
 
 from repro.serve.cluster import (
+    AutoscalePolicy,
     Cluster,
     LeastLoadedPolicy,
     PowerOfTwoPolicy,
     ROUTING_POLICIES,
     RoundRobinPolicy,
     RoutingPolicy,
+    STEAL_POLICIES,
+    StealPolicy,
+    resolve_autoscale,
     resolve_policy,
+    resolve_steal_policy,
 )
 from repro.serve.engine import Engine, REFILL_POLICIES
 from repro.serve.lanes import LanePool
@@ -92,9 +103,14 @@ from repro.serve.queue import (
 from repro.serve.telemetry import ClusterTelemetry, ServeTelemetry
 
 __all__ = [
+    "AutoscalePolicy",
     "Cluster",
     "ClusterTelemetry",
     "Engine",
+    "STEAL_POLICIES",
+    "StealPolicy",
+    "resolve_autoscale",
+    "resolve_steal_policy",
     "LeastLoadedPolicy",
     "PowerOfTwoPolicy",
     "REFILL_POLICIES",

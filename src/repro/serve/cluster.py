@@ -27,13 +27,39 @@ so N fused engines share one generated-code cache — the fused executor's
 ``compile_count`` stays at 1 no matter the fleet size, which the cluster
 benchmark asserts.
 
+Routing alone cannot fix load *skew*: a mispredicted or adversarial
+arrival pattern leaves one shard backlogged while neighbors idle, and a
+fixed shard count cannot follow offered load.  Two rebalancing layers run
+between cluster ticks:
+
+* **cross-shard work stealing** (``steal=``): each tick, every shard with
+  vacant lanes and an empty queue steals queued requests from the most
+  backlogged shard, per a pluggable :class:`StealPolicy` (threshold +
+  batch size).  Migration moves the :class:`~repro.serve.queue.ServeRequest`
+  with its priority, arrival stamp, and step budget intact (so the
+  ``(-priority, arrival)`` service order survives the move), updates
+  ``handle.shard``, and is accounted in
+  :class:`~repro.serve.telemetry.ClusterTelemetry` (``steals``/
+  ``steal_ticks``).  Placement never changes results: lanes are
+  independent under masked execution.
+* **shard elasticity** (``autoscale=``): an :class:`AutoscalePolicy`
+  grows the fleet under sustained queue pressure and shrinks it when the
+  remaining work would fit on fewer shards.  New shards bind the *shared*
+  :class:`~repro.vm.executors.ExecutionPlan` (the fused compile counter
+  stays at 1 across grow events) and join the lock-step logical clock;
+  shrunk shards drain — admission closes, their queue migrates to the
+  survivors, in-flight lanes run to completion — and only then retire, so
+  no handle is ever lost.
+
 Entry points: ``Cluster(fn, num_engines, num_lanes)`` directly, or
-``fn.serve_cluster(num_engines, num_lanes)`` on any autobatched function.
+``fn.serve_cluster(num_engines, num_lanes)`` on any autobatched function,
+with ``steal=``/``autoscale=`` opting into rebalancing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Type, Union
+import copy
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -133,6 +159,189 @@ ROUTING_POLICIES = {
 }
 
 
+class StealPolicy:
+    """Threshold work stealing: idle-laned shards rob the most backlogged.
+
+    Each cluster tick, :meth:`plan` proposes migrations as
+    ``(victim, thief, count)`` triples over the *active* shards.  The
+    default policy qualifies a shard as a thief when it has vacant lanes
+    and an empty queue (so stealing never starves the thief's own
+    natives), picks as its victim the shard with the deepest remaining
+    queue, and moves work only when that queue holds at least
+    ``threshold`` requests.  ``batch_size`` caps one thief's haul per tick
+    (``None`` = the thief's vacant-lane count, i.e. exactly what it can
+    seat next tick).
+
+    Subclass and override :meth:`plan` for other disciplines; the cluster
+    only needs the triples.  Stateless by default, so one instance may be
+    shared — but like routing policies, one instance per cluster is the
+    safe idiom.
+    """
+
+    #: Name used in ``steal="..."`` selection.
+    name = "threshold"
+
+    def __init__(self, threshold: int = 1, batch_size: Optional[int] = None):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.threshold = int(threshold)
+        self.batch_size = batch_size
+
+    def plan(self, cluster: "Cluster") -> List[Tuple[Engine, Engine, int]]:
+        """Migrations ``(victim, thief, count)`` for this tick, in order."""
+        engines = cluster.engines
+        if len(engines) < 2:
+            return []
+        remaining = [len(e.queue) for e in engines]
+        moves: List[Tuple[Engine, Engine, int]] = []
+        for t, thief in enumerate(engines):
+            free = thief.pool.free_count()
+            if remaining[t] or not free:
+                continue
+            capacity = free if self.batch_size is None else min(
+                free, self.batch_size
+            )
+            # Deepest remaining queue wins; ties break to the lower shard
+            # index so planning is deterministic.
+            v = max(
+                (i for i in range(len(engines)) if i != t),
+                key=lambda i: (remaining[i], -i),
+            )
+            if remaining[v] < self.threshold:
+                continue
+            count = min(capacity, remaining[v])
+            remaining[v] -= count
+            moves.append((engines[v], thief, count))
+        return moves
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(threshold={self.threshold}, "
+            f"batch_size={self.batch_size})"
+        )
+
+
+#: Steal-policy factories by selection name.
+STEAL_POLICIES = {StealPolicy.name: StealPolicy}
+
+
+def resolve_steal_policy(spec: Any) -> Optional[StealPolicy]:
+    """Turn a ``steal=`` argument into a :class:`StealPolicy` (or None = off)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return StealPolicy()
+    if isinstance(spec, StealPolicy):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, StealPolicy):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return STEAL_POLICIES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown steal policy {spec!r}; known: {sorted(STEAL_POLICIES)}"
+            )
+    raise TypeError(
+        f"steal must be a bool, name, or StealPolicy, got {type(spec).__name__}"
+    )
+
+
+class AutoscalePolicy:
+    """Grow/shrink the shard fleet on sustained pressure vs. sustained slack.
+
+    Called once per cluster tick (:meth:`decide`), before stealing and the
+    shard ticks.  The default signals:
+
+    * **grow** (+1) when the fleet-wide queue backlog exceeds the vacant
+      lanes for ``grow_patience`` consecutive ticks — lanes cannot absorb
+      the queue, so routing/stealing alone cannot help — and the fleet is
+      below ``max_engines``;
+    * **shrink** (-1) when all outstanding work (queued + in flight) would
+      fit on one fewer shard for ``shrink_patience`` consecutive ticks and
+      the fleet is above ``min_engines``;
+    * **hold** (0) otherwise.  Patience counters reset whenever their
+      condition breaks, so one-tick blips never resize the fleet.
+
+    ``max_engines=None`` is resolved by the cluster to twice its initial
+    shard count.
+    """
+
+    name = "pressure"
+
+    def __init__(
+        self,
+        min_engines: int = 1,
+        max_engines: Optional[int] = None,
+        grow_patience: int = 2,
+        shrink_patience: int = 8,
+    ):
+        if min_engines < 1:
+            raise ValueError(f"min_engines must be >= 1, got {min_engines}")
+        if max_engines is not None and max_engines < min_engines:
+            raise ValueError(
+                f"max_engines={max_engines} is below min_engines={min_engines}"
+            )
+        if grow_patience < 1 or shrink_patience < 1:
+            raise ValueError("grow_patience and shrink_patience must be >= 1")
+        self.min_engines = int(min_engines)
+        self.max_engines = max_engines
+        self.grow_patience = int(grow_patience)
+        self.shrink_patience = int(shrink_patience)
+        self._pressure_streak = 0
+        self._slack_streak = 0
+
+    def decide(self, cluster: "Cluster") -> int:
+        """+1 to grow, -1 to start draining a shard, 0 to hold."""
+        engines = cluster.engines
+        n = len(engines)
+        queued = sum(len(e.queue) for e in engines)
+        busy = sum(e.pool.busy_count() for e in engines)
+        free = n * cluster.num_lanes - busy
+        unbounded = self.max_engines is None  # cluster resolution missed
+        if queued > free and (unbounded or n < self.max_engines):
+            self._pressure_streak += 1
+            self._slack_streak = 0
+            if self._pressure_streak >= self.grow_patience:
+                self._pressure_streak = 0
+                return 1
+            return 0
+        self._pressure_streak = 0
+        if n > self.min_engines and queued + busy <= (n - 1) * cluster.num_lanes:
+            self._slack_streak += 1
+            if self._slack_streak >= self.shrink_patience:
+                self._slack_streak = 0
+                return -1
+            return 0
+        self._slack_streak = 0
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(min={self.min_engines}, "
+            f"max={self.max_engines}, grow_patience={self.grow_patience}, "
+            f"shrink_patience={self.shrink_patience})"
+        )
+
+
+def resolve_autoscale(spec: Any) -> Optional[AutoscalePolicy]:
+    """Turn an ``autoscale=`` argument into an :class:`AutoscalePolicy`."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return AutoscalePolicy()
+    if isinstance(spec, AutoscalePolicy):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, AutoscalePolicy):
+        return spec()
+    raise TypeError(
+        f"autoscale must be a bool or an AutoscalePolicy, got "
+        f"{type(spec).__name__}"
+    )
+
+
 def resolve_policy(
     spec: Union[str, RoutingPolicy, Type[RoutingPolicy], None],
     seed: int = 0,
@@ -183,6 +392,17 @@ class Cluster:
         Per-shard queue bound.  ``submit`` spills an overflowing request
         to the next shard in preference order and raises
         :class:`QueueFullError` only when every shard is full.
+    steal:
+        Cross-shard work stealing between cluster ticks: ``True`` or a
+        policy name for the default :class:`StealPolicy`, an instance for
+        tuned ``threshold``/``batch_size``, ``None``/``False`` (default)
+        for off.
+    autoscale:
+        Shard elasticity: ``True`` for the default
+        :class:`AutoscalePolicy`, an instance for tuned bounds/patience,
+        ``None``/``False`` (default) for a fixed fleet.  Grown shards bind
+        the shared plan (no recompilation); shrunk shards drain before
+        retiring.
     executor / optimize / engine options:
         As on :class:`~repro.serve.engine.Engine`; forwarded to every
         shard (they share the compiled plan, not per-machine state).
@@ -201,6 +421,8 @@ class Cluster:
         optimize: Any = True,
         max_queue_depth: Optional[int] = None,
         default_step_budget: Optional[int] = None,
+        steal: Any = None,
+        autoscale: Any = None,
         **engine_options: Any,
     ):
         if num_engines <= 0:
@@ -228,32 +450,55 @@ class Cluster:
             registry = getattr(program, "registry", None)
         self.plan = plan
         self.policy = resolve_policy(policy, seed=seed)
-        self.engines: List[Engine] = [
-            Engine(
-                plan,
-                num_lanes,
-                registry=registry,
-                max_queue_depth=max_queue_depth,
-                default_step_budget=default_step_budget,
-                **engine_options,
-            )
-            for _ in range(num_engines)
-        ]
-        self.telemetry = ClusterTelemetry(
-            shards=[e.telemetry for e in self.engines]
+        self.steal = resolve_steal_policy(steal)
+        self.autoscale = resolve_autoscale(autoscale)
+        if self.autoscale is not None:
+            # The cluster owns a private copy: it resolves the default cap
+            # and drives the patience streaks, so a caller's policy
+            # instance is never mutated or shared between clusters.
+            self.autoscale = copy.copy(self.autoscale)
+            if self.autoscale.max_engines is None:
+                self.autoscale.max_engines = max(2 * num_engines, 2)
+        self._num_lanes = int(num_lanes)
+        self._engine_kwargs = dict(
+            registry=registry,
+            max_queue_depth=max_queue_depth,
+            default_step_budget=default_step_budget,
+            **engine_options,
         )
         self._tick = 0
+        self._next_shard_id = 0
+        self.telemetry = ClusterTelemetry()
+        #: Shards being retired: closed to admission and routing, still
+        #: ticking until their in-flight lanes complete.
+        self.draining: List[Engine] = []
+        self._retired_dispatches = 0
+        self.engines: List[Engine] = [
+            self._spawn_engine() for _ in range(num_engines)
+        ]
+
+    def _spawn_engine(self) -> Engine:
+        """Build one shard bound to the shared plan and the cluster clock."""
+        engine = Engine(self.plan, self._num_lanes, **self._engine_kwargs)
+        engine.shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        # Join the fleet's lock-step logical clock mid-flight, so queue
+        # waits and finish ticks stay comparable across grow events.
+        engine._tick = self._tick
+        self.telemetry.shards.append(engine.telemetry)
+        return engine
 
     # -- introspection -------------------------------------------------------
 
     @property
     def num_engines(self) -> int:
+        """Active (routable) shards; draining shards are not counted."""
         return len(self.engines)
 
     @property
     def num_lanes(self) -> int:
         """Lane count per shard (total capacity is num_engines times this)."""
-        return self.engines[0].pool.num_lanes
+        return self._num_lanes
 
     @property
     def now(self) -> int:
@@ -267,11 +512,21 @@ class Cluster:
 
     def load(self) -> int:
         """Outstanding requests fleet-wide (queued plus in flight)."""
-        return sum(e.load() for e in self.engines)
+        return sum(e.load() for e in self.engines) + sum(
+            e.load() for e in self.draining
+        )
 
     def dispatch_count(self) -> int:
-        """Host→device launches summed across every shard's machine."""
-        return sum(e.dispatch_count() for e in self.engines)
+        """Host→device launches summed across every shard's machine.
+
+        Includes draining shards and the final tallies of shards already
+        retired by autoscale, so the count never moves backwards.
+        """
+        return (
+            sum(e.dispatch_count() for e in self.engines)
+            + sum(e.dispatch_count() for e in self.draining)
+            + self._retired_dispatches
+        )
 
     # -- submission ----------------------------------------------------------
 
@@ -285,12 +540,22 @@ class Cluster:
 
         The routing policy ranks the shards; the first with queue space
         admits the request (``handle.shard`` records which).  Raises
-        :class:`QueueFullError` only when every shard's queue is full.
+        :class:`QueueFullError` only when every shard's queue is full —
+        and in that case *before* consulting the routing policy, so a
+        rejected submission leaves policy state (round-robin cursor,
+        power-of-two RNG) untouched and a replayed trace with rejections
+        routes identically to one without.
         """
         n_expected = len(self.engines[0].vm.program.inputs)
         if len(inputs) != n_expected:
             raise ValueError(
                 f"program takes {n_expected} inputs, got {len(inputs)}"
+            )
+        if self.admission_full():
+            self.telemetry.cluster_rejected += 1
+            raise QueueFullError(
+                f"every shard's queue is at max_depth="
+                f"{self.engines[0].queue.max_depth}"
             )
         order = list(self.policy.preference(self))
         for shard in order:
@@ -300,38 +565,118 @@ class Cluster:
             handle = engine.submit(
                 *inputs, priority=priority, step_budget=step_budget
             )
-            handle.shard = shard
+            handle.shard = engine.shard_id
             if shard != order[0]:
                 self.telemetry.spillovers += 1
             return handle
-        self.telemetry.cluster_rejected += 1
-        raise QueueFullError(
-            f"every shard's queue is at max_depth="
-            f"{self.engines[0].queue.max_depth}"
+        # Some shard had queue space (admission_full() was False), yet the
+        # preference order never reached it: the policy broke its
+        # must-cover-every-shard contract.
+        raise RuntimeError(
+            f"routing policy {self.policy.name!r} returned a preference "
+            f"order covering {len(order)} of {len(self.engines)} shards; "
+            "preference() must rank every shard"
         )
 
     # -- the fleet loop ------------------------------------------------------
 
     def busy(self) -> bool:
-        """True while any shard holds queued or in-flight work."""
-        return any(e.busy() for e in self.engines)
+        """True while any shard (including draining) holds work."""
+        return any(e.busy() for e in self.engines) or any(
+            e.busy() for e in self.draining
+        )
 
     def admission_full(self) -> bool:
-        """True while no shard can queue a new submission."""
+        """True while no active shard can queue a new submission."""
         return all(e.queue.full() for e in self.engines)
 
-    def tick(self) -> bool:
-        """One cluster step: tick every shard once, in shard order.
+    # -- rebalancing ---------------------------------------------------------
 
-        Idle shards still tick (advancing their logical clocks), so the
-        fleet's clocks stay aligned and per-shard telemetry is comparable.
-        Returns True while any shard holds work after the tick.
+    def _steal_step(self) -> None:
+        """Migrate queued work from backlogged shards to idle-laned ones."""
+        moved = 0
+        for victim, thief, count in self.steal.plan(self):
+            handles = victim.export_queue(count)
+            if not handles:
+                continue
+            thief.requeue(handles)
+            for handle in handles:
+                handle.shard = thief.shard_id
+            moved += len(handles)
+        if moved:
+            self.telemetry.steals += moved
+            self.telemetry.steal_ticks += 1
+
+    def _autoscale_step(self) -> None:
+        decision = self.autoscale.decide(self)
+        cap = self.autoscale.max_engines
+        if decision > 0 and (cap is None or len(self.engines) < cap):
+            self._grow()
+        elif decision < 0 and len(self.engines) > self.autoscale.min_engines:
+            self._shrink()
+
+    def _grow(self) -> None:
+        """Add one shard bound to the shared plan (no recompilation)."""
+        self.engines.append(self._spawn_engine())
+        self.telemetry.grow_events += 1
+
+    def _shrink(self) -> None:
+        """Send the least-loaded shard into drain-retirement.
+
+        The shard leaves the routing set immediately, its queued requests
+        migrate to the surviving shards (preserving priority/arrival
+        order), and its in-flight lanes keep running until it goes idle —
+        no handle is lost or duplicated.
         """
+        # Least loaded drains fastest; ties retire the youngest shard.
+        victim = min(
+            self.engines, key=lambda e: (e.load(), -(e.shard_id or 0))
+        )
+        self.engines.remove(victim)
+        self.draining.append(victim)
+        self.telemetry.shrink_events += 1
+        orphans = victim.begin_drain()
+        for handle in orphans:
+            # Seat each orphan on the currently least-loaded survivor
+            # (ties to the lower index), like a fresh spillover would.
+            target = min(
+                range(len(self.engines)),
+                key=lambda i: (self.engines[i].load(), i),
+            )
+            self.engines[target].requeue([handle])
+            handle.shard = self.engines[target].shard_id
+        self.telemetry.drain_migrations += len(orphans)
+
+    def _retire_drained(self) -> None:
+        for engine in [e for e in self.draining if not e.busy()]:
+            self.draining.remove(engine)
+            self._retired_dispatches += engine.dispatch_count()
+            engine.telemetry.retired = True
+            self.telemetry.shards_retired += 1
+
+    # -- the tick ------------------------------------------------------------
+
+    def tick(self) -> bool:
+        """One cluster step: rebalance, then tick every shard in order.
+
+        Between ticks the autoscale policy may grow the fleet or start
+        draining a shard, and the steal policy may migrate queued requests
+        onto idle lanes; then every shard (draining ones included) ticks
+        once.  Idle shards still tick (advancing their logical clocks), so
+        the fleet's clocks stay aligned and per-shard telemetry is
+        comparable.  Returns True while any shard holds work after the
+        tick.
+        """
+        if self.autoscale is not None:
+            self._autoscale_step()
+        if self.steal is not None:
+            self._steal_step()
         self._tick += 1
         pending = False
-        for engine in self.engines:
+        for engine in self.engines + self.draining:
             if engine.tick():
                 pending = True
+        self._retire_drained()
         return pending
 
     def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
@@ -357,8 +702,15 @@ class Cluster:
         )
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.steal is not None:
+            extras += f", steal={self.steal.name!r}"
+        if self.autoscale is not None:
+            extras += f", autoscale={self.autoscale.name!r}"
+        if self.draining:
+            extras += f", draining={len(self.draining)}"
         return (
             f"Cluster(engines={self.num_engines}, lanes={self.num_lanes}, "
             f"policy={self.policy.name!r}, executor={self.plan.name!r}, "
-            f"load={self.load()}, tick={self._tick})"
+            f"load={self.load()}, tick={self._tick}{extras})"
         )

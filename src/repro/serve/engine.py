@@ -191,6 +191,13 @@ class Engine:
         )
         self._tick = 0
         self._next_id = 0
+        #: Stable shard identity within a :class:`~repro.serve.cluster.Cluster`
+        #: (None for a standalone engine); survives fleet grow/shrink, unlike
+        #: a position in the cluster's active-engine list.
+        self.shard_id: Optional[int] = None
+        #: True once the engine is being retired: no new submissions, the
+        #: in-flight lanes run to completion and the queue has been exported.
+        self.draining = False
 
     # -- submission ----------------------------------------------------------
 
@@ -232,6 +239,10 @@ class Engine:
             raise ValueError(
                 f"program takes {n_expected} inputs, got {len(inputs)}"
             )
+        if self.draining:
+            raise RuntimeError(
+                "engine is draining for retirement and accepts no new requests"
+            )
         if self.queue.full():
             self.telemetry.rejected += 1
             raise QueueFullError(
@@ -251,6 +262,48 @@ class Engine:
         self.queue.push(handle)
         self.telemetry.submitted += 1
         return handle
+
+    # -- queue migration (cluster work stealing / shard retirement) ----------
+
+    def export_queue(
+        self, max_requests: Optional[int] = None
+    ) -> List[ResultHandle]:
+        """Remove up to ``max_requests`` queued handles for migration.
+
+        Handles come out in the queue's service order (highest priority,
+        then oldest arrival), so a stealing cluster moves exactly the work
+        this shard would have run next.  In-flight lanes are untouched.
+        """
+        exported: List[ResultHandle] = []
+        while len(self.queue) and (
+            max_requests is None or len(exported) < max_requests
+        ):
+            exported.append(self.queue.pop())
+        return exported
+
+    def requeue(self, handles: Iterable[ResultHandle]) -> None:
+        """Admit handles migrated from another shard's queue.
+
+        Admission control already ran at original submission, so this
+        bypasses ``max_queue_depth``; each handle keeps its priority,
+        arrival stamp, and step budget (see
+        :meth:`~repro.serve.queue.RequestQueue.requeue`).  The ``submitted``
+        counter is *not* incremented — the request was counted where it
+        first arrived.
+        """
+        for handle in handles:
+            self.queue.requeue(handle)
+
+    def begin_drain(self) -> List[ResultHandle]:
+        """Start retiring this engine: close admission, export the queue.
+
+        Returns the queued handles for the caller to re-seat elsewhere.
+        In-flight lanes are left running — keep ticking the engine until
+        :meth:`busy` goes False, then it can be dropped without losing any
+        handle.
+        """
+        self.draining = True
+        return self.export_queue()
 
     # -- the continuous-batching loop -----------------------------------------
 

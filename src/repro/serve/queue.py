@@ -11,6 +11,14 @@ bounded priority queue that degrades to FIFO when every priority is equal —
 and rejects at ``max_depth`` so a traffic burst surfaces as
 :class:`QueueFullError` at submission time instead of unbounded memory
 growth inside the engine.
+
+Requests can *migrate* between queues (cross-shard work stealing and
+shard drain-retirement in :mod:`repro.serve.cluster`): the first ``push``
+stamps the handle with an arrival key ``(submit_tick, seq)`` that stays
+with it for life, and :meth:`RequestQueue.requeue` re-admits a migrated
+handle under that original key — so a stolen request keeps its place in
+the ``(-priority, arrival)`` order relative to the destination shard's
+natives instead of being demoted to the back of its priority level.
 """
 
 from __future__ import annotations
@@ -66,9 +74,13 @@ class ResultHandle:
         self.finish_tick: Optional[int] = None
         #: lane the request occupied while running
         self.lane: Optional[int] = None
-        #: engine shard the request was admitted to (None outside a
-        #: :class:`~repro.serve.cluster.Cluster`)
+        #: engine shard the request currently sits on (None outside a
+        #: :class:`~repro.serve.cluster.Cluster`); updated when the request
+        #: is stolen or drained onto another shard
         self.shard: Optional[int] = None
+        #: arrival key ``(submit_tick, seq)`` stamped by the first queue
+        #: push; migration preserves it so cross-queue ordering is stable
+        self.arrival: Optional[Tuple[int, int]] = None
         #: machine steps in which this request's member was active
         self.steps_used: int = 0
 
@@ -129,10 +141,18 @@ class ResultHandle:
 
 @dataclass
 class RequestQueue:
-    """Bounded priority queue (higher priority first, FIFO within a level)."""
+    """Bounded priority queue (higher priority first, FIFO within a level).
+
+    Heap entries are ``(-priority, arrival, seq, handle)``: ``arrival`` is
+    the handle's first-push stamp (kept across migrations), ``seq`` a local
+    tie-break so ordering stays total and deterministic even when two
+    shards' arrival stamps collide.
+    """
 
     max_depth: Optional[int] = None
-    _heap: List[Tuple[int, int, ResultHandle]] = field(default_factory=list)
+    _heap: List[Tuple[int, Tuple[int, int], int, ResultHandle]] = field(
+        default_factory=list
+    )
     _seq: int = 0
 
     def __len__(self) -> int:
@@ -147,17 +167,34 @@ class RequestQueue:
                 f"request queue is at max_depth={self.max_depth}; "
                 "drive the engine or raise the limit"
             )
+        self._admit(handle)
+
+    def requeue(self, handle: ResultHandle) -> None:
+        """Re-admit a handle migrated from another shard's queue.
+
+        Admission control already ran where the request was first
+        submitted, so migration bypasses ``max_depth`` (a rebalance must
+        never lose an admitted request); the handle's original arrival
+        stamp keeps its ``(-priority, arrival)`` position relative to the
+        destination queue's natives.
+        """
+        self._admit(handle)
+
+    def _admit(self, handle: ResultHandle) -> None:
+        if handle.arrival is None:
+            handle.arrival = (handle.request.submit_tick, self._seq)
         heapq.heappush(
-            self._heap, (-handle.request.priority, self._seq, handle)
+            self._heap,
+            (-handle.request.priority, handle.arrival, self._seq, handle),
         )
         self._seq += 1
 
     def pop(self) -> ResultHandle:
         """The highest-priority (then oldest) queued handle."""
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[3]
 
     def peek(self) -> ResultHandle:
-        return self._heap[0][2]
+        return self._heap[0][3]
 
 
 def split_request_inputs(inputs: Sequence[Any]) -> Tuple[np.ndarray, ...]:

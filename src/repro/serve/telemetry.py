@@ -48,6 +48,9 @@ class ServeTelemetry:
     failed: int = 0                # requests aborted (e.g. step budget)
     first_result_tick: Optional[int] = None
     queue_waits: List[int] = field(default_factory=list)
+    #: set once the owning shard was drained and dropped by autoscale;
+    #: its counters freeze, and the fleet skew metrics exclude it
+    retired: bool = False
     #: the machine-level counters (primitive/batch utilization etc.)
     instrumentation: Optional[Instrumentation] = None
 
@@ -116,17 +119,30 @@ class ClusterTelemetry:
     """Fleet-level rollup of per-shard :class:`ServeTelemetry`.
 
     Holds live references to the shard telemetries, so every aggregate is
-    computed on demand from the shards' current counters; only the two
-    cluster-level admission counters (``cluster_rejected`` — every shard's
-    queue was full — and ``spillovers`` — the preferred shard was full but
-    another accepted) are recorded here directly.  ``rejected`` reports
+    computed on demand from the shards' current counters; only events the
+    shards cannot see are recorded here directly: the admission counters
+    (``cluster_rejected`` — every shard's queue was full — and
+    ``spillovers`` — the preferred shard was full but another accepted),
+    the work-stealing counters (``steals``/``steal_ticks``), and the
+    autoscale counters (``grow_events``/``shrink_events``/
+    ``shards_retired``/``drain_migrations``).  ``rejected`` reports
     cluster-level plus shard-level rejections, so out-of-band submissions
     straight to a shard stay consistent with the summed ``submitted``.
+    Retired shards' telemetries stay in ``shards``, so fleet totals never
+    go backwards when the cluster shrinks.
     """
 
     shards: List[ServeTelemetry] = field(default_factory=list)
     cluster_rejected: int = 0  # refusals because every shard was full
     spillovers: int = 0        # admissions that overflowed their preferred shard
+    # -- rebalancing (work stealing) --
+    steals: int = 0            # queued requests migrated between shards
+    steal_ticks: int = 0       # cluster ticks on which at least one steal ran
+    # -- elasticity (autoscale) --
+    grow_events: int = 0       # shards added under sustained queue pressure
+    shrink_events: int = 0     # shards sent into drain-retirement
+    shards_retired: int = 0    # drained shards actually dropped from the fleet
+    drain_migrations: int = 0  # queued requests re-seated off a retiring shard
 
     # -- aggregate counters --------------------------------------------------
 
@@ -192,14 +208,22 @@ class ClusterTelemetry:
     def completed_per_shard(self) -> List[int]:
         return [s.completed for s in self.shards]
 
+    def live_shards(self) -> List[ServeTelemetry]:
+        """Shards still in the fleet (retired telemetries keep counting
+        toward the totals above, but not toward the skew metrics)."""
+        return [s for s in self.shards if not s.retired]
+
     def completion_skew(self) -> float:
         """Relative completion imbalance: (max - min) / mean across shards.
 
         0.0 for a perfectly balanced fleet (and for an idle or empty one);
         1.0 means the busiest shard completed one whole mean-share more
-        than the idlest.
+        than the idlest.  Computed over the live shards only — a shard
+        retired by autoscale stopped accumulating and would otherwise
+        depress the minimum forever; note a late-grown shard still counts
+        from its birth, so elastic fleets naturally show some skew.
         """
-        per_shard = self.completed_per_shard()
+        per_shard = [s.completed for s in self.live_shards()]
         if not per_shard:
             return 0.0
         mean = sum(per_shard) / len(per_shard)
@@ -208,8 +232,8 @@ class ClusterTelemetry:
         return (max(per_shard) - min(per_shard)) / mean
 
     def utilization_skew(self) -> float:
-        """Max minus min per-shard lane utilization."""
-        utils = [s.lane_utilization() for s in self.shards]
+        """Max minus min lane utilization across the live shards."""
+        utils = [s.lane_utilization() for s in self.live_shards()]
         return max(utils) - min(utils) if utils else 0.0
 
     def summary(self) -> str:
@@ -228,4 +252,15 @@ class ClusterTelemetry:
             "per-shard completed: "
             + " ".join(str(c) for c in self.completed_per_shard()),
         ]
+        if self.steals or self.steal_ticks:
+            lines.append(
+                f"rebalancing: steals={self.steals} over "
+                f"{self.steal_ticks} ticks"
+            )
+        if self.grow_events or self.shrink_events:
+            lines.append(
+                f"elasticity: grown={self.grow_events} shrunk="
+                f"{self.shrink_events} retired={self.shards_retired} "
+                f"drain_migrations={self.drain_migrations}"
+            )
         return "\n".join(lines)

@@ -33,22 +33,30 @@ class Rosenbrock(Target):
         q = np.asarray(q, dtype=np.float64)
         head = q[..., :-1]
         tail = q[..., 1:]
-        value = np.sum(
-            self.b * (tail - head * head) ** 2 + (self.a - head) ** 2, axis=-1
-        )
-        return -value / self.temperature
+        # Extreme leapfrog proposals (|q| ~ 1e160+) overflow the squares;
+        # that is a legitimate -inf log-density, not a warning-worthy
+        # event, so compute under a controlled errstate and map any
+        # inf-minus-inf NaN to the same rejection value.
+        with np.errstate(over="ignore", invalid="ignore"):
+            value = np.sum(
+                self.b * (tail - head * head) ** 2 + (self.a - head) ** 2,
+                axis=-1,
+            )
+            value = np.where(np.isnan(value), np.inf, value)
+            return -value / self.temperature
 
     def grad_log_prob(self, q: np.ndarray) -> np.ndarray:
         q = np.asarray(q, dtype=np.float64)
         head = q[..., :-1]
         tail = q[..., 1:]
-        resid = tail - head * head
-        grad = np.zeros_like(q)
-        # d/dx_i of the i-th term (as "head"): d(b r^2)/dhead = 2 b r (-2 head).
-        grad[..., :-1] = 4.0 * self.b * resid * head + 2.0 * (self.a - head)
-        # d/dx_{i+1} of the i-th term (as "tail"):
-        grad[..., 1:] += -2.0 * self.b * resid
-        return grad / self.temperature
+        with np.errstate(over="ignore", invalid="ignore"):
+            resid = tail - head * head
+            grad = np.zeros_like(q)
+            # d/dx_i of the i-th term (as "head"): d(b r^2)/dhead = 2 b r (-2 head).
+            grad[..., :-1] = 4.0 * self.b * resid * head + 2.0 * (self.a - head)
+            # d/dx_{i+1} of the i-th term (as "tail"):
+            grad[..., 1:] += -2.0 * self.b * resid
+            return grad / self.temperature
 
     def log_prob_ad(self, q):
         from repro.autodiff import ops as ad

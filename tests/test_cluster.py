@@ -1,34 +1,46 @@
 """Tests for multi-engine sharded serving (repro.serve.cluster).
 
-Two load-bearing properties:
+Three load-bearing properties:
 
 * **routing invariance** — a request computes the same bits no matter which
   shard (or policy) runs it, so any trace through any policy must match the
   static ``run_pc`` batch and every other policy;
 * **code-cache sharing** — one :class:`~repro.vm.executors.ExecutionPlan`
   is compiled once and bound to every shard: the fused executor's compile
-  counter stays at 1 for a whole fleet.
+  counter stays at 1 for a whole fleet, including shards added by
+  autoscale grow events;
+* **rebalancing safety** — work stealing and shard elasticity may move a
+  request anywhere, but never lose or duplicate a handle, never demote its
+  priority/arrival order, and never change its bits.
 
 The CI workflow runs this file as a fast gate before the full suite.
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import autobatch
 from repro.serve import (
+    AutoscalePolicy,
     Cluster,
     ClusterTelemetry,
     LeastLoadedPolicy,
     PowerOfTwoPolicy,
     QueueFullError,
+    RequestQueue,
     ROUTING_POLICIES,
     RoundRobinPolicy,
     RoutingPolicy,
     ServeTelemetry,
+    StealPolicy,
     StepBudgetExceeded,
+    resolve_autoscale,
     resolve_policy,
+    resolve_steal_policy,
 )
+from repro.serve.queue import ResultHandle, ServeRequest
 from repro.vm.executors import ExecutionPlan
 
 from .programs import ALL_EXAMPLES, fib, gcd
@@ -348,3 +360,499 @@ class TestClusterTelemetry:
         cluster.tick()
         assert t.aggregate_throughput() == 0.0
         assert t.fleet_utilization() == 0.0
+
+
+class PinnedPolicy(RoutingPolicy):
+    """Adversarial router: every request prefers shard 0 (spill in index
+    order), so with unbounded queues all traffic backlogs one shard."""
+
+    name = "pinned"
+
+    def preference(self, cluster):
+        return list(range(len(cluster.engines)))
+
+
+#: Unbatched reference for every fib argument the schedules draw from.
+FIB_REF = {
+    int(n): int(v)
+    for n, v in zip(range(15), fib.run_pc(np.arange(15, dtype=np.int64)))
+}
+
+
+class TestRejectionLeavesPolicyStateUntouched:
+    """The PR-4 bugfix: a fully-rejected ``Cluster.submit`` must not
+    advance the routing policy's cursor or RNG, so a replayed trace with
+    rejections routes identically to one without."""
+
+    def test_round_robin_cursor_unmoved_by_rejection(self):
+        cluster = fib.serve_cluster(
+            3, num_lanes=1, policy="round_robin", max_queue_depth=0
+        )
+        cursor = cluster.policy._next
+        for _ in range(4):
+            with pytest.raises(QueueFullError):
+                cluster.submit(np.int64(5))
+        assert cluster.policy._next == cursor
+        assert cluster.telemetry.cluster_rejected == 4
+
+    def test_power_of_two_rng_unmoved_by_rejection(self):
+        cluster = fib.serve_cluster(
+            3, num_lanes=1, policy="power_of_two", seed=7, max_queue_depth=0
+        )
+        before = cluster.policy._rng.get_state()
+        for _ in range(4):
+            with pytest.raises(QueueFullError):
+                cluster.submit(np.int64(5))
+        after = cluster.policy._rng.get_state()
+        assert before[0] == after[0]
+        np.testing.assert_array_equal(before[1], after[1])
+        assert before[2:] == after[2:]
+
+    def test_partial_preference_order_is_reported_as_policy_bug(self):
+        """A policy that ranks only some shards breaks its contract; when
+        an unranked shard had the only queue space, the error must name
+        the policy, not masquerade as queue-full or an internal assert."""
+
+        class HalfBlind(RoutingPolicy):
+            name = "half_blind"
+
+            def preference(self, cluster):
+                return [0]
+
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy=HalfBlind(), max_queue_depth=1
+        )
+        cluster.engines[0].submit(np.int64(5))  # shard 0 full, shard 1 open
+        with pytest.raises(RuntimeError, match="must rank every shard"):
+            cluster.submit(np.int64(5))
+        cluster.run_until_idle()
+
+    @pytest.mark.parametrize("policy", ["round_robin", "power_of_two"])
+    def test_replayed_trace_with_rejections_routes_identically(self, policy):
+        """Replay determinism: the same accepted submissions land on the
+        same shards whether or not rejected submissions happened between
+        them."""
+
+        def route_trace(inject_rejections):
+            cluster = fib.serve_cluster(
+                3, num_lanes=1, policy=policy, seed=9, max_queue_depth=1
+            )
+            # Fill every shard's queue, optionally hammer the full fleet
+            # with submissions that must all be rejected, then drain and
+            # record where the next accepted submissions route.
+            for _ in range(3):
+                cluster.submit(np.int64(6))
+            if inject_rejections:
+                for _ in range(5):
+                    with pytest.raises(QueueFullError):
+                        cluster.submit(np.int64(6))
+            cluster.run_until_idle()
+            shards = []
+            for _ in range(6):
+                shards.append(cluster.submit(np.int64(4)).shard)
+                cluster.run_until_idle()
+            return shards
+
+        assert route_trace(True) == route_trace(False)
+
+
+class TestWorkStealing:
+    def test_idle_shards_steal_from_most_backlogged(self):
+        cluster = fib.serve_cluster(
+            3, num_lanes=1, policy=PinnedPolicy(), steal=True
+        )
+        handles = [cluster.submit(np.int64(n)) for n in (8, 9, 10, 11, 12)]
+        assert all(h.shard == 0 for h in handles)
+        cluster.tick()  # steal runs before the shard ticks
+        assert cluster.telemetry.steals >= 2
+        assert {h.shard for h in handles} == {0, 1, 2}
+        cluster.run_until_idle()
+        got = [int(h.result()) for h in handles]
+        assert got == [FIB_REF[n] for n in (8, 9, 10, 11, 12)]
+
+    def test_steal_matches_static_batch_bit_identically(self):
+        ns = np.array([12, 3, 14, 5, 9, 1, 13, 7, 2, 11, 4, 8], dtype=np.int64)
+        cluster = fib.serve_cluster(
+            4, num_lanes=2, policy=PinnedPolicy(), steal=True, executor="fused"
+        )
+        results = cluster.map([(n,) for n in ns])
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+        assert cluster.telemetry.steals > 0
+
+    def test_steal_beats_no_steal_on_a_pinned_trace(self):
+        ns = np.arange(15, dtype=np.int64)
+
+        def makespan(steal):
+            cluster = fib.serve_cluster(
+                4, num_lanes=2, policy=PinnedPolicy(), steal=steal
+            )
+            handles = [cluster.submit(np.int64(n)) for n in ns]
+            cluster.run_until_idle()
+            assert [int(h.result()) for h in handles] == [FIB_REF[int(n)] for n in ns]
+            return cluster.now
+
+        assert makespan(True) * 1.5 <= makespan(None)
+
+    def test_stolen_request_keeps_step_budget_and_priority(self):
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy=PinnedPolicy(), steal=True
+        )
+        filler = cluster.submit(np.int64(12))
+        doomed = cluster.submit(np.int64(25), priority=3, step_budget=4)
+        assert doomed.shard == 0
+        cluster.run_until_idle()
+        # The doomed request was stolen onto shard 1 with its metadata
+        # intact: the budget still aborts it, the priority survives.
+        assert doomed.shard == 1
+        assert doomed.request.priority == 3
+        assert doomed.request.step_budget == 4
+        assert isinstance(doomed.exception(), StepBudgetExceeded)
+        assert int(filler.result()) == FIB_REF[12]
+
+    def test_threshold_gates_stealing(self):
+        cluster = fib.serve_cluster(
+            2,
+            num_lanes=1,
+            policy=PinnedPolicy(),
+            steal=StealPolicy(threshold=50),
+        )
+        handles = [cluster.submit(np.int64(5)) for _ in range(6)]
+        cluster.run_until_idle()
+        assert cluster.telemetry.steals == 0
+        assert all(h.shard == 0 for h in handles)
+
+    def test_batch_size_caps_one_tick_haul(self):
+        cluster = fib.serve_cluster(
+            3,
+            num_lanes=2,
+            policy=PinnedPolicy(),
+            steal=StealPolicy(batch_size=1),
+        )
+        for _ in range(10):
+            cluster.submit(np.int64(9))
+        cluster.tick()
+        # Two idle thieves, one request each despite two free lanes apiece.
+        assert cluster.telemetry.steals == 2
+        cluster.run_until_idle()
+
+    def test_resolve_steal_policy_forms(self):
+        assert resolve_steal_policy(None) is None
+        assert resolve_steal_policy(False) is None
+        assert isinstance(resolve_steal_policy(True), StealPolicy)
+        assert isinstance(resolve_steal_policy("threshold"), StealPolicy)
+        inst = StealPolicy(threshold=2, batch_size=3)
+        assert resolve_steal_policy(inst) is inst
+        assert isinstance(resolve_steal_policy(StealPolicy), StealPolicy)
+        with pytest.raises(ValueError, match="unknown steal policy"):
+            resolve_steal_policy("snatch")
+        with pytest.raises(TypeError):
+            resolve_steal_policy(42)
+        with pytest.raises(ValueError, match="threshold"):
+            StealPolicy(threshold=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            StealPolicy(batch_size=0)
+
+    def test_single_shard_never_steals(self):
+        cluster = fib.serve_cluster(1, num_lanes=2, steal=True)
+        cluster.map([(np.int64(n),) for n in range(6)])
+        assert cluster.telemetry.steals == 0
+
+
+class TestPriorityAcrossShards:
+    """A high-priority request spilled or stolen onto another shard must
+    not starve behind that shard's low-priority natives."""
+
+    def test_spilled_high_priority_beats_queued_low_priority_natives(self):
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy="round_robin", max_queue_depth=3
+        )
+        # Shard 0: busy lane + full queue.  Shard 1: busy lane + two
+        # queued low-priority natives, one queue slot left.
+        for _ in range(3):
+            cluster.engines[0].submit(np.int64(10))
+        cluster.engines[1].submit(np.int64(10))
+        cluster.tick()  # seat each shard's first request in its lane
+        cluster.engines[0].submit(np.int64(10))
+        natives = [
+            cluster.engines[1].submit(np.int64(10), priority=0)
+            for _ in range(2)
+        ]
+        vip = cluster.submit(np.int64(10), priority=5)
+        assert vip.shard == 1  # spilled: round robin preferred full shard 0
+        assert cluster.telemetry.spillovers == 1
+        cluster.run_until_idle()
+        assert all(vip.finish_tick < n.finish_tick for n in natives)
+
+    def test_stolen_high_priority_beats_victims_low_priority_backlog(self):
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy=PinnedPolicy(), steal=True
+        )
+        low = [cluster.submit(np.int64(10), priority=0) for _ in range(4)]
+        vip = cluster.submit(np.int64(10), priority=5)
+        cluster.run_until_idle()
+        # The vip was first in shard 0's queue (priority order), so the
+        # steal moved exactly it onto the idle shard's vacant lane.
+        assert vip.shard == 1
+        assert all(vip.finish_tick < h.finish_tick for h in low[1:])
+        assert {int(h.result()) for h in low + [vip]} == {FIB_REF[10]}
+
+    def test_requeue_preserves_priority_and_arrival_order(self):
+        """Queue-level contract: migrated handles keep their original
+        ``(-priority, arrival)`` position among the destination's natives."""
+
+        def handle(request_id, priority, submit_tick=0):
+            return ResultHandle(
+                ServeRequest(
+                    request_id=request_id,
+                    inputs=(np.int64(1),),
+                    priority=priority,
+                    submit_tick=submit_tick,
+                )
+            )
+
+        source, dest = RequestQueue(), RequestQueue()
+        migrant_vip = handle(100, priority=5)
+        migrant_old = handle(101, priority=0, submit_tick=0)
+        source.push(migrant_vip)
+        source.push(migrant_old)
+        native_mid = handle(0, priority=1, submit_tick=1)
+        native_late = handle(1, priority=0, submit_tick=2)
+        dest.push(native_mid)
+        dest.push(native_late)
+        for h in (migrant_vip, migrant_old):
+            dest.requeue(h)
+        order = [dest.pop().request_id for _ in range(4)]
+        # Priority first (5, then 1, then the 0s); within priority 0 the
+        # migrant's earlier arrival stamp (tick 0) beats the tick-2 native.
+        assert order == [100, 0, 101, 1]
+
+
+class TestAutoscale:
+    def test_grows_under_pressure_without_recompiling(self):
+        cluster = tri.serve_cluster(
+            1,
+            num_lanes=2,
+            executor="fused",
+            steal=True,
+            autoscale=AutoscalePolicy(max_engines=4, grow_patience=1),
+        )
+        ns = np.array([9, 2, 13, 5, 11, 3, 7, 14, 1, 8, 6, 12], dtype=np.int64)
+        handles = [cluster.submit(np.int64(n)) for n in ns]
+        cluster.run_until_idle()
+        t = cluster.telemetry
+        assert t.grow_events >= 1
+        # The acceptance criterion: one fused compile across grow events
+        # (each grown shard binds the shared plan instead of recompiling).
+        assert cluster.plan.executor.compile_count == 1
+        assert cluster.plan.stats.bind_count >= 1 + t.grow_events
+        np.testing.assert_array_equal(
+            np.array([h.result() for h in handles]), tri.run_pc(ns)
+        )
+        assert t.completed == len(ns) and t.failed == 0
+
+    def test_shrinks_back_when_load_subsides(self):
+        cluster = fib.serve_cluster(
+            1,
+            num_lanes=2,
+            steal=True,
+            autoscale=AutoscalePolicy(
+                max_engines=4, grow_patience=1, shrink_patience=2
+            ),
+        )
+        cluster.map([(np.int64(n),) for n in range(14)])
+        assert cluster.telemetry.grow_events >= 1
+        for _ in range(20):  # idle ticks let the slack streak mature
+            cluster.tick()
+        assert cluster.num_engines == 1
+        assert cluster.telemetry.shrink_events >= 1
+        assert cluster.telemetry.shards_retired == cluster.telemetry.shrink_events
+        assert not cluster.draining
+
+    def test_drain_preserves_in_flight_handles(self):
+        cluster = fib.serve_cluster(
+            2,
+            num_lanes=2,
+            policy="round_robin",
+            autoscale=AutoscalePolicy(min_engines=1, shrink_patience=1),
+        )
+        slow = cluster.submit(np.int64(20))  # lands on shard 0
+        assert slow.shard == 0
+        # Load (1) fits one shard, so the very next tick starts a drain;
+        # ties on load retire the youngest shard (1), but keep ticking
+        # until whichever shard holds the slow request finishes.
+        cluster.run_until_idle()
+        assert cluster.telemetry.shrink_events == 1
+        assert cluster.telemetry.shards_retired == 1
+        assert cluster.num_engines == 1
+        assert int(slow.result()) == int(fib.run_pc(np.array([20]))[0])
+
+    def test_drain_migrates_queued_natives_to_survivors(self):
+        cluster = fib.serve_cluster(2, num_lanes=1, policy="round_robin")
+        handles = [cluster.submit(np.int64(9)) for _ in range(6)]
+        cluster.tick()  # seat each shard's first request in its lane
+        queued_on_1 = [h for h in handles if h.shard == 1][1:]
+        victim = cluster.engines[1]
+        cluster.engines.remove(victim)
+        cluster.draining.append(victim)
+        orphans = victim.begin_drain()
+        assert orphans == queued_on_1  # in-flight lane stays; queue exports
+        cluster.engines[0].requeue(orphans)
+        for h in orphans:
+            h.shard = cluster.engines[0].shard_id
+        cluster.run_until_idle()
+        assert all(int(h.result()) == FIB_REF[9] for h in handles)
+        assert not cluster.draining  # the drained shard retired itself
+
+    def test_draining_engine_rejects_new_submissions(self):
+        engine = fib.serve(num_lanes=1)
+        engine.submit(np.int64(8))
+        engine.submit(np.int64(9))
+        engine.tick()
+        orphans = engine.begin_drain()
+        assert len(orphans) == 1 and engine.draining
+        with pytest.raises(RuntimeError, match="draining"):
+            engine.submit(np.int64(5))
+        engine.run_until_idle()
+        assert engine.pool.busy_count() == 0
+
+    def test_resolve_autoscale_forms(self):
+        assert resolve_autoscale(None) is None
+        assert resolve_autoscale(False) is None
+        assert isinstance(resolve_autoscale(True), AutoscalePolicy)
+        inst = AutoscalePolicy(min_engines=2, max_engines=6)
+        assert resolve_autoscale(inst) is inst
+        assert isinstance(resolve_autoscale(AutoscalePolicy), AutoscalePolicy)
+        with pytest.raises(TypeError):
+            resolve_autoscale("pressure-cooker")
+        with pytest.raises(ValueError, match="min_engines"):
+            AutoscalePolicy(min_engines=0)
+        with pytest.raises(ValueError, match="below min_engines"):
+            AutoscalePolicy(min_engines=3, max_engines=2)
+        with pytest.raises(ValueError, match="patience"):
+            AutoscalePolicy(grow_patience=0)
+
+    def test_default_max_engines_is_twice_the_initial_fleet(self):
+        cluster = fib.serve_cluster(3, num_lanes=1, autoscale=True)
+        assert cluster.autoscale.max_engines == 6
+        assert cluster.autoscale.min_engines == 1
+
+    def test_caller_policy_instance_is_never_mutated_or_shared(self):
+        """The cluster works on a private copy: resolving the default cap
+        must not write into the caller's AutoscalePolicy, and two clusters
+        given the same instance must not share patience streaks."""
+        shared = AutoscalePolicy()
+        big = fib.serve_cluster(4, num_lanes=1, autoscale=shared)
+        small = fib.serve_cluster(1, num_lanes=1, autoscale=shared)
+        assert shared.max_engines is None  # caller's instance untouched
+        assert big.autoscale is not shared and small.autoscale is not shared
+        assert big.autoscale.max_engines == 8
+        assert small.autoscale.max_engines == 2
+        # Streak state is per-cluster: pressuring one must not advance the
+        # other's grow decision.
+        for _ in range(5):
+            small.submit(np.int64(12))
+        small.tick()
+        assert big.autoscale._pressure_streak == 0
+        small.run_until_idle()
+
+    def test_skew_metrics_ignore_retired_shards(self):
+        live_a = ServeTelemetry(num_lanes=1, completed=5)
+        live_b = ServeTelemetry(num_lanes=1, completed=5)
+        dead = ServeTelemetry(num_lanes=1, completed=1, retired=True)
+        t = ClusterTelemetry(shards=[live_a, live_b, dead])
+        # Totals still count the retired shard; skew does not.
+        assert t.completed == 11
+        assert t.completion_skew() == 0.0
+        assert t.utilization_skew() == 0.0
+        assert len(t.live_shards()) == 2
+
+
+# -- property-based rebalancing schedules -------------------------------------
+#
+# The PR-3 schedule generator, extended with priorities plus steal/autoscale
+# toggles: whatever the rebalancers do, no handle is lost or duplicated,
+# results stay bit-identical to the unbatched reference, and the fleet
+# returns to within the policy's bounds.
+
+rebalance_schedule = st.lists(
+    st.tuples(
+        st.integers(0, 14),                            # fib argument
+        st.integers(0, 3),                             # arrival gap (ticks)
+        st.integers(-2, 2),                            # priority
+        st.one_of(st.none(), st.integers(1, 2000)),    # step budget
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestRebalancingSchedules:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        schedule=rebalance_schedule,
+        num_engines=st.integers(1, 3),
+        num_lanes=st.integers(1, 2),
+        policy=st.sampled_from(POLICIES + ["pinned"]),
+        seed=st.integers(0, 3),
+        steal=st.booleans(),
+        autoscale=st.booleans(),
+    )
+    def test_random_schedule_invariants(
+        self, schedule, num_engines, num_lanes, policy, seed, steal, autoscale
+    ):
+        max_engines = num_engines + 2
+        cluster = fib.serve_cluster(
+            num_engines,
+            num_lanes=num_lanes,
+            policy=PinnedPolicy() if policy == "pinned" else policy,
+            seed=seed,
+            steal=StealPolicy() if steal else None,
+            autoscale=(
+                AutoscalePolicy(
+                    max_engines=max_engines, grow_patience=1, shrink_patience=2
+                )
+                if autoscale
+                else None
+            ),
+            max_stack_depth=64,
+        )
+        handles = []
+        for n, gap, priority, budget in schedule:
+            for _ in range(gap):
+                cluster.tick()
+            handles.append(
+                (
+                    n,
+                    cluster.submit(
+                        np.int64(n), priority=priority, step_budget=budget
+                    ),
+                )
+            )
+        cluster.run_until_idle()
+        t = cluster.telemetry
+        # No lost or duplicated handles: every submission reached exactly
+        # one terminal state, and the counters agree one-for-one.
+        assert all(h.done() for _, h in handles)
+        done = [h for _, h in handles if h.state == "done"]
+        failed = [h for _, h in handles if h.state == "failed"]
+        assert len(done) + len(failed) == len(handles)
+        assert t.submitted == len(handles)
+        assert t.completed == len(done)
+        assert t.failed == len(failed)
+        assert t.injected == len(done) + len(failed)
+        # Results bit-identical to the unbatched reference, wherever the
+        # request ended up running.
+        for n, h in handles:
+            if h.state == "done":
+                assert int(h.result()) == FIB_REF[n]
+            else:
+                assert isinstance(h.exception(), StepBudgetExceeded)
+            assert h.shard is not None
+            assert h.inject_tick is not None and h.finish_tick is not None
+            assert h.request.submit_tick <= h.inject_tick <= h.finish_tick
+        assert cluster.load() == 0
+        assert not cluster.draining
+        if autoscale:
+            assert 1 <= cluster.num_engines <= max_engines
+        else:
+            assert cluster.num_engines == num_engines

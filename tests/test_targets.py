@@ -2,6 +2,11 @@
 
 import numpy as np
 import pytest
+
+# Target densities must stay warning-clean even on the extreme states a
+# diverging leapfrog integrator proposes — a numpy RuntimeWarning here is a
+# regression (see Rosenbrock's controlled errstate), so escalate them all.
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -187,3 +192,28 @@ class TestFunnelAndRosenbrock:
         warm = Rosenbrock(dim=2, temperature=10.0)
         q = np.array([0.0, 2.0])
         np.testing.assert_allclose(cold.log_prob(q), 10.0 * warm.log_prob(q))
+
+    def test_rosenbrock_extreme_proposal_no_overflow_warning(self):
+        """A runaway leapfrog state must give -inf, not a RuntimeWarning.
+
+        ``(tail - head*head)**2`` overflows float64 for |q| beyond ~1e80;
+        the module-level ``error::RuntimeWarning`` escalation turns any
+        warning here into a failure, so this pins the errstate fix down.
+        """
+        t = Rosenbrock(dim=3)
+        extreme = np.array([1e200, -1e200, 1e155])
+        lp = t.log_prob(extreme)
+        assert lp == -np.inf
+        grad = t.grad_log_prob(extreme)
+        assert grad.shape == extreme.shape
+        # Batched extreme states alongside sane ones: sane lanes unharmed.
+        batch = np.stack([extreme, np.array([1.0, 1.0, 1.0])])
+        lp_batch = t.log_prob(batch)
+        assert lp_batch[0] == -np.inf
+        assert lp_batch[1] == pytest.approx(0.0)
+
+    def test_rosenbrock_inf_minus_inf_proposal_rejected_not_nan(self):
+        """inf^2 - inf^2 residuals collapse to -inf log-density, never NaN."""
+        t = Rosenbrock(dim=2)
+        q = np.array([np.inf, np.inf])
+        assert t.log_prob(q) == -np.inf
