@@ -1,46 +1,34 @@
-"""Serving benchmarks: continuous batching vs drain-then-refill, eager vs
-fused block execution, and (``--cluster``) multi-engine shard scaling.
+"""Serving benchmarks: continuous batching, shard scaling, rebalancing, and
+preemption.
 
-Requests (``fib`` calls with skewed sizes) arrive by a Poisson process on
-the engine's logical clock — open-loop, so a slow server cannot throttle
-its own offered load.  Every engine sees the *identical* arrival sequence
-and runs on the same machine width; the rows differ only in
+Four subcommands share one workload generator (``fib`` calls with skewed
+sizes) and one assertion discipline — inequalities are asserted, not just
+printed, and every scenario's outputs must stay bit-identical to the static
+``run_pc`` batch:
 
-* the refill discipline: ``continuous`` (a retired lane is re-injected
-  from the queue on the next tick — the ``repro.serve`` tentpole) vs
-  ``drain`` (requests admitted only into a fully drained machine — the
-  static ``run_pc``-style baseline), and
-* the block executor: ``eager`` (one host dispatch per primitive/storage
-  array op) vs ``fused`` (one generated call per basic block).
+* ``serve`` (default) — continuous batching vs drain-then-refill, eager vs
+  fused block execution, under open-loop Poisson arrivals.  Continuous must
+  beat drain on lane utilization; the fused engine must need at most a
+  third of the eager engine's dispatches at equal (tick-clock) throughput.
+  → ``BENCH_serve.json``
+* ``cluster`` — the same closed-load request set through 1, 2, and 4 engine
+  shards of equal lane width (one shared execution plan).  4-shard
+  aggregate throughput >= 2.5x single-engine; exactly one fused compile for
+  the whole sweep.  → ``BENCH_cluster.json``
+* ``steal`` — an adversarially skewed trace (every request routed to shard
+  0 of 4) with work stealing off and on, plus an elastic cluster growing
+  from one shard.  Stealing must sustain >= 1.8x the no-steal throughput.
+  → ``BENCH_steal.json``
+* ``preempt`` — a high-priority burst into straggler-saturated lanes, with
+  and without priority preemption (lane checkpoint/resume).  Preemption
+  must improve high-priority time-to-first-result >= 2x, stragglers must
+  *resume* (not restart), and a preempt+steal cluster must migrate at
+  least one preempted-lane snapshot to another shard.
+  → ``BENCH_preempt.json``
 
-Reported per engine: steady-state lane utilization, makespan in ticks,
-queue-wait distribution, time-to-first-result, throughput, plan-derived
-dispatch count, and wall time.  Two inequalities are asserted, not just
-printed: continuous batching must beat drain on lane utilization, and the
-fused engine must need at most a third of the eager engine's dispatches at
-equal (tick-clock) throughput.
-
-Results are also written to a machine-readable ``BENCH_serve.json`` so the
-perf trajectory is tracked across PRs.
-
-``--cluster`` switches to the shard-scaling benchmark instead: the same
-closed-load request set through 1, 2, and 4 engine shards of equal lane
-width (``repro.serve.cluster``, fused executor, one shared execution
-plan).  Outputs must stay bit-identical to the static batch at every shard
-count, 4-shard aggregate throughput must reach >= 2.5x the single-engine
-baseline, and the fused compile counter must show exactly one codegen for
-the whole sweep (code-cache sharing).  Results go to ``BENCH_cluster.json``.
-
-``--steal`` runs the rebalancing benchmark: an *adversarially skewed*
-arrival trace (every request routed to shard 0 of 4) through the same
-cluster with work stealing off and on, plus an elastic cluster that starts
-at one shard and autoscales up.  Stealing must sustain >= 1.8x the
-no-steal aggregate throughput with bit-identical outputs, and the fused
-compile counter must stay at 1 across autoscale grow events.  Per-tick
-completion curves and the summary go to ``BENCH_steal.json``.
-
-Run: ``python benchmarks/bench_serve.py [--quick] [--cluster | --steal]
-[--out FILE]``
+Run: ``python benchmarks/bench_serve.py [serve|cluster|steal|preempt]
+[--quick] [--out FILE] ...``  (the legacy ``--cluster``/``--steal``/
+``--preempt`` flags are accepted as aliases for the subcommands).
 """
 
 import argparse
@@ -56,7 +44,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 sys.path.insert(0, _HERE)
 
 from repro.bench.report import format_table  # noqa: E402
+from repro.serve import RoutingPolicy  # noqa: E402
 from common import fib  # noqa: E402
+
+
+# -- shared trace generation ---------------------------------------------------
 
 
 def poisson_arrivals(n_requests: int, rate: float, seed: int) -> np.ndarray:
@@ -74,6 +66,42 @@ def skewed_sizes(n_requests: int, seed: int) -> np.ndarray:
     return np.where(rng.rand(n_requests) < 0.25, large, small).astype(np.int64)
 
 
+def fib_trace(n_requests: int, seed: int):
+    """One skewed fib workload: (sizes, per-request tuples, static reference).
+
+    Every scenario below drives the identical trace through different
+    serving configurations and compares against the same ``run_pc`` batch,
+    so "bit-identical outputs" is one shared check, not four copies.
+    """
+    sizes = skewed_sizes(n_requests, seed=seed)
+    requests = [(np.int64(n),) for n in sizes]
+    expected = fib.run_pc(sizes)
+    return sizes, requests, expected
+
+
+def check_outputs(results, expected, label: str) -> None:
+    """Bit-identical check against the static run_pc reference batch."""
+    if not np.array_equal(np.stack(results), expected):
+        raise AssertionError(f"{label}: results diverge from static run_pc")
+
+
+def write_result(result: dict, args, default_name: str) -> str:
+    out = args.out or os.path.join(os.curdir, default_name)
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    return out
+
+
+def positive(value, what):
+    if value <= 0:
+        raise SystemExit(f"{what} must be positive")
+    return value
+
+
+# -- serve: continuous vs drain, eager vs fused -------------------------------
+
+
 def run_engine(refill: str, executor: str, requests, arrivals, num_lanes: int):
     """Drive one engine through the arrival schedule; returns engine + results."""
     engine = fib.serve(num_lanes=num_lanes, refill=refill, executor=executor)
@@ -89,17 +117,123 @@ def run_engine(refill: str, executor: str, requests, arrivals, num_lanes: int):
     return engine, [h.result() for h in handles], wall
 
 
+def run_serve(args) -> None:
+    n_requests = positive(
+        args.requests if args.requests is not None else (40 if args.quick else 200),
+        "--requests",
+    )
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 16),
+        "--lanes",
+    )
+    rate = positive(
+        args.rate if args.rate is not None else (0.08 if args.quick else 0.05),
+        "--rate",
+    )
+
+    sizes, requests, expected = fib_trace(n_requests, seed=args.seed)
+    arrivals = poisson_arrivals(n_requests, rate=rate, seed=args.seed + 1)
+
+    print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
+          f"Poisson rate {rate}/tick, {num_lanes} lanes\n")
+
+    variants = [
+        ("continuous", "eager"),
+        ("continuous", "fused"),
+        ("drain", "eager"),
+    ]
+    rows, metrics = [], {}
+    for refill, executor in variants:
+        engine, results, wall = run_engine(
+            refill, executor, requests, arrivals, num_lanes
+        )
+        check_outputs(results, expected, f"{refill}/{executor}")
+        t = engine.telemetry
+        metrics[(refill, executor)] = {
+            "refill": refill,
+            "executor": executor,
+            "lane_utilization": t.lane_utilization(),
+            "ticks": int(t.ticks),
+            "mean_queue_wait": t.mean_queue_wait(),
+            "max_queue_wait": int(t.max_queue_wait()),
+            "time_to_first_result": t.first_result_tick,
+            "throughput_requests_per_tick": t.throughput(),
+            "prim_utilization": t.instrumentation.utilization(),
+            "machine_steps": int(t.instrumentation.steps),
+            "kernel_calls": int(t.instrumentation.kernel_calls),
+            "dispatches": int(engine.dispatch_count()),
+            "wall_seconds": wall,
+        }
+        m = metrics[(refill, executor)]
+        rows.append([
+            refill,
+            executor,
+            f"{m['lane_utilization']:.3f}",
+            f"{m['ticks']:,}",
+            f"{m['mean_queue_wait']:.0f}",
+            f"{m['time_to_first_result']}",
+            f"{m['throughput_requests_per_tick']:.4f}",
+            f"{m['dispatches']:,}",
+            f"{m['wall_seconds']:.3f}",
+        ])
+
+    print(format_table(
+        ["policy", "executor", "lane util", "ticks", "mean wait",
+         "ttfr", "req/tick", "dispatches", "wall s"],
+        rows,
+    ))
+
+    cont_eager = metrics[("continuous", "eager")]
+    cont_fused = metrics[("continuous", "fused")]
+    drain = metrics[("drain", "eager")]
+
+    gain = (cont_eager["lane_utilization"] / drain["lane_utilization"]
+            if drain["lane_utilization"] else float("inf"))
+    dispatch_ratio = cont_fused["dispatches"] / cont_eager["dispatches"]
+    print(f"\ncontinuous/drain lane-utilization ratio: {gain:.2f}x")
+    print(f"fused/eager dispatch ratio (continuous): {dispatch_ratio:.3f} "
+          f"({cont_fused['dispatches']:,} vs {cont_eager['dispatches']:,})")
+
+    result = {
+        "benchmark": "bench_serve",
+        "config": {"requests": n_requests, "lanes": num_lanes, "rate": rate,
+                   "seed": args.seed, "quick": bool(args.quick)},
+        "engines": list(metrics.values()),
+        "continuous_over_drain_lane_utilization": gain,
+        "fused_over_eager_dispatch_ratio": dispatch_ratio,
+    }
+    write_result(result, args, "BENCH_serve.json")
+
+    assert cont_eager["lane_utilization"] > drain["lane_utilization"], (
+        "continuous batching failed to beat drain-then-refill on lane utilization"
+    )
+    assert cont_fused["ticks"] == cont_eager["ticks"], (
+        "executors diverged on the logical clock (throughput not equal)"
+    )
+    assert dispatch_ratio <= 1 / 3, (
+        f"fused engine needed {dispatch_ratio:.2f} of eager's dispatches; "
+        "expected <= 1/3"
+    )
+    print("OK: continuous batching sustains higher lane utilization; "
+          "fused execution needs <= 1/3 of the dispatches at equal throughput")
+
+
+# -- cluster: shard scaling ----------------------------------------------------
+
+
 def run_cluster_scaling(args) -> None:
     """Shard-scaling sweep: 1 -> 2 -> 4 engines at equal lane width."""
-    n_requests = args.requests if args.requests is not None else (80 if args.quick else 240)
-    num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 8)
-    if n_requests <= 0 or num_lanes <= 0:
-        raise SystemExit("--requests and --lanes must be positive")
+    n_requests = positive(
+        args.requests if args.requests is not None else (80 if args.quick else 240),
+        "--requests",
+    )
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
     shard_counts = (1, 2, 4)
 
-    sizes = skewed_sizes(n_requests, seed=args.seed)
-    requests = [(np.int64(n),) for n in sizes]
-    expected = fib.run_pc(sizes)
+    sizes, requests, expected = fib_trace(n_requests, seed=args.seed)
 
     print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
           f"closed load, {num_lanes} lanes per shard, policy={args.policy}, "
@@ -119,10 +253,7 @@ def run_cluster_scaling(args) -> None:
         wall_start = time.perf_counter()
         results = cluster.map(requests)
         wall = time.perf_counter() - wall_start
-        if not np.array_equal(np.stack(results), expected):
-            raise AssertionError(
-                f"{shards}-shard cluster results diverge from static run_pc"
-            )
+        check_outputs(results, expected, f"{shards}-shard cluster")
         t = cluster.telemetry
         metrics[shards] = {
             "shards": shards,
@@ -174,10 +305,7 @@ def run_cluster_scaling(args) -> None:
         "shards": [metrics[s] for s in shard_counts],
         "throughput_scaling": {str(s): scaling[s] for s in shard_counts},
     }
-    out = args.out or os.path.join(os.curdir, "BENCH_cluster.json")
-    with open(out, "w") as f:
-        json.dump(result, f, indent=2, sort_keys=True)
-    print(f"wrote {out}")
+    write_result(result, args, "BENCH_cluster.json")
 
     assert scaling[4] >= 2.5, (
         f"4-shard aggregate throughput is {scaling[4]:.2f}x the single-engine "
@@ -198,28 +326,34 @@ def run_cluster_scaling(args) -> None:
           f"{scaling[4]:.2f}x single-engine throughput with one fused compile")
 
 
+# -- steal: adversarial-skew rebalancing ---------------------------------------
+
+
+class PinnedPolicy(RoutingPolicy):
+    """Route every request to shard 0 (spill order 0,1,2,...): the
+    worst-case skew a static router can produce."""
+
+    name = "pinned"
+
+    def preference(self, cluster):
+        return list(range(len(cluster.engines)))
+
+
 def run_steal_rebalance(args) -> None:
     """Adversarial skew: all traffic to shard 0; stealing must rebalance."""
-    from repro.serve import AutoscalePolicy, RoutingPolicy
+    from repro.serve import AutoscalePolicy
 
-    class PinnedPolicy(RoutingPolicy):
-        """Route every request to shard 0 (spill order 0,1,2,...): the
-        worst-case skew a static router can produce."""
-
-        name = "pinned"
-
-        def preference(self, cluster):
-            return list(range(len(cluster.engines)))
-
-    n_requests = args.requests if args.requests is not None else (80 if args.quick else 240)
-    num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 8)
-    if n_requests <= 0 or num_lanes <= 0:
-        raise SystemExit("--requests and --lanes must be positive")
+    n_requests = positive(
+        args.requests if args.requests is not None else (80 if args.quick else 240),
+        "--requests",
+    )
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
     num_shards = 4
 
-    sizes = skewed_sizes(n_requests, seed=args.seed)
-    requests = [(np.int64(n),) for n in sizes]
-    expected = fib.run_pc(sizes)
+    sizes, requests, expected = fib_trace(n_requests, seed=args.seed)
 
     print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
           f"ALL routed to shard 0 of {num_shards}, {num_lanes} lanes per shard, "
@@ -234,9 +368,7 @@ def run_steal_rebalance(args) -> None:
             cluster.tick()
             curve.append(int(cluster.telemetry.completed))
         wall = time.perf_counter() - wall_start
-        results = np.stack([h.result() for h in handles])
-        if not np.array_equal(results, expected):
-            raise AssertionError("results diverge from static run_pc")
+        check_outputs([h.result() for h in handles], expected, "steal scenario")
         return curve, wall
 
     variants = [
@@ -336,10 +468,7 @@ def run_steal_rebalance(args) -> None:
         "elastic_over_no_steal_throughput": elastic_gain,
         "completion_curves": {k: thin(v) for k, v in curves.items()},
     }
-    out = args.out or os.path.join(os.curdir, "BENCH_steal.json")
-    with open(out, "w") as f:
-        json.dump(result, f, indent=2, sort_keys=True)
-    print(f"wrote {out}")
+    write_result(result, args, "BENCH_steal.json")
 
     assert steal_gain >= 1.8, (
         f"work stealing sustained only {steal_gain:.2f}x the no-steal "
@@ -359,154 +488,269 @@ def run_steal_rebalance(args) -> None:
           f"{metrics['elastic']['grow_events']} autoscale grow events")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small sweep for CI smoke runs")
-    parser.add_argument("--cluster", action="store_true",
-                        help="run the multi-engine shard-scaling benchmark")
-    parser.add_argument("--steal", action="store_true",
-                        help="run the work-stealing rebalancing benchmark "
-                             "(adversarially skewed arrivals)")
-    parser.add_argument("--policy", default=None,
-                        choices=["round_robin", "least_loaded", "power_of_two"],
-                        help="cluster routing policy (--cluster only; "
-                             "default least_loaded)")
-    parser.add_argument("--lanes", type=int, default=None)
-    parser.add_argument("--requests", type=int, default=None)
-    parser.add_argument("--rate", type=float, default=None,
-                        help="offered load in requests per machine tick")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default=None,
-                        help="result file path (default ./BENCH_serve.json; "
-                             "./BENCH_cluster.json with --cluster, "
-                             "./BENCH_steal.json with --steal)")
-    args = parser.parse_args()
+# -- preempt: SLO isolation via lane checkpoint/resume -------------------------
 
-    if args.cluster and args.steal:
-        parser.error("--cluster and --steal are separate benchmarks")
-    if args.steal:
-        if args.rate is not None:
-            parser.error(
-                "--rate is open-loop only; the --steal scenario is closed-load"
-            )
-        if args.policy is not None:
-            parser.error(
-                "--steal pins every arrival to shard 0; --policy does not apply"
-            )
-        run_steal_rebalance(args)
-        return
-    if args.cluster:
-        if args.rate is not None:
-            parser.error(
-                "--rate is open-loop only; the --cluster sweep is closed-load"
-            )
-        if args.policy is None:
-            args.policy = "least_loaded"
-        run_cluster_scaling(args)
-        return
-    if args.policy is not None:
-        parser.error("--policy only applies to the --cluster sweep")
 
-    n_requests = args.requests if args.requests is not None else (40 if args.quick else 200)
-    num_lanes = args.lanes if args.lanes is not None else (4 if args.quick else 16)
-    rate = args.rate if args.rate is not None else (0.08 if args.quick else 0.05)
-    if n_requests <= 0 or num_lanes <= 0 or rate <= 0:
-        parser.error("--requests, --lanes, and --rate must all be positive")
+def run_preempt(args) -> None:
+    """High-priority burst into straggler-saturated lanes.
 
-    sizes = skewed_sizes(n_requests, seed=args.seed)
-    arrivals = poisson_arrivals(n_requests, rate=rate, seed=args.seed + 1)
-    requests = [(np.int64(n),) for n in sizes]
+    Every lane is filled with a long-running low-priority straggler, then a
+    burst of short high-priority requests arrives.  Without preemption the
+    burst waits out a whole straggler; with it, straggler lanes are
+    checkpointed and evicted, the burst runs immediately, and the
+    stragglers *resume* from their snapshots.  Asserted: high-priority
+    time-to-first-result improves >= 2x, outputs stay bit-identical across
+    both variants (and to the static reference), and stragglers spend
+    exactly as many active machine steps as an undisturbed run (resume, not
+    restart).  A final preempt+steal cluster variant shows a preempted-lane
+    snapshot migrating to — and resuming on — another shard.
+    """
+    from repro.serve import PreemptPolicy, RoutingPolicy
 
-    print(f"workload: {n_requests} fib requests (sizes {sizes.min()}..{sizes.max()}), "
-          f"Poisson rate {rate}/tick, {num_lanes} lanes\n")
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
+    n_burst = positive(
+        args.requests if args.requests is not None else (8 if args.quick else 24),
+        "--requests",
+    )
+    straggler_size = 14 if args.quick else 16
+    warmup_ticks = 3  # stragglers seated and visibly running before the burst
 
-    expected = fib.run_pc(sizes)
-    variants = [
-        ("continuous", "eager"),
-        ("continuous", "fused"),
-        ("drain", "eager"),
-    ]
-    rows, metrics = [], {}
-    for refill, executor in variants:
-        engine, results, wall = run_engine(
-            refill, executor, requests, arrivals, num_lanes
-        )
-        if not np.array_equal(np.stack(results), expected):
-            raise AssertionError(
-                f"{refill}/{executor}: results diverge from static run_pc"
-            )
+    rng = np.random.RandomState(args.seed)
+    straggler_sizes = np.full(num_lanes, straggler_size, dtype=np.int64)
+    burst_sizes = rng.randint(3, 8, size=n_burst).astype(np.int64)
+    all_sizes = np.concatenate([straggler_sizes, burst_sizes])
+    expected = fib.run_pc(all_sizes)
+
+    print(f"workload: {num_lanes} stragglers (fib {straggler_size}, priority 0) "
+          f"saturating {num_lanes} lanes, then a burst of {n_burst} "
+          f"high-priority requests (fib {burst_sizes.min()}..{burst_sizes.max()}, "
+          f"priority 5) at tick {warmup_ticks}\n")
+
+    def drive(preempt):
+        engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                           preempt=preempt)
+        stragglers = [engine.submit(np.int64(n)) for n in straggler_sizes]
+        for _ in range(warmup_ticks):
+            engine.tick()
+        burst_tick = engine.now
+        burst = [engine.submit(np.int64(n), priority=5) for n in burst_sizes]
+        wall_start = time.perf_counter()
+        engine.run_until_idle()
+        wall = time.perf_counter() - wall_start
+        handles = stragglers + burst
+        check_outputs([h.result() for h in handles], expected,
+                      "preempt" if preempt else "no_preempt")
+        hp_ttfr = min(h.finish_tick for h in burst) - burst_tick
+        hp_makespan = max(h.finish_tick for h in burst) - burst_tick
+        return engine, hp_ttfr, hp_makespan, wall
+
+    rows, metrics, telemetries = [], {}, {}
+    for label, preempt in (("no_preempt", None), ("preempt", PreemptPolicy())):
+        engine, hp_ttfr, hp_makespan, wall = drive(preempt)
         t = engine.telemetry
-        metrics[(refill, executor)] = {
-            "refill": refill,
-            "executor": executor,
-            "lane_utilization": t.lane_utilization(),
+        telemetries[label] = t
+        metrics[label] = {
+            "variant": label,
+            "lanes": num_lanes,
             "ticks": int(t.ticks),
-            "mean_queue_wait": t.mean_queue_wait(),
-            "max_queue_wait": int(t.max_queue_wait()),
-            "time_to_first_result": t.first_result_tick,
-            "throughput_requests_per_tick": t.throughput(),
-            "prim_utilization": t.instrumentation.utilization(),
-            "machine_steps": int(t.instrumentation.steps),
-            "kernel_calls": int(t.instrumentation.kernel_calls),
-            "dispatches": int(engine.dispatch_count()),
+            "hp_time_to_first_result": int(hp_ttfr),
+            "hp_makespan": int(hp_makespan),
+            "preemptions": int(t.preemptions),
+            "resumes": int(t.resumes),
+            "mean_resume_wait": t.mean_resume_wait(),
+            "lane_utilization": t.lane_utilization(),
             "wall_seconds": wall,
         }
-        m = metrics[(refill, executor)]
+        m = metrics[label]
         rows.append([
-            refill,
-            executor,
-            f"{m['lane_utilization']:.3f}",
+            label,
             f"{m['ticks']:,}",
-            f"{m['mean_queue_wait']:.0f}",
-            f"{m['time_to_first_result']}",
-            f"{m['throughput_requests_per_tick']:.4f}",
-            f"{m['dispatches']:,}",
+            f"{m['hp_time_to_first_result']:,}",
+            f"{m['hp_makespan']:,}",
+            f"{m['preemptions']}",
+            f"{m['resumes']}",
+            f"{m['mean_resume_wait']:.0f}",
             f"{m['wall_seconds']:.3f}",
         ])
 
     print(format_table(
-        ["policy", "executor", "lane util", "ticks", "mean wait",
-         "ttfr", "req/tick", "dispatches", "wall s"],
+        ["variant", "ticks", "hp ttfr", "hp makespan", "evictions",
+         "resumes", "resume wait", "wall s"],
         rows,
     ))
 
-    cont_eager = metrics[("continuous", "eager")]
-    cont_fused = metrics[("continuous", "fused")]
-    drain = metrics[("drain", "eager")]
+    ttfr_gain = (
+        metrics["no_preempt"]["hp_time_to_first_result"]
+        / metrics["preempt"]["hp_time_to_first_result"]
+        if metrics["preempt"]["hp_time_to_first_result"]
+        else float("inf")
+    )
+    # Per-priority SLO attainment at one shared target: the preempting
+    # engine's worst high-priority latency.  Preemption attains 100% of it
+    # by construction; the no-preempt engine shows what the burst suffered.
+    slo_target = int(max(telemetries["preempt"].latencies(priority=5)))
+    for label in metrics:
+        metrics[label]["hp_slo_attainment"] = telemetries[label].slo_attainment(
+            slo_target, priority=5
+        )
+    print(f"\nhigh-priority time-to-first-result improvement: {ttfr_gain:.2f}x")
+    print(f"high-priority SLO attainment at {slo_target} ticks: "
+          f"no_preempt={metrics['no_preempt']['hp_slo_attainment']:.2f} "
+          f"preempt={metrics['preempt']['hp_slo_attainment']:.2f}")
 
-    gain = (cont_eager["lane_utilization"] / drain["lane_utilization"]
-            if drain["lane_utilization"] else float("inf"))
-    dispatch_ratio = cont_fused["dispatches"] / cont_eager["dispatches"]
-    print(f"\ncontinuous/drain lane-utilization ratio: {gain:.2f}x")
-    print(f"fused/eager dispatch ratio (continuous): {dispatch_ratio:.3f} "
-          f"({cont_fused['dispatches']:,} vs {cont_eager['dispatches']:,})")
+    # Resume-not-restart: a preempted straggler spends exactly the active
+    # machine steps an undisturbed straggler does.
+    solo = fib.serve(num_lanes=1, executor="fused")
+    ref = solo.submit(np.int64(straggler_size))
+    solo.run_until_idle()
+    engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                       preempt=PreemptPolicy())
+    stragglers = [engine.submit(np.int64(n)) for n in straggler_sizes]
+    for _ in range(warmup_ticks):
+        engine.tick()
+    for n in burst_sizes:
+        engine.submit(np.int64(n), priority=5)
+    engine.run_until_idle()
+    resumed_steps = [h.steps_used for h in stragglers if h.preemptions]
+    assert resumed_steps, "preemption never evicted a straggler"
+    assert all(s == ref.steps_used for s in resumed_steps), (
+        f"a preempted straggler used {resumed_steps} active steps vs "
+        f"{ref.steps_used} undisturbed: it restarted instead of resuming"
+    )
+
+    # Cross-shard migration: shard 0 saturated with stragglers, shard 1
+    # busy on a short native; the burst preempts shard 0, and stealing
+    # must carry at least one snapshot onto shard 1 to resume there.
+    cluster = fib.serve_cluster(
+        2, num_lanes=num_lanes, executor="fused",
+        policy=PinnedPolicy(), steal=True, preempt=True,
+    )
+    cluster_stragglers = [
+        cluster.submit(np.int64(straggler_size)) for _ in range(num_lanes)
+    ]
+    for _ in range(num_lanes):
+        cluster.engines[1].submit(np.int64(4))  # short natives, soon idle
+    for _ in range(warmup_ticks):
+        cluster.tick()
+    cluster_burst = [
+        cluster.submit(np.int64(12), priority=5) for _ in range(num_lanes)
+    ]
+    cluster.run_until_idle()
+    ct = cluster.telemetry
+    for h in cluster_stragglers + cluster_burst:
+        assert h.state == "done"
+    fib_ref = {int(n): int(v) for n, v in zip(
+        range(17), fib.run_pc(np.arange(17, dtype=np.int64)))}
+    assert all(int(h.result()) == fib_ref[straggler_size]
+               for h in cluster_stragglers)
+    assert all(int(h.result()) == fib_ref[12] for h in cluster_burst)
+    print(f"cluster variant: {ct.preemptions} evictions, "
+          f"{ct.preempted_migrations} preempted-lane snapshots migrated "
+          f"across shards, {ct.resumes} resumes")
 
     result = {
-        "benchmark": "bench_serve",
-        "config": {"requests": n_requests, "lanes": num_lanes, "rate": rate,
+        "benchmark": "bench_serve_preempt",
+        "config": {"lanes": num_lanes, "burst": n_burst,
+                   "straggler_size": int(straggler_size),
                    "seed": args.seed, "quick": bool(args.quick)},
-        "engines": list(metrics.values()),
-        "continuous_over_drain_lane_utilization": gain,
-        "fused_over_eager_dispatch_ratio": dispatch_ratio,
+        "variants": [metrics["no_preempt"], metrics["preempt"]],
+        "hp_ttfr_improvement": ttfr_gain,
+        "hp_slo_target_ticks": slo_target,
+        "straggler_steps_undisturbed": int(ref.steps_used),
+        "cluster": {
+            "preemptions": int(ct.preemptions),
+            "preempted_migrations": int(ct.preempted_migrations),
+            "resumes": int(ct.resumes),
+            "steals": int(ct.steals),
+        },
     }
-    out = args.out or os.path.join(os.curdir, "BENCH_serve.json")
-    with open(out, "w") as f:
-        json.dump(result, f, indent=2, sort_keys=True)
-    print(f"wrote {out}")
+    write_result(result, args, "BENCH_preempt.json")
 
-    assert cont_eager["lane_utilization"] > drain["lane_utilization"], (
-        "continuous batching failed to beat drain-then-refill on lane utilization"
+    assert ttfr_gain >= 2.0, (
+        f"preemption improved high-priority time-to-first-result only "
+        f"{ttfr_gain:.2f}x; expected >= 2x on a straggler-saturated machine"
     )
-    assert cont_fused["ticks"] == cont_eager["ticks"], (
-        "executors diverged on the logical clock (throughput not equal)"
+    assert metrics["preempt"]["preemptions"] >= 1
+    assert metrics["preempt"]["preemptions"] == metrics["preempt"]["resumes"], (
+        "every evicted straggler must resume exactly as many times"
     )
-    assert dispatch_ratio <= 1 / 3, (
-        f"fused engine needed {dispatch_ratio:.2f} of eager's dispatches; "
-        "expected <= 1/3"
+    assert ct.preempted_migrations >= 1, (
+        "the preempt+steal cluster never migrated a preempted-lane snapshot"
     )
-    print("OK: continuous batching sustains higher lane utilization; "
-          "fused execution needs <= 1/3 of the dispatches at equal throughput")
+    print(f"OK: preemption cuts high-priority time-to-first-result "
+          f"{ttfr_gain:.2f}x with bit-identical outputs; stragglers resume "
+          "(not restart), including on another shard")
+
+
+# -- CLI -----------------------------------------------------------------------
+
+SCENARIOS = {
+    "serve": run_serve,
+    "cluster": run_cluster_scaling,
+    "steal": run_steal_rebalance,
+    "preempt": run_preempt,
+}
+
+#: Legacy flag spellings accepted as subcommand aliases.
+LEGACY_FLAGS = {"--cluster": "cluster", "--steal": "steal",
+                "--preempt": "preempt"}
+
+
+def _common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    parser.add_argument("--lanes", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="result file path (default ./BENCH_<scenario>.json)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="scenario")
+
+    p_serve = sub.add_parser(
+        "serve", help="continuous vs drain, eager vs fused (default)")
+    _common_flags(p_serve)
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="offered load in requests per machine tick")
+
+    p_cluster = sub.add_parser(
+        "cluster", help="multi-engine shard-scaling benchmark")
+    _common_flags(p_cluster)
+    p_cluster.add_argument(
+        "--policy", default="least_loaded",
+        choices=["round_robin", "least_loaded", "power_of_two"],
+        help="cluster routing policy (default least_loaded)")
+
+    p_steal = sub.add_parser(
+        "steal", help="work-stealing rebalancing benchmark "
+                      "(adversarially skewed arrivals)")
+    _common_flags(p_steal)
+
+    p_preempt = sub.add_parser(
+        "preempt", help="priority preemption benchmark "
+                        "(high-priority burst into straggler-saturated lanes)")
+    _common_flags(p_preempt)
+
+    return parser
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy spellings: `--cluster --quick` -> `cluster --quick`.
+    for flag, scenario in LEGACY_FLAGS.items():
+        if flag in argv:
+            argv.remove(flag)
+            argv.insert(0, scenario)
+    if not argv or argv[0].startswith("-"):
+        argv.insert(0, "serve")
+    args = build_parser().parse_args(argv)
+    SCENARIOS[args.scenario](args)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,15 @@ must never raise spurious floating-point warnings) and record the same
 does, so eager and fused runs produce bit-identical outputs **and** op
 counts — the property the differential tests pin down.
 
+That identity extends to lane checkpoint/resume (the serving engine's
+preemption): generated namespaces capture *storage objects* — never the
+arrays inside them — so
+:meth:`~repro.vm.program_counter.ProgramCounterVM.restore_lane` (which
+reallocates or promotes arrays *within* a storage via its lazy ``_ensure``
+path) leaves every fused closure valid, and a snapshot taken under either
+executor restores under either, bit-identically.  Anything added to the
+bind spec must preserve this indirection.
+
 The same generated executors serve two strategies from the paper's Figure 5:
 
 * ``pc_fused`` — the program-counter VM with every block fused;

@@ -199,14 +199,19 @@ class AutobatchFunction:
         The engine owns a ``num_lanes``-wide program-counter machine and
         admits streaming requests into vacated lanes mid-flight::
 
-            engine = fib.serve(num_lanes=8, max_queue_depth=64)
-            handle = engine.submit(np.int64(12))
+            engine = fib.serve(num_lanes=8, max_queue_depth=64,
+                               preempt=True)  # priority preemption
+            handle = engine.submit(np.int64(12), priority=5)
             engine.run_until_idle()
             handle.result()
 
         Options are forwarded to :class:`~repro.serve.engine.Engine`;
         ``executor="fused"`` serves through fused basic blocks (identical
-        results, one host dispatch per block).
+        results, one host dispatch per block), and ``preempt=`` (``True``
+        or a tuned :class:`~repro.serve.engine.PreemptPolicy`) lets
+        higher-priority arrivals checkpoint-and-evict straggler lanes —
+        the evicted request *resumes* from its lane snapshot when a lane
+        frees, it is never recomputed.
         """
         from repro.serve.engine import Engine
 

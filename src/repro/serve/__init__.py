@@ -39,6 +39,23 @@ traffic the machine never drains: the batch is a rolling population of
 requests at different program points and stack depths — exactly the
 heterogeneity Algorithm 2 was built to batch.
 
+Preemption (lane checkpoint/resume)
+-----------------------------------
+Explicit state cuts the other way too: because a lane's *entire* logical
+thread is its column slices (pc, return-address frames, per-variable
+stacks), a mid-flight lane is **checkpointable**.
+``ProgramCounterVM.snapshot_lane`` captures those slices as a
+machine-independent :class:`~repro.vm.program_counter.LaneSnapshot`;
+``restore_lane`` reinstalls them into any vacant lane of any machine bound
+to the same program, and the thread resumes bit-identically.  ``preempt=``
+(a :class:`~repro.serve.engine.PreemptPolicy`) uses this to honor priority
+SLOs: a straggler lane is evicted — snapshotted, halted, re-queued with
+its snapshot and original arrival stamp — so a higher-priority arrival
+seats immediately, and the straggler *resumes* (same step budget, no
+recompute) when a lane frees.  In a cluster, work stealing migrates
+snapshot-carrying requests to idle shards, so a preempted lane can resume
+on a different machine entirely.
+
 Multi-engine sharding
 ---------------------
 One engine is bounded by its machine's SIMD width.
@@ -91,7 +108,13 @@ from repro.serve.cluster import (
     resolve_policy,
     resolve_steal_policy,
 )
-from repro.serve.engine import Engine, REFILL_POLICIES
+from repro.serve.engine import (
+    Engine,
+    PREEMPT_POLICIES,
+    PreemptPolicy,
+    REFILL_POLICIES,
+    resolve_preempt_policy,
+)
 from repro.serve.lanes import LanePool
 from repro.serve.queue import (
     QueueFullError,
@@ -107,9 +130,12 @@ __all__ = [
     "Cluster",
     "ClusterTelemetry",
     "Engine",
+    "PREEMPT_POLICIES",
+    "PreemptPolicy",
     "STEAL_POLICIES",
     "StealPolicy",
     "resolve_autoscale",
+    "resolve_preempt_policy",
     "resolve_steal_policy",
     "LeastLoadedPolicy",
     "PowerOfTwoPolicy",

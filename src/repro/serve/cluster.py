@@ -63,7 +63,12 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
-from repro.serve.engine import Engine, drive_until_idle, serve_all
+from repro.serve.engine import (
+    Engine,
+    drive_until_idle,
+    resolve_preempt_policy,
+    serve_all,
+)
 from repro.serve.queue import QueueFullError, ResultHandle
 from repro.serve.telemetry import ClusterTelemetry
 from repro.vm.executors import ExecutionPlan
@@ -181,20 +186,39 @@ class StealPolicy:
     #: Name used in ``steal="..."`` selection.
     name = "threshold"
 
-    def __init__(self, threshold: int = 1, batch_size: Optional[int] = None):
+    def __init__(
+        self,
+        threshold: int = 1,
+        batch_size: Optional[int] = None,
+        include_preempted: bool = True,
+    ):
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.threshold = int(threshold)
         self.batch_size = batch_size
+        #: whether thieves may take requests waiting with a preempted-lane
+        #: snapshot (they resume mid-flight on the thief's machine — the
+        #: snapshot is machine-independent); False restricts stealing to
+        #: never-started requests.
+        self.include_preempted = bool(include_preempted)
 
     def plan(self, cluster: "Cluster") -> List[Tuple[Engine, Engine, int]]:
         """Migrations ``(victim, thief, count)`` for this tick, in order."""
         engines = cluster.engines
         if len(engines) < 2:
             return []
-        remaining = [len(e.queue) for e in engines]
+        # Only count what a thief could actually take: with preempted
+        # requests excluded, a backlog of pure snapshots must not keep
+        # nominating its shard as a victim (every such steal would churn
+        # the victim's queue and move nothing).
+        if self.include_preempted:
+            remaining = [len(e.queue) for e in engines]
+        else:
+            remaining = [
+                len(e.queue) - e.queue.snapshot_count() for e in engines
+            ]
         moves: List[Tuple[Engine, Engine, int]] = []
         for t, thief in enumerate(engines):
             free = thief.pool.free_count()
@@ -219,7 +243,8 @@ class StealPolicy:
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(threshold={self.threshold}, "
-            f"batch_size={self.batch_size})"
+            f"batch_size={self.batch_size}, "
+            f"include_preempted={self.include_preempted})"
         )
 
 
@@ -395,8 +420,16 @@ class Cluster:
     steal:
         Cross-shard work stealing between cluster ticks: ``True`` or a
         policy name for the default :class:`StealPolicy`, an instance for
-        tuned ``threshold``/``batch_size``, ``None``/``False`` (default)
-        for off.
+        tuned ``threshold``/``batch_size``/``include_preempted``,
+        ``None``/``False`` (default) for off.  Stolen requests carrying a
+        preempted-lane snapshot resume mid-flight on the thief shard.
+    preempt:
+        Per-shard priority preemption: ``True`` for the default
+        :class:`~repro.serve.engine.PreemptPolicy`, an instance for tuned
+        thresholds, ``None``/``False`` (default) for off.  Each shard gets
+        a private copy of the policy.  Combined with ``steal=``, a
+        preempted request may be migrated to — and resumed on — another
+        shard's vacant lane.
     autoscale:
         Shard elasticity: ``True`` for the default
         :class:`AutoscalePolicy`, an instance for tuned bounds/patience,
@@ -423,6 +456,7 @@ class Cluster:
         default_step_budget: Optional[int] = None,
         steal: Any = None,
         autoscale: Any = None,
+        preempt: Any = None,
         **engine_options: Any,
     ):
         if num_engines <= 0:
@@ -452,6 +486,7 @@ class Cluster:
         self.policy = resolve_policy(policy, seed=seed)
         self.steal = resolve_steal_policy(steal)
         self.autoscale = resolve_autoscale(autoscale)
+        self.preempt = resolve_preempt_policy(preempt)
         if self.autoscale is not None:
             # The cluster owns a private copy: it resolves the default cap
             # and drives the patience streaks, so a caller's policy
@@ -479,7 +514,15 @@ class Cluster:
 
     def _spawn_engine(self) -> Engine:
         """Build one shard bound to the shared plan and the cluster clock."""
-        engine = Engine(self.plan, self._num_lanes, **self._engine_kwargs)
+        # Each shard owns a private deep copy of the preempt policy, so a
+        # stateful custom policy (even one with mutable attributes) never
+        # leaks decisions across shards.
+        engine = Engine(
+            self.plan,
+            self._num_lanes,
+            preempt=copy.deepcopy(self.preempt) if self.preempt else None,
+            **self._engine_kwargs,
+        )
         engine.shard_id = self._next_shard_id
         self._next_shard_id += 1
         # Join the fleet's lock-step logical clock mid-flight, so queue
@@ -593,19 +636,34 @@ class Cluster:
     # -- rebalancing ---------------------------------------------------------
 
     def _steal_step(self) -> None:
-        """Migrate queued work from backlogged shards to idle-laned ones."""
-        moved = 0
+        """Migrate queued work from backlogged shards to idle-laned ones.
+
+        A stolen request waiting with a preempted-lane snapshot migrates
+        snapshot and all: it resumes mid-flight on the thief's machine
+        (both bind the same :class:`~repro.vm.executors.ExecutionPlan`, so
+        the restore is bit-identical), counted separately in
+        ``preempted_migrations``.
+        """
+        moved = migrated_snapshots = 0
+        # Custom StealPolicy subclasses may predate the knob; default on.
+        include_preempted = getattr(self.steal, "include_preempted", True)
         for victim, thief, count in self.steal.plan(self):
-            handles = victim.export_queue(count)
+            handles = victim.export_queue(
+                count, include_preempted=include_preempted
+            )
             if not handles:
                 continue
             thief.requeue(handles)
             for handle in handles:
                 handle.shard = thief.shard_id
             moved += len(handles)
+            migrated_snapshots += sum(
+                1 for h in handles if h.snapshot is not None
+            )
         if moved:
             self.telemetry.steals += moved
             self.telemetry.steal_ticks += 1
+            self.telemetry.preempted_migrations += migrated_snapshots
 
     def _autoscale_step(self) -> None:
         decision = self.autoscale.decide(self)
@@ -707,6 +765,8 @@ class Cluster:
             extras += f", steal={self.steal.name!r}"
         if self.autoscale is not None:
             extras += f", autoscale={self.autoscale.name!r}"
+        if self.preempt is not None:
+            extras += f", preempt={self.preempt.name!r}"
         if self.draining:
             extras += f", draining={len(self.draining)}"
         return (

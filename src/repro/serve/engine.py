@@ -19,7 +19,8 @@ against.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+import copy
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
 
 import numpy as np
 
@@ -38,9 +39,129 @@ from repro.serve.queue import (
 from repro.serve.telemetry import ServeTelemetry
 from repro.vm.instrumentation import Instrumentation
 from repro.vm.program_counter import ProgramCounterVM
+from repro.vm.stack import StackOverflowError
 
 #: Lane refill disciplines.
 REFILL_POLICIES = ("continuous", "drain")
+
+
+class PreemptPolicy:
+    """Priority preemption with a straggler-age threshold.
+
+    Each engine tick, before admission, :meth:`plan` proposes running lanes
+    to *evict* so queued higher-priority work can seat immediately instead
+    of waiting out a straggler.  An evicted lane is checkpointed
+    (:meth:`~repro.vm.program_counter.ProgramCounterVM.snapshot_lane`) and
+    its request re-queued *with the snapshot*, so it resumes — not restarts
+    — when a lane frees up again (possibly on another shard, if the cluster
+    steals it).
+
+    A running request is evictable for a queued one when
+
+    * ``queued.priority - running.priority >= priority_delta`` — the delta
+      is at least 1, so preemption can never ping-pong between equals and
+      every eviction strictly raises the priority running in that lane; and
+    * the running member has held its lane for at least ``min_age`` ticks —
+      which also *bounds* the wait: a higher-priority arrival is delayed by
+      at most ``min_age`` ticks of any straggler's residency, no matter how
+      long the straggler would run.
+
+    ``max_per_tick`` caps evictions per tick (None = one per eligible
+    queued request).  The policy is a pure function of the engine's state,
+    so preemption decisions replay deterministically for a replayed trace.
+    Subclass and override :meth:`plan` for other disciplines.
+    """
+
+    #: Name used in ``preempt="..."`` selection.
+    name = "priority"
+
+    def __init__(
+        self,
+        priority_delta: int = 1,
+        min_age: int = 0,
+        max_per_tick: Optional[int] = None,
+    ):
+        if priority_delta < 1:
+            raise ValueError(
+                f"priority_delta must be >= 1, got {priority_delta} "
+                "(equal priorities must never preempt each other)"
+            )
+        if min_age < 0:
+            raise ValueError(f"min_age must be >= 0, got {min_age}")
+        if max_per_tick is not None and max_per_tick < 1:
+            raise ValueError(f"max_per_tick must be >= 1, got {max_per_tick}")
+        self.priority_delta = int(priority_delta)
+        self.min_age = int(min_age)
+        self.max_per_tick = max_per_tick
+
+    def plan(self, engine: "Engine") -> List[int]:
+        """Lanes to evict this tick, in eviction order.
+
+        Pairs the queue's service order (highest priority, then oldest)
+        with the running lanes weakest-first: lowest priority, then longest
+        in its lane (the straggler), then lowest lane index — a
+        deterministic total order.  Stops at the first pair whose priority
+        gap is below the delta (later waiters only have lower priority).
+        """
+        if engine.pool.free_count() or not len(engine.queue):
+            return []
+        now = engine.now
+        evictable = [
+            h
+            for h in engine.pool.occupants().values()
+            if h.lane_age(now) >= self.min_age
+        ]
+        evictable.sort(
+            key=lambda h: (h.request.priority, -h.lane_age(now), h.lane)
+        )
+        lanes: List[int] = []
+        waiting = engine.queue.waiting(limit=len(evictable))
+        for waiter, victim in zip(waiting, evictable):
+            if self.max_per_tick is not None and len(lanes) >= self.max_per_tick:
+                break
+            if (
+                waiter.request.priority - victim.request.priority
+                < self.priority_delta
+            ):
+                break
+            lanes.append(victim.lane)
+        return lanes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(priority_delta={self.priority_delta}, "
+            f"min_age={self.min_age}, max_per_tick={self.max_per_tick})"
+        )
+
+
+#: Preempt-policy factories by selection name.
+PREEMPT_POLICIES: Dict[str, Type[PreemptPolicy]] = {
+    PreemptPolicy.name: PreemptPolicy,
+}
+
+
+def resolve_preempt_policy(spec: Any) -> Optional[PreemptPolicy]:
+    """Turn a ``preempt=`` argument into a :class:`PreemptPolicy` (or None = off)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return PreemptPolicy()
+    if isinstance(spec, PreemptPolicy):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, PreemptPolicy):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return PREEMPT_POLICIES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown preempt policy {spec!r}; "
+                f"known: {sorted(PREEMPT_POLICIES)}"
+            )
+    raise TypeError(
+        f"preempt must be a bool, name, or PreemptPolicy, "
+        f"got {type(spec).__name__}"
+    )
 
 
 def drive_until_idle(server: Any, max_ticks: Optional[int] = None) -> int:
@@ -117,6 +238,16 @@ class Engine:
         ``"continuous"`` (inject into vacated lanes mid-flight) or
         ``"drain"`` (admit only into a fully drained machine — the static
         baseline).
+    preempt:
+        Priority preemption: ``True`` for the default
+        :class:`PreemptPolicy`, an instance for tuned
+        ``priority_delta``/``min_age``/``max_per_tick``, ``None``/``False``
+        (default) for off.  Each tick, eligible straggler lanes are
+        checkpointed and evicted so queued higher-priority requests seat
+        immediately; the evicted request re-queues with its
+        :class:`~repro.vm.program_counter.LaneSnapshot` and *resumes* when
+        a lane frees (keeping its step budget and arrival order).
+        Requires ``refill="continuous"``.
     executor:
         Block-executor choice for the machine: ``"eager"`` (per-op
         dispatch) or ``"fused"`` (each block one pre-compiled callable —
@@ -140,12 +271,20 @@ class Engine:
         max_queue_depth: Optional[int] = None,
         default_step_budget: Optional[int] = None,
         refill: str = "continuous",
+        preempt: Any = None,
         max_steps: int = 10 ** 12,
         instrumentation: Optional[Instrumentation] = None,
     ):
         if refill not in REFILL_POLICIES:
             raise ValueError(
                 f"refill must be one of {REFILL_POLICIES}, got {refill!r}"
+            )
+        preempt_policy = resolve_preempt_policy(preempt)
+        if preempt_policy is not None and refill == "drain":
+            raise ValueError(
+                "preemption requires refill='continuous': a drained machine "
+                "admits nothing until empty, so an evicted request could "
+                "never resume ahead of the drain"
             )
         if isinstance(program, ExecutionPlan):
             if executor is not None:
@@ -168,6 +307,7 @@ class Engine:
             )
         self.refill = refill
         self.default_step_budget = default_step_budget
+        self.preempt = preempt_policy
         self.plan = plan
         self.vm = ProgramCounterVM(
             plan,
@@ -266,19 +406,32 @@ class Engine:
     # -- queue migration (cluster work stealing / shard retirement) ----------
 
     def export_queue(
-        self, max_requests: Optional[int] = None
+        self,
+        max_requests: Optional[int] = None,
+        include_preempted: bool = True,
     ) -> List[ResultHandle]:
         """Remove up to ``max_requests`` queued handles for migration.
 
         Handles come out in the queue's service order (highest priority,
         then oldest arrival), so a stealing cluster moves exactly the work
         this shard would have run next.  In-flight lanes are untouched.
+        Preempted requests waiting with a lane snapshot migrate too — the
+        snapshot is machine-independent, so they resume on the destination
+        shard — unless ``include_preempted=False``, which skips them (they
+        stay queued here, order preserved by their arrival stamps).
         """
         exported: List[ResultHandle] = []
+        skipped: List[ResultHandle] = []
         while len(self.queue) and (
             max_requests is None or len(exported) < max_requests
         ):
-            exported.append(self.queue.pop())
+            handle = self.queue.pop()
+            if handle.snapshot is not None and not include_preempted:
+                skipped.append(handle)
+                continue
+            exported.append(handle)
+        for handle in skipped:
+            self.queue.requeue(handle)
         return exported
 
     def requeue(self, handles: Iterable[ResultHandle]) -> None:
@@ -307,6 +460,52 @@ class Engine:
 
     # -- the continuous-batching loop -----------------------------------------
 
+    def _preempt_step(self) -> None:
+        """Checkpoint-and-evict straggler lanes per the preempt policy.
+
+        Each planned lane is snapshotted, halted, and vacated; its request
+        re-enters the queue carrying the snapshot (original arrival stamp
+        and priority intact, so it is first in line within its priority
+        level to resume).  The admission pass that follows seats the
+        waiting higher-priority work into the freed lanes on this same
+        tick.
+        """
+        for lane in self.preempt.plan(self):
+            lane = int(lane)
+            handle = self.pool.occupant(lane)
+            snapshot = self.vm.snapshot_lane(lane)
+            self.vm.halt_lanes(np.asarray([lane], dtype=np.int64))
+            self.pool.release(lane)
+            handle._mark_preempted(self._tick, snapshot)
+            # Admission control ran at original submission; re-queuing an
+            # eviction must never reject, so it bypasses max_depth.
+            self.queue.requeue(handle)
+            self.telemetry.record_preempt()
+
+    def _resume(self, handle: ResultHandle, lane: int) -> None:
+        """Reinstall a preempted request's snapshot into a vacant lane.
+
+        A failed restore (snapshot migrated onto a machine with a smaller
+        ``max_stack_depth``, or a mismatched program) must fail *that
+        handle* and vacate the lane — mirroring :meth:`_inject_one` — not
+        leak a half-restored lane out of the pool.
+        """
+        wait = self._tick - handle.preempt_tick
+        lane_idx = np.asarray([lane], dtype=np.int64)
+        try:
+            self.vm.restore_lane(lane, handle.snapshot)
+        except (ValueError, TypeError, StackOverflowError) as error:
+            # The lane may be partially restored (a live pc over reset
+            # storage); halt it back to inert before releasing.
+            self.vm.halt_lanes(lane_idx)
+            self.pool.release(lane)
+            handle.snapshot = None
+            handle._fail(error, self._tick)
+            self.telemetry.failed += 1
+            return
+        handle._mark_resumed(lane, self._tick)
+        self.telemetry.record_resume(wait)
+
     def _admit(self) -> None:
         """Move queued requests into vacant lanes, per the refill policy."""
         if self.refill == "drain" and self.pool.busy_count() > 0:
@@ -315,6 +514,11 @@ class Engine:
         while len(self.queue) and self.pool.free_count():
             handle = self.queue.pop()
             lane = self.pool.acquire(handle)
+            if handle.snapshot is not None:
+                # A preempted request resumes from its checkpoint instead
+                # of re-injecting its inputs from scratch.
+                self._resume(handle, lane)
+                continue
             handle._mark_running(lane, self._tick)
             self.telemetry.record_inject(handle.queue_wait())
             seated.append(handle)
@@ -364,7 +568,11 @@ class Engine:
             handle = self.pool.release(int(lane))
             value = outputs[0][j] if single else tuple(o[j] for o in outputs)
             handle._resolve(value, self._tick)
-            self.telemetry.record_completion(self._tick)
+            self.telemetry.record_completion(
+                self._tick,
+                priority=handle.request.priority,
+                latency=self._tick - handle.request.submit_tick,
+            )
 
     def _enforce_budgets(self, stepped: np.ndarray) -> None:
         """Abort still-running requests that exhausted their step budget."""
@@ -387,12 +595,15 @@ class Engine:
                 self.telemetry.failed += 1
 
     def tick(self) -> bool:
-        """One engine step: admit, step the machine, retire, enforce budgets.
+        """One engine step: preempt, admit, step the machine, retire, enforce
+        budgets.
 
         Returns True while the engine holds queued or in-flight work after
         the tick.  A tick with an empty machine still advances the logical
         clock (an *idle* tick), so open-loop drivers can model arrival gaps.
         """
+        if self.preempt is not None:
+            self._preempt_step()
         self._admit()
         busy = self.pool.busy_count()
         self.telemetry.record_tick(busy)

@@ -45,6 +45,7 @@ class PENDING:
 #: Handle lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
+PREEMPTED = "preempted"
 DONE = "done"
 FAILED = "failed"
 
@@ -81,8 +82,21 @@ class ResultHandle:
         #: arrival key ``(submit_tick, seq)`` stamped by the first queue
         #: push; migration preserves it so cross-queue ordering is stable
         self.arrival: Optional[Tuple[int, int]] = None
-        #: machine steps in which this request's member was active
+        #: machine steps in which this request's member was active (carried
+        #: across preemptions — a resumed request keeps spending the same
+        #: step budget, it is never granted a fresh one)
         self.steps_used: int = 0
+        #: the evicted lane's :class:`~repro.vm.program_counter.LaneSnapshot`
+        #: while the request waits (re-queued) to resume; None otherwise.
+        #: The snapshot is machine-independent, so work stealing may carry
+        #: it to another shard and resume there.
+        self.snapshot: Any = None
+        #: how many times this request's lane was preempted
+        self.preemptions: int = 0
+        #: engine tick of the most recent eviction (None if never preempted)
+        self.preempt_tick: Optional[int] = None
+        #: engine tick of the most recent resume (None if never resumed)
+        self.resume_tick: Optional[int] = None
 
     @property
     def request_id(self) -> int:
@@ -118,12 +132,35 @@ class ResultHandle:
             return None
         return self.inject_tick - self.request.submit_tick
 
+    def lane_age(self, now: int) -> int:
+        """Ticks since the request was (last) seated in its current lane.
+
+        The straggler-age signal preemption policies threshold on; only
+        meaningful while the request is running.
+        """
+        seated = self.resume_tick if self.resume_tick is not None else self.inject_tick
+        assert seated is not None, "lane_age on a never-seated handle"
+        return now - seated
+
     # -- engine-side transitions (not part of the caller API) ---------------
 
     def _mark_running(self, lane: int, tick: int) -> None:
         self.state = RUNNING
         self.lane = lane
         self.inject_tick = tick
+
+    def _mark_preempted(self, tick: int, snapshot: Any) -> None:
+        self.state = PREEMPTED
+        self.snapshot = snapshot
+        self.preempt_tick = tick
+        self.preemptions += 1
+        self.lane = None
+
+    def _mark_resumed(self, lane: int, tick: int) -> None:
+        self.state = RUNNING
+        self.lane = lane
+        self.resume_tick = tick
+        self.snapshot = None  # consumed by the machine's restore
 
     def _resolve(self, value: Any, tick: int) -> None:
         self.state = DONE
@@ -195,6 +232,33 @@ class RequestQueue:
 
     def peek(self) -> ResultHandle:
         return self._heap[0][3]
+
+    def waiting(self, limit: Optional[int] = None) -> List[ResultHandle]:
+        """The first ``limit`` queued handles in service order (all when
+        None), without removing any.
+
+        What a :class:`~repro.serve.engine.PreemptPolicy` inspects to pair
+        waiting high-priority work with evictable running lanes; it only
+        ever needs the first lane-count entries, and ``nsmallest`` keeps
+        that O(Q log k) under a deep backlog instead of a full sort.
+        ``seq`` entries are unique per queue, so ordering never compares
+        handles.
+        """
+        if limit is None:
+            entries = sorted(self._heap)
+        else:
+            entries = heapq.nsmallest(limit, self._heap)
+        return [entry[3] for entry in entries]
+
+    def snapshot_count(self) -> int:
+        """Queued handles currently carrying a preempted-lane snapshot.
+
+        Lets a :class:`~repro.serve.cluster.StealPolicy` with
+        ``include_preempted=False`` size the *stealable* backlog, instead
+        of repeatedly proposing steals that would only churn past
+        unstealable entries.
+        """
+        return sum(1 for entry in self._heap if entry[3].snapshot is not None)
 
 
 def split_request_inputs(inputs: Sequence[Any]) -> Tuple[np.ndarray, ...]:

@@ -27,7 +27,7 @@ is always safe to summarize mid-run or after a dead engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.vm.instrumentation import Instrumentation
 
@@ -48,6 +48,13 @@ class ServeTelemetry:
     failed: int = 0                # requests aborted (e.g. step budget)
     first_result_tick: Optional[int] = None
     queue_waits: List[int] = field(default_factory=list)
+    # -- preemption (lane checkpoint/resume) --
+    preemptions: int = 0           # running lanes evicted with a snapshot
+    resumes: int = 0               # preempted requests reinstalled in a lane
+    resume_waits: List[int] = field(default_factory=list)  # evict→resume ticks
+    #: completion latency (finish - submit ticks) per priority level; the
+    #: raw material for per-priority SLO attainment
+    priority_latencies: Dict[int, List[int]] = field(default_factory=dict)
     #: set once the owning shard was drained and dropped by autoscale;
     #: its counters freeze, and the fleet skew metrics exclude it
     retired: bool = False
@@ -67,10 +74,24 @@ class ServeTelemetry:
         self.injected += 1
         self.queue_waits.append(queue_wait)
 
-    def record_completion(self, tick: int) -> None:
+    def record_completion(
+        self,
+        tick: int,
+        priority: Optional[int] = None,
+        latency: Optional[int] = None,
+    ) -> None:
         self.completed += 1
         if self.first_result_tick is None:
             self.first_result_tick = tick
+        if priority is not None and latency is not None:
+            self.priority_latencies.setdefault(priority, []).append(latency)
+
+    def record_preempt(self) -> None:
+        self.preemptions += 1
+
+    def record_resume(self, wait: int) -> None:
+        self.resumes += 1
+        self.resume_waits.append(wait)
 
     # -- derived ------------------------------------------------------------
 
@@ -92,6 +113,28 @@ class ServeTelemetry:
         """Completed requests per tick."""
         return self.completed / self.ticks if self.ticks else 0.0
 
+    def mean_resume_wait(self) -> float:
+        """Average ticks preempted requests waited before resuming."""
+        waits = self.resume_waits
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def latencies(self, priority: Optional[int] = None) -> List[int]:
+        """Completion latencies (finish - submit), optionally one priority."""
+        if priority is None:
+            return [l for ls in self.priority_latencies.values() for l in ls]
+        return list(self.priority_latencies.get(priority, []))
+
+    def slo_attainment(
+        self, slo_ticks: int, priority: Optional[int] = None
+    ) -> float:
+        """Fraction of completed requests finishing within ``slo_ticks`` of
+        submission — fleet-wide or for one priority level; 0.0 with no
+        completions (an empty class never claims perfect attainment)."""
+        lats = self.latencies(priority)
+        if not lats:
+            return 0.0
+        return sum(1 for l in lats if l <= slo_ticks) / len(lats)
+
     def summary(self) -> str:
         """Human-readable multi-line telemetry summary."""
         lines = [
@@ -105,6 +148,12 @@ class ServeTelemetry:
             f"time-to-first-result={self.first_result_tick} ticks, "
             f"throughput={self.throughput():.4f} requests/tick",
         ]
+        if self.preemptions or self.resumes:
+            lines.append(
+                f"preemption: evictions={self.preemptions} "
+                f"resumes={self.resumes} "
+                f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
+            )
         if self.instrumentation is not None:
             lines.append(
                 "machine: "
@@ -138,6 +187,9 @@ class ClusterTelemetry:
     # -- rebalancing (work stealing) --
     steals: int = 0            # queued requests migrated between shards
     steal_ticks: int = 0       # cluster ticks on which at least one steal ran
+    #: stolen requests that carried a preempted-lane snapshot — evicted on
+    #: one shard, resumed mid-flight on another
+    preempted_migrations: int = 0
     # -- elasticity (autoscale) --
     grow_events: int = 0       # shards added under sustained queue pressure
     shrink_events: int = 0     # shards sent into drain-retirement
@@ -172,6 +224,16 @@ class ClusterTelemetry:
         return sum(s.failed for s in self.shards)
 
     @property
+    def preemptions(self) -> int:
+        return sum(s.preemptions for s in self.shards)
+
+    @property
+    def resumes(self) -> int:
+        """Fleet-wide resumes; a migrated preemption is evicted on one
+        shard and resumed on another, so only the fleet totals balance."""
+        return sum(s.resumes for s in self.shards)
+
+    @property
     def ticks(self) -> int:
         """Cluster logical clock: shards tick in lock-step, so the max."""
         return max((s.ticks for s in self.shards), default=0)
@@ -196,6 +258,21 @@ class ClusterTelemetry:
 
     def max_queue_wait(self) -> int:
         return max((s.max_queue_wait() for s in self.shards), default=0)
+
+    def slo_attainment(
+        self, slo_ticks: int, priority: Optional[int] = None
+    ) -> float:
+        """Fleet-wide fraction of completions within ``slo_ticks`` of
+        submission (optionally one priority level); 0.0 with none."""
+        lats = [l for s in self.shards for l in s.latencies(priority)]
+        if not lats:
+            return 0.0
+        return sum(1 for l in lats if l <= slo_ticks) / len(lats)
+
+    def mean_resume_wait(self) -> float:
+        """Mean evict-to-resume wait across every shard's resumed requests."""
+        waits = [w for s in self.shards for w in s.resume_waits]
+        return sum(waits) / len(waits) if waits else 0.0
 
     def first_result_tick(self) -> Optional[int]:
         firsts = [
@@ -255,7 +332,14 @@ class ClusterTelemetry:
         if self.steals or self.steal_ticks:
             lines.append(
                 f"rebalancing: steals={self.steals} over "
-                f"{self.steal_ticks} ticks"
+                f"{self.steal_ticks} ticks "
+                f"(preempted-lane migrations={self.preempted_migrations})"
+            )
+        if self.preemptions or self.resumes:
+            lines.append(
+                f"preemption: evictions={self.preemptions} "
+                f"resumes={self.resumes} "
+                f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
             )
         if self.grow_events or self.shrink_events:
             lines.append(

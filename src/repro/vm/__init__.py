@@ -25,13 +25,18 @@ from repro.vm.executors import (
     resolve_executor,
 )
 from repro.vm.local_static import run_local_static
-from repro.vm.program_counter import ProgramCounterVM, run_program_counter
+from repro.vm.program_counter import (
+    LaneSnapshot,
+    ProgramCounterVM,
+    run_program_counter,
+)
 from repro.vm.instrumentation import Instrumentation
 from repro.vm.stack import BatchedStack, StackOverflowError, UncachedBatchedStack
 
 __all__ = [
     "run_local_static",
     "run_program_counter",
+    "LaneSnapshot",
     "ProgramCounterVM",
     "Instrumentation",
     "BatchedStack",

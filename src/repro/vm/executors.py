@@ -110,6 +110,17 @@ class BlockExecutor:
     def on_retire_lanes(self, vm: Any, idx: np.ndarray) -> None:
         """Outputs of halted lanes ``idx`` were gathered for delivery."""
 
+    def on_snapshot_lane(self, vm: Any, lane: int, snapshot: Any) -> None:
+        """Lane ``lane``'s state was captured into ``snapshot`` (preemption).
+
+        An executor holding per-lane device state must fold it into the
+        snapshot here so a later :meth:`on_restore_lane` — possibly on a
+        *different* machine bound to the same plan — can reinstall it.
+        """
+
+    def on_restore_lane(self, vm: Any, lane: int, snapshot: Any) -> None:
+        """Lane ``lane`` was reinstalled from ``snapshot`` (resume)."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -293,6 +304,12 @@ class BoundPlan:
 
     def on_retire_lanes(self, idx: np.ndarray) -> None:
         self.plan.executor.on_retire_lanes(self.vm, idx)
+
+    def on_snapshot_lane(self, lane: int, snapshot: Any) -> None:
+        self.plan.executor.on_snapshot_lane(self.vm, lane, snapshot)
+
+    def on_restore_lane(self, lane: int, snapshot: Any) -> None:
+        self.plan.executor.on_restore_lane(self.vm, lane, snapshot)
 
     def __repr__(self) -> str:
         return f"BoundPlan({self.plan.executor.name!r}, blocks={len(self.blocks)})"

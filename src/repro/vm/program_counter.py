@@ -16,6 +16,7 @@ trajectory in tandem with the 8th gradient of another's 2nd).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -28,6 +29,42 @@ from repro.vm.local_static import ExecutionLimitExceeded
 from repro.vm.scheduler import make_scheduler
 from repro.vm.stack import BatchedStack
 from repro.vm.state import RegisterStorage, StackedStorage
+
+
+@dataclass
+class LaneSnapshot:
+    """One lane's complete machine state, detached from any machine.
+
+    Because the program-counter machine keeps *all* recursive state explicit
+    — the pc, the return-address stack, and per-variable value stacks are
+    arrays with a lane dimension — a mid-flight lane is checkpointable: its
+    column slices are the whole logical thread.  A snapshot captures those
+    slices as plain arrays, so it can be reinstalled into any vacant lane of
+    any machine running the same program (any width, any executor, either
+    stack layout) and the thread resumes bit-identically from where it was.
+    This is what lets the serving engine *preempt* a lane (evict, requeue
+    with the snapshot, resume later) and lets the cluster migrate a
+    preempted lane to another shard.
+
+    ``storages`` maps variable name to the payload its storage class
+    captured: a value copy for registers, the logical frames for stacked
+    variables, or None while that storage was still unallocated.  Executors
+    with per-lane device state may stash extras in ``executor_state`` via
+    the :meth:`~repro.vm.executors.BlockExecutor.on_snapshot_lane` hook.
+    """
+
+    program: StackProgram
+    pc: int
+    addr_frames: np.ndarray
+    storages: Dict[str, Optional[np.ndarray]]
+    executor_state: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"LaneSnapshot(pc={self.pc}, "
+            f"addr_depth={self.addr_frames.shape[0]}, "
+            f"storages={sorted(self.storages)})"
+        )
 
 
 class ProgramCounterVM:
@@ -267,6 +304,62 @@ class ProgramCounterVM:
         idx = np.asarray(idx, dtype=np.int64)
         self._bound.on_retire_lanes(idx)
         return [self.storage(name).read_at(idx) for name in self.program.outputs]
+
+    # -- lane checkpoint/resume (preemptive serving) -----------------------------
+    #
+    # snapshot_lane/restore_lane extend the lifecycle hooks above from
+    # "recycle a *finished* lane" to "checkpoint a *mid-flight* lane":
+    # the serving engine evicts a straggler (snapshot + halt + requeue) so
+    # higher-priority work can take its lane, and later reinstalls the
+    # snapshot — on this machine or on another shard's — to resume, not
+    # restart, the evicted thread.
+
+    def snapshot_lane(self, lane: int) -> LaneSnapshot:
+        """Capture lane ``lane``'s state as a machine-independent snapshot.
+
+        Safe between steps (temporaries are block-local, so nothing lives
+        outside the storages, the pc, and the return-address stack).  The
+        machine is not modified.
+        """
+        lane = int(lane)
+        snapshot = LaneSnapshot(
+            program=self.program,
+            pc=int(self.pcreg[lane]),
+            addr_frames=np.array(self.addr_stack.frames(lane), copy=True),
+            storages={
+                name: st.capture_lane(lane)
+                for name, st in self.storages.items()
+            },
+        )
+        self._bound.on_snapshot_lane(lane, snapshot)
+        return snapshot
+
+    def restore_lane(self, lane: int, snapshot: LaneSnapshot) -> None:
+        """Reinstall ``snapshot`` into lane ``lane``, resuming its thread.
+
+        The lane is reset first, then the snapshot's pc, return-address
+        frames, and storage slices are written back; storages the snapshot
+        never saw stay zeroed (the thread never wrote them, so it must
+        write before reading them again).  Whatever occupied the lane is
+        destroyed — the serving engine only restores into vacant lanes.
+        Raises ``ValueError`` on a program mismatch and
+        :class:`~repro.vm.stack.StackOverflowError` when this machine's
+        ``max_stack_depth`` is too small for the captured frames.
+        """
+        if snapshot.program is not self.program:
+            raise ValueError(
+                "lane snapshot was captured from a different program; "
+                "snapshots only restore into machines bound to the same "
+                "StackProgram"
+            )
+        lane = int(lane)
+        idx = np.asarray([lane], dtype=np.int64)
+        self.reset_lanes(idx)
+        self.pcreg[lane] = snapshot.pc
+        self.addr_stack.restore_lane(lane, snapshot.addr_frames)
+        for name, payload in snapshot.storages.items():
+            self.storage(name).restore_lane(lane, payload)
+        self._bound.on_restore_lane(lane, snapshot)
 
     # -- inspection (Figure 3 snapshots) ----------------------------------------
 

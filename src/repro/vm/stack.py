@@ -145,6 +145,30 @@ class BatchedStack:
         self.data[:, idx] = 0
         self.cache[idx] = 0 if top is None else top
 
+    def restore_lane(self, lane: int, frames: np.ndarray) -> None:
+        """Reinstall one lane from its logical frames (see :meth:`frames`).
+
+        ``frames`` is a ``(depth, *event)`` array, bottom to top; the last
+        row becomes the live top.  The frame representation is
+        layout-independent, so a snapshot taken from a cached stack restores
+        into an uncached one (and vice versa) — lane checkpoint/resume for
+        the serving engine's preemption.  Slots above the restored depth are
+        zeroed, so the lane is observationally identical to one that pushed
+        exactly these frames.
+        """
+        frames = np.asarray(frames, dtype=self.dtype)
+        sp = frames.shape[0] - 1
+        if sp > self.depth:
+            raise StackOverflowError(
+                f"lane snapshot holds {sp} saved frames but this stack's "
+                f"depth limit is D={self.depth}; increase max_stack_depth"
+            )
+        self.data[:, lane] = 0
+        self.sp[lane] = sp
+        if sp:
+            self.data[:sp, lane] = frames[:-1]
+        self.cache[lane] = frames[-1]
+
     # -- inspection -----------------------------------------------------------
 
     def depths(self) -> np.ndarray:
@@ -238,6 +262,19 @@ class UncachedBatchedStack:
         self.data[:, idx] = 0
         if top is not None:
             self.data[0, idx] = top
+
+    def restore_lane(self, lane: int, frames: np.ndarray) -> None:
+        """Reinstall one lane from its logical frames (see :meth:`frames`)."""
+        frames = np.asarray(frames, dtype=self.dtype)
+        sp = frames.shape[0] - 1
+        if sp > self.depth:
+            raise StackOverflowError(
+                f"lane snapshot holds {sp} saved frames but this stack's "
+                f"depth limit is D={self.depth}; increase max_stack_depth"
+            )
+        self.data[:, lane] = 0
+        self.sp[lane] = sp
+        self.data[: sp + 1, lane] = frames
 
     def depths(self) -> np.ndarray:
         return self.sp + 1

@@ -84,6 +84,24 @@ class RegisterStorage:
         if self.array is not None and idx.size:
             self.array[idx] = 0
 
+    # -- lane checkpoint/resume (serving-engine preemption) ------------------
+
+    def capture_lane(self, lane: int) -> Optional[np.ndarray]:
+        """One lane's value, or None while the storage is unallocated."""
+        if self.array is None:
+            return None
+        return self.array[lane].copy()
+
+    def restore_lane(self, lane: int, value: Optional[np.ndarray]) -> None:
+        """Reinstall a captured lane value, allocating storage if needed."""
+        if value is None:
+            if self.array is not None:
+                self.array[lane] = 0
+            return
+        value = np.asarray(value)
+        arr = self._ensure(value[None])
+        arr[lane] = value
+
 
 class StackedStorage:
     """Storage backed by a batched stack; allocation deferred to first write."""
@@ -173,3 +191,28 @@ class StackedStorage:
         """Drop the lanes in ``idx`` back to an empty, zeroed stack."""
         if self.stack is not None and idx.size:
             self.stack.reset_lanes(idx)
+
+    # -- lane checkpoint/resume (serving-engine preemption) ------------------
+
+    def capture_lane(self, lane: int) -> Optional[np.ndarray]:
+        """One lane's logical stack frames (bottom to top), or None.
+
+        The frame representation is stack-layout independent (see
+        :meth:`~repro.vm.stack.BatchedStack.restore_lane`), so a snapshot
+        restores across machines regardless of the top-cache setting.
+        """
+        if self.stack is None:
+            return None
+        return np.array(self.stack.frames(lane), copy=True)
+
+    def restore_lane(self, lane: int, frames: Optional[np.ndarray]) -> None:
+        """Reinstall captured lane frames, allocating the stack if needed."""
+        if frames is None:
+            if self.stack is not None:
+                self.stack.reset_lanes(np.asarray([lane], dtype=np.int64))
+            return
+        frames = np.asarray(frames)
+        proto = np.empty(
+            (self.batch_size,) + frames.shape[1:], dtype=frames.dtype
+        )
+        self._ensure(proto).restore_lane(lane, frames)

@@ -28,6 +28,7 @@ from repro.serve import (
     ClusterTelemetry,
     LeastLoadedPolicy,
     PowerOfTwoPolicy,
+    PreemptPolicy,
     QueueFullError,
     RequestQueue,
     ROUTING_POLICIES,
@@ -627,6 +628,185 @@ class TestPriorityAcrossShards:
         assert order == [100, 0, 101, 1]
 
 
+class TestPreemptedLaneMigration:
+    """PR 4 left 'preempted-lane migration' open; these tests close it: a
+    preempted request's snapshot rides work stealing (or a shard drain) to
+    another machine and resumes there bit-identically."""
+
+    def _saturated_cluster(self, **options):
+        """Two 1-lane shards: shard 0 runs a long straggler, shard 1 a
+        short native; a pinned high-priority arrival then preempts the
+        straggler, whose snapshot must later migrate to shard 1."""
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy=PinnedPolicy(), preempt=True, **options
+        )
+        strag = cluster.submit(np.int64(16))
+        short = cluster.engines[1].submit(np.int64(5))
+        cluster.tick()  # both seated
+        vip = cluster.submit(np.int64(14), priority=5)
+        return cluster, strag, short, vip
+
+    def test_steal_migrates_preempted_snapshot_across_shards(self):
+        cluster, strag, short, vip = self._saturated_cluster(steal=True)
+        cluster.run_until_idle()
+        t = cluster.telemetry
+        assert strag.preemptions == 1
+        assert t.preempted_migrations == 1
+        # The straggler resumed on the *other* shard's machine — and still
+        # produced the exact bits of an undisturbed run.
+        assert strag.shard == cluster.engines[1].shard_id
+        assert strag.resume_tick is not None and strag.snapshot is None
+        np.testing.assert_array_equal(
+            np.array([int(strag.result()), int(short.result()),
+                      int(vip.result())]),
+            fib.run_pc(np.array([16, 5, 14], dtype=np.int64)),
+        )
+        # Fleet counters balance even though eviction and resume happened
+        # on different shards.
+        assert t.preemptions == t.resumes == 1
+        shard_preempts = [s.preemptions for s in t.shards]
+        shard_resumes = [s.resumes for s in t.shards]
+        assert shard_preempts == [1, 0] and shard_resumes == [0, 1]
+
+    def test_include_preempted_false_keeps_snapshot_home(self):
+        cluster, strag, short, vip = self._saturated_cluster(
+            steal=StealPolicy(include_preempted=False)
+        )
+        cluster.run_until_idle()
+        t = cluster.telemetry
+        assert strag.preemptions >= 1
+        assert t.preempted_migrations == 0
+        # The straggler could only resume on its home shard, after the vip.
+        assert strag.shard == cluster.engines[0].shard_id
+        assert strag.resume_tick >= vip.finish_tick
+        np.testing.assert_array_equal(
+            np.array([int(strag.result()), int(short.result()),
+                      int(vip.result())]),
+            fib.run_pc(np.array([16, 5, 14], dtype=np.int64)),
+        )
+
+    def test_migrated_resume_matches_home_resume_bitwise(self):
+        """The same preempt-heavy trace with and without migration must
+        produce identical request results — where a snapshot resumes can
+        never change what it computes."""
+        results = {}
+        for label, steal in (
+            ("migrated", True),
+            ("home", StealPolicy(include_preempted=False)),
+        ):
+            cluster, strag, short, vip = self._saturated_cluster(steal=steal)
+            cluster.run_until_idle()
+            results[label] = [
+                int(strag.result()), int(short.result()), int(vip.result())
+            ]
+        assert results["migrated"] == results["home"]
+
+    def test_drain_retirement_migrates_preempted_snapshot(self):
+        """A shard retired by autoscale exports its queue — including a
+        preempted request's snapshot — and the survivor resumes it."""
+        cluster = fib.serve_cluster(
+            2, num_lanes=1, policy=PinnedPolicy(), preempt=True
+        )
+        strag = cluster.submit(np.int64(14))
+        cluster.tick()
+        vip = cluster.submit(np.int64(12), priority=5)
+        cluster.tick()  # straggler evicted, waiting with its snapshot
+        assert strag.state == "preempted" and strag.snapshot is not None
+        # Manually retire shard 0 (the autoscale drain path).
+        victim = cluster.engines[0]
+        cluster.engines.remove(victim)
+        cluster.draining.append(victim)
+        orphans = victim.begin_drain()
+        assert orphans == [strag]
+        cluster.engines[0].requeue(orphans)
+        strag.shard = cluster.engines[0].shard_id
+        cluster.run_until_idle()
+        assert strag.state == "done" and strag.preemptions == 1
+        np.testing.assert_array_equal(
+            np.array([int(strag.result()), int(vip.result())]),
+            fib.run_pc(np.array([14, 12], dtype=np.int64)),
+        )
+
+    def test_failed_restore_fails_only_its_handle(self):
+        """A snapshot migrated onto a machine too shallow for its frames
+        must fail that handle — and vacate the lane — not leak a lane or
+        escape the tick loop."""
+        from repro.vm.stack import StackOverflowError
+
+        deep = fib.serve(num_lanes=1, preempt=True, max_stack_depth=64)
+        strag = deep.submit(np.int64(14))
+        deep.tick()
+        while deep.vm.addr_stack.sp[0] < 5:
+            deep.tick()  # recurse well past the shallow machine's depth
+        deep.submit(np.int64(3), priority=5)
+        while strag.state != "preempted":
+            deep.tick()
+        orphans = deep.export_queue()
+        assert strag in orphans and strag.snapshot is not None
+        assert strag.snapshot.addr_frames.shape[0] > 3
+
+        shallow = fib.serve(num_lanes=1, max_stack_depth=2)
+        shallow.requeue(orphans)
+        survivor = shallow.submit(np.int64(1))  # fits the shallow stack
+        shallow.run_until_idle()
+        assert strag.state == "failed"
+        assert isinstance(strag.exception(), StackOverflowError)
+        assert strag.snapshot is None
+        # The engine kept serving: no lane leaked, the native completed.
+        assert int(survivor.result()) == FIB_REF[1]
+        assert shallow.pool.busy_count() == 0
+        assert shallow.telemetry.failed == 1
+
+    def test_snapshot_only_backlog_is_not_a_steal_victim(self):
+        """With include_preempted=False, a queue holding nothing but
+        preempted snapshots must not be nominated for steals that would
+        churn it and move nothing."""
+        cluster, strag, short, vip = self._saturated_cluster(
+            steal=StealPolicy(include_preempted=False)
+        )
+        cluster.tick()  # the straggler is evicted: shard 0's queue is one snapshot
+        assert strag.state == "preempted"
+        assert cluster.engines[0].queue.snapshot_count() == 1
+        # Let shard 1 go idle next to the snapshot-only backlog: no steal
+        # may ever fire.
+        cluster.run_until_idle()
+        assert cluster.telemetry.steals == 0
+        assert cluster.telemetry.steal_ticks == 0
+        np.testing.assert_array_equal(
+            np.array([int(strag.result()), int(short.result()),
+                      int(vip.result())]),
+            fib.run_pc(np.array([16, 5, 14], dtype=np.int64)),
+        )
+
+    def test_per_shard_policy_instances_are_private(self):
+        """Each shard gets its own copy of the preempt policy, so a
+        stateful custom policy cannot leak decisions across shards."""
+        shared = PreemptPolicy(min_age=3)
+        cluster = fib.serve_cluster(3, num_lanes=1, preempt=shared)
+        policies = [e.preempt for e in cluster.engines]
+        assert all(p is not shared for p in policies)
+        assert len({id(p) for p in policies}) == 3
+        assert all(p.min_age == 3 for p in policies)
+
+    def test_cluster_preempt_matches_static_batch(self):
+        ns = np.array([14, 3, 13, 5, 9, 1, 12, 7, 2, 11], dtype=np.int64)
+        prios = [0, 5, 0, 5, 2, 6, 1, 4, 6, 0]
+        cluster = fib.serve_cluster(
+            2, num_lanes=2, policy=PinnedPolicy(), steal=True, preempt=True,
+            executor="fused",
+        )
+        handles = []
+        for n, p in zip(ns, prios):
+            handles.append(cluster.submit(np.int64(n), priority=p))
+            cluster.tick()
+        cluster.run_until_idle()
+        got = np.array([int(h.result()) for h in handles])
+        np.testing.assert_array_equal(got, fib.run_pc(ns))
+        t = cluster.telemetry
+        assert t.preemptions == t.resumes
+        assert t.preemptions > 0
+
+
 class TestAutoscale:
     def test_grows_under_pressure_without_recompiling(self):
         cluster = tri.serve_cluster(
@@ -769,10 +949,12 @@ class TestAutoscale:
 
 # -- property-based rebalancing schedules -------------------------------------
 #
-# The PR-3 schedule generator, extended with priorities plus steal/autoscale
-# toggles: whatever the rebalancers do, no handle is lost or duplicated,
-# results stay bit-identical to the unbatched reference, and the fleet
-# returns to within the policy's bounds.
+# The PR-3 schedule generator, extended with priorities plus
+# steal/autoscale/preempt toggles: whatever the rebalancers and the
+# preemptor do — including migrating preempted-lane snapshots between
+# shards — no handle is lost or duplicated, every eviction resumes exactly
+# once, results stay bit-identical to the unbatched reference, and the
+# fleet returns to within the policy's bounds.
 
 rebalance_schedule = st.lists(
     st.tuples(
@@ -796,9 +978,11 @@ class TestRebalancingSchedules:
         seed=st.integers(0, 3),
         steal=st.booleans(),
         autoscale=st.booleans(),
+        preempt=st.booleans(),
     )
     def test_random_schedule_invariants(
-        self, schedule, num_engines, num_lanes, policy, seed, steal, autoscale
+        self, schedule, num_engines, num_lanes, policy, seed, steal,
+        autoscale, preempt
     ):
         max_engines = num_engines + 2
         cluster = fib.serve_cluster(
@@ -814,6 +998,7 @@ class TestRebalancingSchedules:
                 if autoscale
                 else None
             ),
+            preempt=PreemptPolicy() if preempt else None,
             max_stack_depth=64,
         )
         handles = []
@@ -850,6 +1035,17 @@ class TestRebalancingSchedules:
             assert h.shard is not None
             assert h.inject_tick is not None and h.finish_tick is not None
             assert h.request.submit_tick <= h.inject_tick <= h.finish_tick
+            # No checkpoint survives the drain: every eviction resumed.
+            assert h.snapshot is None
+            if h.preemptions:
+                assert h.resume_tick is not None
+        # Preemption bookkeeping balances fleet-wide (a migrated snapshot
+        # is evicted on one shard, resumed on another).
+        assert t.preemptions == t.resumes
+        assert sum(h.preemptions for _, h in handles) == t.preemptions
+        assert t.preempted_migrations <= t.steals
+        if not preempt:
+            assert t.preemptions == 0
         assert cluster.load() == 0
         assert not cluster.draining
         if autoscale:

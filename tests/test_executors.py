@@ -274,6 +274,134 @@ class TestServingDifferential:
         )
 
 
+class TestSnapshotRestoreDifferential:
+    """Lane checkpoint/resume (the preemptive-serving primitive): snapshot
+    every lane of a mid-flight machine, restore into a *fresh* machine, and
+    the completed run must be bit-identical to the uninterrupted one —
+    under both executors, at any interruption point, across stack layouts,
+    and into any lane permutation."""
+
+    @staticmethod
+    def _count_steps(plan, inputs, **vm_options):
+        vm = ProgramCounterVM(plan, batch_size=len(inputs[0]), **vm_options)
+        vm.bind_inputs(inputs)
+        steps = 0
+        while vm.step():
+            steps += 1
+        return steps
+
+    @staticmethod
+    def _snapshot_at(plan, inputs, stop_at, **vm_options):
+        """All lane snapshots of a machine stepped ``stop_at`` times."""
+        vm = ProgramCounterVM(plan, batch_size=len(inputs[0]), **vm_options)
+        vm.bind_inputs(inputs)
+        for _ in range(stop_at):
+            vm.step()
+        return [vm.snapshot_lane(b) for b in range(vm.batch_size)]
+
+    @staticmethod
+    def _finish_from(plan, snapshots, **vm_options):
+        vm = ProgramCounterVM(
+            plan, batch_size=len(snapshots), **vm_options
+        )
+        for b, snap in enumerate(snapshots):
+            vm.restore_lane(b, snap)
+        while vm.step():
+            pass
+        return vm.outputs()
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+    @pytest.mark.parametrize("executor", ["eager", "fused"])
+    def test_roundtrip_matches_static(self, name, executor):
+        fn, inputs = ALL_EXAMPLES[name]
+        inputs = [np.asarray(x) for x in inputs]
+        expected = fn.run_pc(*inputs, executor=executor, max_stack_depth=64)
+        plan = fn.execution_plan(executor=executor)
+        total = self._count_steps(plan, inputs, max_stack_depth=64)
+        # Interrupt early, mid-flight, and after every lane halted; the
+        # offsets are seeded per program so the corpus covers many pcs.
+        rng = np.random.RandomState(len(name))
+        for stop_at in sorted({rng.randint(0, total + 1), total // 2, total}):
+            snaps = self._snapshot_at(
+                plan, inputs, stop_at, max_stack_depth=64
+            )
+            outputs = self._finish_from(plan, snaps, max_stack_depth=64)
+            got = outputs[0] if len(outputs) == 1 else tuple(outputs)
+            assert_results_equal(
+                got, expected, context=f"{name}@{stop_at}/{total}"
+            )
+
+    def test_restore_across_executors(self):
+        """A snapshot taken under the eager machine resumes bit-identically
+        under the fused machine, and vice versa."""
+        ns = np.array([4, 11, 7, 13], dtype=np.int64)
+        expected = fib.run_pc(ns)
+        plans = {ex: fib.execution_plan(executor=ex) for ex in ("eager", "fused")}
+        for src, dst in (("eager", "fused"), ("fused", "eager")):
+            snaps = self._snapshot_at(plans[src], [ns], 25, max_stack_depth=32)
+            (out,) = self._finish_from(plans[dst], snaps, max_stack_depth=32)
+            np.testing.assert_array_equal(out, expected, err_msg=f"{src}->{dst}")
+
+    def test_restore_across_stack_layouts(self):
+        """The frame representation is layout-independent: a top-cached
+        snapshot restores into an uncached machine and vice versa."""
+        ns = np.array([9, 3, 12], dtype=np.int64)
+        expected = fib.run_pc(ns)
+        plan = fib.execution_plan("eager")
+        for src_cache, dst_cache in ((True, False), (False, True)):
+            snaps = self._snapshot_at(
+                plan, [ns], 30, max_stack_depth=32, top_cache=src_cache
+            )
+            (out,) = self._finish_from(
+                plan, snaps, max_stack_depth=32, top_cache=dst_cache
+            )
+            np.testing.assert_array_equal(
+                out, expected, err_msg=f"cache {src_cache}->{dst_cache}"
+            )
+
+    def test_restore_into_permuted_lanes(self):
+        """A snapshot is lane-independent: restoring lane b's thread into
+        lane (Z-1-b) of a fresh machine permutes the outputs and nothing
+        else."""
+        ns = np.array([5, 10, 2, 8], dtype=np.int64)
+        plan = fib.execution_plan("fused")
+        snaps = self._snapshot_at(plan, [ns], 40, max_stack_depth=32)
+        (out,) = self._finish_from(plan, snaps[::-1], max_stack_depth=32)
+        np.testing.assert_array_equal(out, fib.run_pc(ns[::-1]))
+
+    def test_restore_rejects_program_mismatch(self):
+        vm_fib = ProgramCounterVM(fib.execution_plan("eager"), batch_size=1)
+        vm_gcd = ProgramCounterVM(gcd.execution_plan("eager"), batch_size=1)
+        snap = vm_fib.snapshot_lane(0)
+        with pytest.raises(ValueError, match="different program"):
+            vm_gcd.restore_lane(0, snap)
+
+    def test_restore_rejects_too_shallow_stack(self):
+        from repro.vm.stack import StackOverflowError
+
+        plan = fib.execution_plan("eager")
+        ns = np.array([12], dtype=np.int64)
+        snaps = self._snapshot_at(plan, [ns], 60, max_stack_depth=32)
+        shallow = ProgramCounterVM(plan, batch_size=1, max_stack_depth=2)
+        with pytest.raises(StackOverflowError, match="snapshot"):
+            shallow.restore_lane(0, snaps[0])
+
+    def test_snapshot_does_not_disturb_the_source(self):
+        """Snapshotting is read-only: the source machine finishes as if
+        never observed."""
+        ns = np.array([8, 3, 11], dtype=np.int64)
+        plan = fib.execution_plan("eager")
+        vm = ProgramCounterVM(plan, batch_size=3, max_stack_depth=32)
+        vm.bind_inputs([ns])
+        for _ in range(20):
+            vm.step()
+        for b in range(3):
+            vm.snapshot_lane(b)
+        while vm.step():
+            pass
+        np.testing.assert_array_equal(vm.outputs()[0], fib.run_pc(ns))
+
+
 class TestFusedErrorHygiene:
     def test_masked_lanes_raise_no_fp_warnings(self):
         """gcd's loop computes ``a % b`` for every lane, including masked-off

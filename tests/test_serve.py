@@ -15,12 +15,14 @@ from hypothesis import strategies as st
 from repro.serve import (
     Engine,
     LanePool,
+    PreemptPolicy,
     QueueFullError,
     RequestQueue,
     ResultHandle,
     ServeRequest,
     ServeTelemetry,
     StepBudgetExceeded,
+    resolve_preempt_policy,
 )
 from repro.vm.program_counter import ProgramCounterVM
 
@@ -324,6 +326,241 @@ class TestVmLaneHooks:
         np.testing.assert_array_equal(np.stack(results), expected)
 
 
+class TestPreemption:
+    """Lane checkpoint/resume: evicting a straggler must seat the
+    higher-priority arrival immediately, and the straggler must *resume*
+    from its snapshot — same bits, same step budget — not restart."""
+
+    def test_high_priority_preempts_straggler(self):
+        engine = fib.serve(num_lanes=1, preempt=True)
+        strag = engine.submit(np.int64(18), priority=0)
+        for _ in range(5):
+            engine.tick()
+        vip = engine.submit(np.int64(5), priority=2)
+        engine.run_until_idle()
+        assert vip.finish_tick < strag.finish_tick
+        assert strag.preemptions == 1
+        assert strag.resume_tick is not None and strag.snapshot is None
+        assert int(vip.result()) == _FIB_REF[5]
+        assert int(strag.result()) == int(
+            fib.run_pc(np.array([18], dtype=np.int64))[0]
+        )
+        t = engine.telemetry
+        assert t.preemptions == t.resumes == 1
+        assert t.completed == 2 and t.failed == 0
+        assert len(t.resume_waits) == 1 and t.mean_resume_wait() > 0
+        assert "preemption" in t.summary()
+
+    def test_resumed_not_restarted(self):
+        """The load-bearing semantic: a preempted request spends exactly
+        the active machine steps an undisturbed run does — the snapshot
+        carried its position, nothing was recomputed."""
+        solo = fib.serve(num_lanes=1)
+        ref = solo.submit(np.int64(16))
+        solo.run_until_idle()
+
+        engine = fib.serve(num_lanes=1, preempt=True)
+        strag = engine.submit(np.int64(16))
+        for _ in range(10):
+            engine.tick()
+        engine.submit(np.int64(6), priority=3)
+        engine.run_until_idle()
+        assert strag.preemptions == 1
+        assert strag.steps_used == ref.steps_used
+
+    def test_step_budget_survives_preemption(self):
+        """A resumed request keeps spending the same budget; it is never
+        granted a fresh one by the eviction."""
+        solo = fib.serve(num_lanes=1)
+        ref = solo.submit(np.int64(14))
+        solo.run_until_idle()
+        budget = ref.steps_used  # exactly enough for an undisturbed run
+
+        engine = fib.serve(num_lanes=1, preempt=True)
+        tight = engine.submit(np.int64(14), step_budget=budget + 1)
+        for _ in range(8):
+            engine.tick()
+        engine.submit(np.int64(4), priority=2)
+        engine.run_until_idle()
+        # Preempted once, resumed, still finished within the budget: the
+        # eviction cost zero active steps.
+        assert tight.preemptions == 1
+        assert tight.state == "done"
+        assert tight.steps_used == budget
+
+    def test_equal_priority_never_preempts(self):
+        engine = fib.serve(num_lanes=1, preempt=True)
+        first = engine.submit(np.int64(14), priority=1)
+        for _ in range(5):
+            engine.tick()
+        second = engine.submit(np.int64(3), priority=1)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == 0
+        assert first.finish_tick < second.finish_tick
+
+    def test_free_lane_means_no_eviction(self):
+        engine = fib.serve(num_lanes=2, preempt=True)
+        engine.submit(np.int64(14), priority=0)
+        engine.tick()
+        engine.submit(np.int64(3), priority=9)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == 0
+
+    def test_min_age_defers_eviction(self):
+        min_age = 10
+        engine = fib.serve(
+            num_lanes=1, preempt=PreemptPolicy(min_age=min_age)
+        )
+        strag = engine.submit(np.int64(16))
+        engine.tick()  # seated at tick 0
+        vip = engine.submit(np.int64(3), priority=5)
+        engine.run_until_idle()
+        assert strag.preemptions == 1
+        # The eviction waited for the straggler to reach the age floor.
+        assert strag.preempt_tick - strag.inject_tick >= min_age
+
+    def test_straggler_cannot_delay_vip_beyond_age_threshold(self):
+        """The SLO starvation regression: low-priority stragglers holding
+        *every* lane bound the high-priority queue wait by the policy's
+        age threshold, not by the stragglers' (much longer) runtime."""
+        min_age = 6
+        num_lanes = 2
+        engine = fib.serve(
+            num_lanes=num_lanes, preempt=PreemptPolicy(min_age=min_age)
+        )
+        strags = [engine.submit(np.int64(17)) for _ in range(num_lanes)]
+        engine.tick()  # all lanes saturated
+        vip = engine.submit(np.int64(4), priority=3)
+        engine.run_until_idle()
+        wait = vip.inject_tick - vip.request.submit_tick
+        # Bounded by the age floor (+1 tick of scheduling slack), far
+        # below any straggler's full runtime.
+        assert wait <= min_age + 1
+        got = np.array([int(s.result()) for s in strags] + [int(vip.result())])
+        expected = fib.run_pc(np.array([17, 17, 4], dtype=np.int64))
+        np.testing.assert_array_equal(got, expected)
+
+        # Without preemption the same trace starves the vip for the whole
+        # straggler runtime.
+        plain = fib.serve(num_lanes=num_lanes)
+        for _ in range(num_lanes):
+            plain.submit(np.int64(17))
+        plain.tick()
+        vip2 = plain.submit(np.int64(4), priority=3)
+        plain.run_until_idle()
+        assert vip2.inject_tick - vip2.request.submit_tick > 10 * (min_age + 1)
+
+    def test_preemption_decisions_replay_deterministically(self):
+        """The same trace preempts the same requests at the same ticks on
+        every rerun — scheduling is a pure function of the submissions."""
+
+        def trace():
+            engine = fib.serve(num_lanes=2, preempt=True)
+            schedule = [
+                (16, 0, 0), (15, 0, 0), (3, 2, 4), (12, 1, 2),
+                (4, 3, 3), (5, 2, 0), (14, 1, 1), (6, 4, 2),
+            ]
+            handles = []
+            for n, prio, gap in schedule:
+                for _ in range(gap):
+                    engine.tick()
+                handles.append(engine.submit(np.int64(n), priority=prio))
+            engine.run_until_idle()
+            return [
+                (
+                    h.preemptions,
+                    h.inject_tick,
+                    h.preempt_tick,
+                    h.resume_tick,
+                    h.finish_tick,
+                    int(h.result()),
+                )
+                for h in handles
+            ]
+
+        first = trace()
+        assert first == trace()
+        assert any(p for p, *_ in first)  # the trace really preempts
+
+    def test_preempted_request_resumes_before_later_natives(self):
+        """An evicted request re-queues under its original arrival stamp,
+        so it resumes ahead of same-priority requests submitted later."""
+        engine = fib.serve(num_lanes=1, preempt=True)
+        strag = engine.submit(np.int64(14), priority=0)
+        for _ in range(5):
+            engine.tick()
+        vip = engine.submit(np.int64(3), priority=5)
+        late = engine.submit(np.int64(4), priority=0)
+        engine.run_until_idle()
+        assert strag.preemptions == 1
+        # The lane the vip vacated goes back to the preempted straggler
+        # (oldest arrival in priority 0), not the later native.
+        assert vip.finish_tick <= strag.resume_tick
+        assert strag.resume_tick < late.inject_tick
+        assert strag.finish_tick < late.finish_tick
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="priority_delta"):
+            PreemptPolicy(priority_delta=0)
+        with pytest.raises(ValueError, match="min_age"):
+            PreemptPolicy(min_age=-1)
+        with pytest.raises(ValueError, match="max_per_tick"):
+            PreemptPolicy(max_per_tick=0)
+        with pytest.raises(ValueError, match="refill"):
+            fib.serve(num_lanes=1, preempt=True, refill="drain")
+
+    def test_resolve_preempt_policy_forms(self):
+        assert resolve_preempt_policy(None) is None
+        assert resolve_preempt_policy(False) is None
+        assert isinstance(resolve_preempt_policy(True), PreemptPolicy)
+        assert isinstance(resolve_preempt_policy("priority"), PreemptPolicy)
+        inst = PreemptPolicy(priority_delta=2, min_age=4)
+        assert resolve_preempt_policy(inst) is inst
+        assert isinstance(resolve_preempt_policy(PreemptPolicy), PreemptPolicy)
+        with pytest.raises(ValueError, match="unknown preempt policy"):
+            resolve_preempt_policy("nice")
+        with pytest.raises(TypeError):
+            resolve_preempt_policy(42)
+
+    def test_max_per_tick_caps_evictions(self):
+        engine = fib.serve(
+            num_lanes=3, preempt=PreemptPolicy(max_per_tick=1)
+        )
+        for _ in range(3):
+            engine.submit(np.int64(15), priority=0)
+        engine.tick()  # saturate all three lanes
+        for _ in range(3):
+            engine.submit(np.int64(3), priority=5)
+        evictions_per_tick = []
+        before = engine.telemetry.preemptions
+        for _ in range(3):
+            engine.tick()
+            now = engine.telemetry.preemptions
+            evictions_per_tick.append(now - before)
+            before = now
+        assert evictions_per_tick == [1, 1, 1]
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == engine.telemetry.resumes == 3
+
+    @pytest.mark.parametrize("executor", ["eager", "fused"])
+    def test_preempted_results_bit_identical_both_executors(self, executor):
+        """The differential: a preempt-heavy trace must still produce the
+        static batch's exact bits under either executor."""
+        ns = np.array([16, 15, 3, 4, 14, 5, 6, 13], dtype=np.int64)
+        prios = [0, 0, 5, 5, 1, 6, 6, 2]
+        expected = fib.run_pc(ns)
+        engine = fib.serve(num_lanes=2, preempt=True, executor=executor)
+        handles = []
+        for n, p in zip(ns, prios):
+            handles.append(engine.submit(np.int64(n), priority=p))
+            engine.tick()
+        engine.run_until_idle()
+        got = np.array([int(h.result()) for h in handles])
+        np.testing.assert_array_equal(got, expected)
+        assert engine.telemetry.preemptions > 0
+        assert engine.telemetry.preemptions == engine.telemetry.resumes
+
+
 class TestTelemetryEdgeCases:
     """Zero-traffic and failure-only corners must report zeros, not raise."""
 
@@ -416,6 +653,29 @@ def check_serving_invariants(server, handles, telemetry):
         assert h.request.submit_tick <= h.inject_tick <= h.finish_tick
         assert h.finish_tick <= server.now
         assert h.queue_wait() == h.inject_tick - h.request.submit_tick
+    check_preemption_invariants(handles, telemetry)
+
+
+def check_preemption_invariants(handles, telemetry):
+    """Every eviction resumed exactly once, nothing lingers preempted.
+
+    Works on per-shard and fleet telemetry alike: for a cluster, a
+    migrated preemption is evicted on one shard and resumed on another, so
+    only the aggregate counters balance (which is what ClusterTelemetry's
+    rollup properties report).
+    """
+    assert telemetry.preemptions == telemetry.resumes
+    assert sum(h.preemptions for _, h in handles) == telemetry.preemptions
+    for _, h in handles:
+        assert h.snapshot is None  # no checkpoint survives the drain
+        if h.preemptions:
+            assert h.preempt_tick is not None
+            # The last eviction was followed by a resume (or the request
+            # failed its budget *while running*, never while evicted —
+            # eviction happens only to running lanes, so a drained server
+            # implies every eviction was paired with a resume).
+            assert h.resume_tick is not None
+            assert h.preempt_tick <= h.resume_tick <= h.finish_tick
 
 
 class TestPropertyBasedSchedules:
@@ -440,6 +700,49 @@ class TestPropertyBasedSchedules:
         assert 0 <= t.busy_lane_slots <= t.lane_slots
         assert len(t.queue_waits) == t.injected
         assert sum(t.queue_waits) == sum(h.queue_wait() for _, h in handles)
+        assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(0, 14),                          # fib argument
+                st.integers(0, 3),                           # arrival gap
+                st.integers(0, 3),                           # priority
+                st.one_of(st.none(), st.integers(1, 2000)),  # step budget
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        num_lanes=st.integers(1, 3),
+        min_age=st.integers(0, 4),
+        max_per_tick=st.one_of(st.none(), st.just(1)),
+    )
+    def test_engine_preemption_schedule_invariants(
+        self, schedule, num_lanes, min_age, max_per_tick
+    ):
+        """Random arrivals x priorities under an always-on preempt policy:
+        no lost/duplicated handles, every eviction resumes exactly once,
+        results bit-identical to the unbatched reference."""
+        engine = fib.serve(
+            num_lanes=num_lanes,
+            max_stack_depth=64,
+            preempt=PreemptPolicy(min_age=min_age, max_per_tick=max_per_tick),
+        )
+        handles = []
+        for n, gap, priority, budget in schedule:
+            for _ in range(gap):
+                engine.tick()
+            handles.append(
+                (
+                    n,
+                    engine.submit(
+                        np.int64(n), priority=priority, step_budget=budget
+                    ),
+                )
+            )
+        engine.run_until_idle()
+        check_serving_invariants(engine, handles, engine.telemetry)
         assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
 
     @settings(max_examples=15, deadline=None)
