@@ -1,7 +1,7 @@
-"""Serving benchmarks: continuous batching, shard scaling, rebalancing, and
-preemption.
+"""Serving benchmarks: continuous batching, shard scaling, rebalancing,
+preemption, and observability overhead.
 
-Four subcommands share one workload generator (``fib`` calls with skewed
+Five subcommands share one workload generator (``fib`` calls with skewed
 sizes) and one assertion discipline — inequalities are asserted, not just
 printed, and every scenario's outputs must stay bit-identical to the static
 ``run_pc`` batch:
@@ -25,8 +25,15 @@ printed, and every scenario's outputs must stay bit-identical to the static
   *resume* (not restart), and a preempt+steal cluster must migrate at
   least one preempted-lane snapshot to another shard.
   → ``BENCH_preempt.json``
+* ``trace`` — observability overhead and determinism on the preempt
+  workload.  Full tracing (events + metrics + block profile) must keep
+  >= 0.9x the untraced throughput (best-of-N walls); a preempt+steal
+  cluster run twice must export byte-identical Chrome-trace JSON whose
+  event counts reconcile exactly with the fleet telemetry; the block
+  profile must rank fib's straggler blocks by masked-lane waste.
+  → ``BENCH_trace.json`` + ``TRACE_preempt.json``
 
-Run: ``python benchmarks/bench_serve.py [serve|cluster|steal|preempt]
+Run: ``python benchmarks/bench_serve.py [serve|cluster|steal|preempt|trace]
 [--quick] [--out FILE] ...``  (the legacy ``--cluster``/``--steal``/
 ``--preempt`` flags are accepted as aliases for the subcommands).
 """
@@ -685,6 +692,207 @@ def run_preempt(args) -> None:
           "(not restart), including on another shard")
 
 
+# -- trace: observability overhead + deterministic export ----------------------
+
+
+def run_trace(args) -> None:
+    """Tracing overhead and determinism on the preempt workload.
+
+    Three claims, all asserted:
+
+    * **cheap** — full tracing (events + metrics + block profile) keeps at
+      least 0.9x the untraced throughput on the straggler/burst preemption
+      scenario, comparing best-of-N wall times (after an untimed warmup
+      pass of each variant) so one scheduler hiccup can't fail the run;
+    * **deterministic** — a preempt+steal cluster driven twice through the
+      identical schedule exports byte-identical Chrome-trace JSON, and the
+      event counts reconcile one-for-one with the fleet telemetry while
+      every per-request timeline validates (submit → ... → one terminal);
+    * **actionable** — the merged block profile ranks fib's blocks by
+      masked-lane waste, worst straggler first, as input for superblock
+      fusion.
+    """
+    from repro.observe import (
+        Trace, validate_chrome_trace, validate_timeline,
+    )
+    from repro.serve import PreemptPolicy
+
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
+    n_burst = positive(
+        args.requests if args.requests is not None else (8 if args.quick else 24),
+        "--requests",
+    )
+    straggler_size = 14 if args.quick else 16
+    warmup_ticks = 3
+    repeats = 5 if args.quick else 7
+
+    rng = np.random.RandomState(args.seed)
+    straggler_sizes = np.full(num_lanes, straggler_size, dtype=np.int64)
+    burst_sizes = rng.randint(3, 8, size=n_burst).astype(np.int64)
+    all_sizes = np.concatenate([straggler_sizes, burst_sizes])
+    expected = fib.run_pc(all_sizes)
+
+    print(f"workload: {num_lanes} stragglers (fib {straggler_size}) + "
+          f"{n_burst} high-priority bursts, preemption on, "
+          f"best of {repeats} walls per variant\n")
+
+    def drive(trace):
+        engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                           preempt=PreemptPolicy(), trace=trace)
+        wall_start = time.perf_counter()
+        stragglers = [engine.submit(np.int64(n)) for n in straggler_sizes]
+        for _ in range(warmup_ticks):
+            engine.tick()
+        burst = [engine.submit(np.int64(n), priority=5)
+                 for n in burst_sizes]
+        engine.run_until_idle()
+        wall = time.perf_counter() - wall_start
+        handles = stragglers + burst
+        check_outputs([h.result() for h in handles],
+                      expected, "traced" if trace else "untraced")
+        return engine, handles, wall
+
+    # One untimed pass of each variant first: the initial drive pays
+    # one-off costs (plan compile-cache fill, allocator growth) that
+    # would otherwise land on whichever variant happens to go first.
+    drive(None)
+    drive(True)
+
+    walls = {"untraced": [], "traced": []}
+    traced_engine = traced_handles = None
+    for _ in range(repeats):
+        # Interleave variants so drift (thermal, allocator) hits both.
+        _, _, wall = drive(None)
+        walls["untraced"].append(wall)
+        traced_engine, traced_handles, wall = drive(True)
+        walls["traced"].append(wall)
+    best = {k: min(v) for k, v in walls.items()}
+    n_requests = num_lanes + n_burst
+    throughput = {k: n_requests / w for k, w in best.items()}
+    ratio = throughput["traced"] / throughput["untraced"]
+
+    # The traced run is *observable*: counts reconcile with telemetry and
+    # every per-request timeline validates.
+    t = traced_engine.telemetry
+    tracer = traced_engine.trace.tracer
+    assert tracer.count("submit") == t.submitted
+    assert tracer.count("complete") == t.completed
+    assert tracer.count("preempt") == t.preemptions
+    assert tracer.count("resume") == t.resumes
+    assert t.preemptions >= 1, "the workload never provoked an eviction"
+    for h in traced_handles:
+        assert validate_timeline(h.trace()) == "complete"
+
+    # Straggler-block ranking: fib's blocks by masked-lane waste.
+    profile = traced_engine.trace.block_profile()
+    stragglers_ranked = profile.stragglers()
+    assert len(stragglers_ranked) > 0 and profile.total_slots > 0
+    wastes = [r.waste for r in stragglers_ranked]
+    assert wastes == sorted(wastes, reverse=True)
+    print("block profile (top stragglers by masked-lane waste):")
+    print("  " + profile.summary(limit=5).replace("\n", "\n  "))
+
+    # Determinism under rebalancing: a preempt+steal cluster, driven
+    # twice through the identical schedule, exports identical bytes.
+    def cluster_run(path):
+        trace = Trace()
+        cluster = fib.serve_cluster(
+            2, num_lanes=num_lanes, executor="fused",
+            policy=PinnedPolicy(), steal=True, preempt=True, trace=trace,
+        )
+        handles = [cluster.submit(np.int64(straggler_size))
+                   for _ in range(num_lanes)]
+        for _ in range(num_lanes):
+            handles.append(cluster.engines[1].submit(np.int64(4)))
+        for _ in range(warmup_ticks):
+            cluster.tick()
+        handles += [cluster.submit(np.int64(12), priority=5)
+                    for _ in range(num_lanes)]
+        cluster.run_until_idle()
+        trace.export_chrome_trace(path)
+        return cluster, handles, trace
+
+    out_dir = os.path.dirname(os.path.abspath(
+        args.out or os.path.join(os.curdir, "BENCH_trace.json")))
+    trace_path = os.path.join(out_dir, "TRACE_preempt.json")
+    second_path = trace_path + ".second"
+    cluster, chandles, ctrace = cluster_run(trace_path)
+    cluster_run(second_path)
+    with open(trace_path, "rb") as f:
+        first_bytes = f.read()
+    with open(second_path, "rb") as f:
+        identical = f.read() == first_bytes
+    os.remove(second_path)
+    assert identical, (
+        "two identical preempt+steal cluster runs exported different "
+        "Chrome traces; tracing must be deterministic on the logical clock"
+    )
+    n_chrome_events = validate_chrome_trace(trace_path)
+
+    ct = cluster.telemetry
+    ctracer = ctrace.tracer
+    for kind, counter in [
+        ("submit", ct.submitted), ("inject", ct.injected),
+        ("complete", ct.completed), ("fail", ct.failed),
+        ("preempt", ct.preemptions), ("resume", ct.resumes),
+        ("steal", ct.steals), ("migrate", ct.preempted_migrations),
+        ("drain", ct.drain_migrations),
+    ]:
+        assert ctracer.count(kind) == counter, (
+            f"cluster trace records {ctracer.count(kind)} {kind} events "
+            f"vs {counter} in telemetry"
+        )
+    for h in chandles:
+        validate_timeline(h.trace())
+    print(f"\ncluster trace: {len(ctracer)} events "
+          f"({n_chrome_events} Chrome events), byte-identical across runs, "
+          f"counts reconcile with telemetry "
+          f"(preemptions={ct.preemptions} steals={ct.steals} "
+          f"migrations={ct.preempted_migrations})")
+
+    print(format_table(
+        ["variant", "best wall s", "req/s", "ratio"],
+        [
+            ["untraced", f"{best['untraced']:.3f}",
+             f"{throughput['untraced']:.1f}", "1.000"],
+            ["traced", f"{best['traced']:.3f}",
+             f"{throughput['traced']:.1f}", f"{ratio:.3f}"],
+        ],
+    ))
+
+    result = {
+        "benchmark": "bench_serve_trace",
+        "config": {"lanes": num_lanes, "burst": n_burst,
+                   "straggler_size": int(straggler_size),
+                   "repeats": repeats, "seed": args.seed,
+                   "quick": bool(args.quick)},
+        "walls": walls,
+        "best_wall_seconds": best,
+        "traced_over_untraced_throughput": ratio,
+        "event_counts": ctracer.counts(),
+        "chrome_events": int(n_chrome_events),
+        "trace_file": trace_path,
+        "straggler_blocks": [r.as_dict() for r in stragglers_ranked[:5]],
+        "cluster": {
+            "preemptions": int(ct.preemptions),
+            "steals": int(ct.steals),
+            "preempted_migrations": int(ct.preempted_migrations),
+        },
+    }
+    write_result(result, args, "BENCH_trace.json")
+
+    assert ratio >= 0.9, (
+        f"full tracing kept only {ratio:.3f}x the untraced throughput; "
+        "observability must cost < 10%"
+    )
+    print(f"OK: tracing keeps {ratio:.3f}x untraced throughput; exports are "
+          "byte-identical and reconcile with telemetry; straggler blocks "
+          "ranked by masked-lane waste")
+
+
 # -- CLI -----------------------------------------------------------------------
 
 SCENARIOS = {
@@ -692,6 +900,7 @@ SCENARIOS = {
     "cluster": run_cluster_scaling,
     "steal": run_steal_rebalance,
     "preempt": run_preempt,
+    "trace": run_trace,
 }
 
 #: Legacy flag spellings accepted as subcommand aliases.
@@ -736,6 +945,11 @@ def build_parser() -> argparse.ArgumentParser:
         "preempt", help="priority preemption benchmark "
                         "(high-priority burst into straggler-saturated lanes)")
     _common_flags(p_preempt)
+
+    p_trace = sub.add_parser(
+        "trace", help="observability overhead + deterministic trace export "
+                      "(traced vs untraced preempt workload)")
+    _common_flags(p_trace)
 
     return parser
 

@@ -17,6 +17,10 @@ Public API
 * :mod:`repro.serve` — a continuous-batching serving engine: streaming
   requests recycled through the program-counter machine's lanes
   (``fn.serve(num_lanes)`` on any autobatched function).
+* :mod:`repro.observe` — deterministic observability for serving runs:
+  per-request event traces (Chrome-trace exportable), windowed per-tick
+  metrics, and per-block execution profiles (``trace=True`` on
+  ``fn.serve``/``fn.serve_cluster``).
 """
 
 from repro.frontend import (
@@ -27,6 +31,7 @@ from repro.frontend import (
     default_registry,
     primitive,
 )
+from repro.observe import Trace
 from repro.serve import Engine, QueueFullError, StepBudgetExceeded
 from repro.vm import BlockExecutor, ExecutionPlan, Instrumentation
 from repro import ops
@@ -41,6 +46,7 @@ __all__ = [
     "default_registry",
     "primitive",
     "Engine",
+    "Trace",
     "QueueFullError",
     "StepBudgetExceeded",
     "BlockExecutor",

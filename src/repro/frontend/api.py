@@ -211,7 +211,11 @@ class AutobatchFunction:
         or a tuned :class:`~repro.serve.engine.PreemptPolicy`) lets
         higher-priority arrivals checkpoint-and-evict straggler lanes —
         the evicted request *resumes* from its lane snapshot when a lane
-        frees, it is never recomputed.
+        frees, it is never recomputed.  ``trace=True`` (or a
+        :class:`~repro.observe.Trace`) records per-request event
+        timelines (``handle.trace()``), per-tick metrics, and a per-block
+        execution profile — deterministic on the logical clock, and
+        exportable with ``engine.trace.export_chrome_trace(path)``.
         """
         from repro.serve.engine import Engine
 
@@ -242,8 +246,12 @@ class AutobatchFunction:
         tunes bounds/patience).  Every shard — including ones added by
         autoscale — binds this function's *one* cached
         :class:`~repro.vm.executors.ExecutionPlan` (per executor/options),
-        so fused block code is generated once for the whole fleet.  Options
-        are forwarded to :class:`~repro.serve.cluster.Cluster`.
+        so fused block code is generated once for the whole fleet.
+        ``trace=True`` shares one :class:`~repro.observe.Trace` across
+        the fleet: a single event stream (steals and migrations
+        included), per-shard and fleet-wide metric series, and a merged
+        block profile.  Options are forwarded to
+        :class:`~repro.serve.cluster.Cluster`.
         """
         from repro.serve.cluster import Cluster
 

@@ -1,0 +1,48 @@
+"""Deterministic observability for the autobatching serving stack.
+
+Everything here is stamped with the *logical* clock the engine and
+cluster already run on, so identical runs produce identical traces —
+the observability layer inherits the determinism of the thing it
+observes instead of fighting it with wall-clock timestamps.
+
+Three pieces, all opt-in via ``trace=`` on ``Engine``/``Cluster``/
+``fn.serve``/``fn.serve_cluster`` and all off by default:
+
+* **Event tracing** (:mod:`repro.observe.trace`) — per-request
+  scheduling timelines (submit/inject/preempt/resume/steal/migrate/
+  drain/complete/fail), exportable as Chrome trace JSON.
+* **Time-series metrics** (:mod:`repro.observe.metrics`) — per-tick
+  gauges in bounded ring buffers, with shared nearest-rank percentiles.
+* **Block profiling** (:mod:`repro.observe.profile`) — per-block
+  execution counts, occupancy, and masked-lane waste; the straggler
+  ranking ROADMAP item 3 (superblock fusion) consumes.
+
+:class:`Trace` (:mod:`repro.observe.report`) bundles the three behind
+one object with ``summary()``/``to_json()``/``export_chrome_trace()``.
+"""
+
+from repro.observe.metrics import MetricsRecorder, RingBuffer, nearest_rank
+from repro.observe.profile import BlockProfile, BlockRow
+from repro.observe.report import Trace, resolve_trace
+from repro.observe.trace import (
+    EVENT_KINDS,
+    TraceEvent,
+    Tracer,
+    validate_chrome_trace,
+    validate_timeline,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "BlockProfile",
+    "BlockRow",
+    "MetricsRecorder",
+    "RingBuffer",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "nearest_rank",
+    "resolve_trace",
+    "validate_chrome_trace",
+    "validate_timeline",
+]

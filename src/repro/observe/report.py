@@ -1,0 +1,116 @@
+"""The :class:`Trace` hub: one handle over events, metrics, and profiles.
+
+``Engine(trace=...)``, ``Cluster(trace=...)`` and ``fn.serve(...,
+trace=...)`` all accept:
+
+* ``None`` / ``False`` — observability fully off (the default; the hot
+  paths pay a single ``is None`` check);
+* ``True`` — a fresh :class:`Trace` with everything enabled;
+* ``"events"`` / ``"metrics"`` / ``"profile"`` — just that piece;
+* a :class:`Trace` instance — use it as-is.  A cluster passes its one
+  resolved instance to every shard it spawns (including shards grown
+  later), so the fleet shares a single event stream, metric recorder,
+  and merged block profile.  This is deliberately unlike per-shard
+  policies such as ``preempt``, which are deep-copied per engine —
+  observability wants the global view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.observe.metrics import MetricsRecorder
+from repro.observe.profile import BlockProfile
+from repro.observe.trace import Tracer
+
+
+class Trace:
+    """Observability configuration plus its accumulated state.
+
+    Any of the three pieces can be switched off independently:
+    ``tracer`` and ``metrics`` are ``None`` when disabled, ``profile``
+    is a plain flag the engine uses to arm per-block counters on its VM.
+    """
+
+    def __init__(
+        self,
+        events: bool = True,
+        metrics: bool = True,
+        profile: bool = True,
+        metrics_window: int = 4096,
+    ) -> None:
+        self.tracer: Optional[Tracer] = Tracer() if events else None
+        self.metrics: Optional[MetricsRecorder] = (
+            MetricsRecorder(window=metrics_window) if metrics else None
+        )
+        self.profile = bool(profile)
+        self._engines: List[object] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_engine(self, engine: object) -> None:
+        """Register an engine whose VM contributes to the block profile."""
+        self._engines.append(engine)
+
+    # -- reports ----------------------------------------------------------
+
+    def block_profile(self) -> Optional[BlockProfile]:
+        """Merged per-block profile across attached engines (None if off)."""
+        if not self.profile:
+            return None
+        return BlockProfile.collect(
+            (engine.vm.program, engine.vm.instr) for engine in self._engines
+        )
+
+    def export_chrome_trace(self, path) -> Dict[str, object]:
+        """Write the event stream as Chrome trace JSON (requires events)."""
+        if self.tracer is None:
+            raise ValueError("event tracing is disabled on this Trace")
+        return self.tracer.export_chrome_trace(path)
+
+    def to_json(self) -> Dict[str, object]:
+        """Canonical JSON-ready dict spanning events, metrics, profile."""
+        profile = self.block_profile()
+        return {
+            "events": None if self.tracer is None else self.tracer.to_json(),
+            "metrics": None if self.metrics is None else self.metrics.to_json(),
+            "block_profile": None if profile is None else profile.to_json(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable report spanning all enabled pieces."""
+        sections = []
+        if self.tracer is not None:
+            counts = " ".join(f"{k}={v}" for k, v in self.tracer.counts().items())
+            sections.append(f"events: total={len(self.tracer)} {counts}".rstrip())
+        if self.metrics is not None:
+            sections.append("metrics:\n  " + self.metrics.summary().replace("\n", "\n  "))
+        profile = self.block_profile()
+        if profile is not None and len(profile):
+            sections.append(
+                "block profile:\n  " + profile.summary().replace("\n", "\n  ")
+            )
+        return "\n".join(sections) if sections else "trace: nothing recorded"
+
+
+def resolve_trace(spec: Union[None, bool, str, Trace]) -> Optional[Trace]:
+    """Normalize a user-facing ``trace=`` argument to a Trace or None."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return Trace()
+    if isinstance(spec, Trace):
+        return spec
+    if isinstance(spec, str):
+        if spec == "events":
+            return Trace(events=True, metrics=False, profile=False)
+        if spec == "metrics":
+            return Trace(events=False, metrics=True, profile=False)
+        if spec == "profile":
+            return Trace(events=False, metrics=False, profile=True)
+        if spec in ("full", "all"):
+            return Trace()
+        raise ValueError(
+            f"unknown trace spec {spec!r}; expected 'events', 'metrics', 'profile', or 'full'"
+        )
+    raise TypeError(f"trace= expects None, bool, str, or Trace, got {type(spec).__name__}")

@@ -87,7 +87,12 @@ Module map
   lane-to-request assignment.
 * :mod:`repro.serve.telemetry` — :class:`ServeTelemetry` (per engine) and
   :class:`ClusterTelemetry` (fleet rollup): lane utilization, queue wait,
-  time-to-first-result, throughput, and shard skew on the logical clock.
+  time-to-first-result, throughput, latency percentiles, and shard skew
+  on the logical clock.
+* :mod:`repro.observe` (sibling package) — opt-in ``trace=`` deep
+  observability: per-request event timelines (``handle.trace()``, Chrome
+  trace export), windowed per-tick metric series, and per-block
+  execution profiles, all deterministic on the logical clock.
 
 Entry points: ``Engine(fn, num_lanes)`` / ``fn.serve(num_lanes)`` for one
 machine, ``Cluster(fn, num_engines, num_lanes)`` /

@@ -59,10 +59,12 @@ with ``steal=``/``autoscale=`` opting into rebalancing.
 from __future__ import annotations
 
 import copy
+import itertools
 from typing import Any, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
+from repro.observe import resolve_trace
 from repro.serve.engine import (
     Engine,
     drive_until_idle,
@@ -436,6 +438,16 @@ class Cluster:
         ``None``/``False`` (default) for a fixed fleet.  Grown shards bind
         the shared plan (no recompilation); shrunk shards drain before
         retiring.
+    trace:
+        Fleet-wide observability (off by default): ``True``, a piece name
+        (``"events"``/``"metrics"``/``"profile"``), or a
+        :class:`~repro.observe.Trace` instance.  Unlike per-shard policies
+        (which are copied per engine), the one resolved ``Trace`` is
+        *shared* by every shard — grown shards included — so the fleet
+        produces a single event stream, one metric recorder (per-shard
+        gauges under ``shard<N>/``, fleet gauges under ``fleet/``), and a
+        merged block profile.  Cross-shard events (``steal``, ``migrate``,
+        ``drain``) and cluster-level rejections are recorded here.
     executor / optimize / engine options:
         As on :class:`~repro.serve.engine.Engine`; forwarded to every
         shard (they share the compiled plan, not per-machine state).
@@ -457,6 +469,7 @@ class Cluster:
         steal: Any = None,
         autoscale: Any = None,
         preempt: Any = None,
+        trace: Any = None,
         **engine_options: Any,
     ):
         if num_engines <= 0:
@@ -495,14 +508,24 @@ class Cluster:
             if self.autoscale.max_engines is None:
                 self.autoscale.max_engines = max(2 * num_engines, 2)
         self._num_lanes = int(num_lanes)
+        #: One resolved Trace shared by every shard (see the docstring);
+        #: engines pass instances through resolve_trace unchanged, so the
+        #: fleet — grown shards included — records into this hub.
+        self.trace = resolve_trace(trace)
+        self._metric_bufs = None
         self._engine_kwargs = dict(
             registry=registry,
             max_queue_depth=max_queue_depth,
             default_step_budget=default_step_budget,
+            trace=self.trace,
             **engine_options,
         )
         self._tick = 0
         self._next_shard_id = 0
+        #: One request-id counter for the whole fleet (grown shards
+        #: included): ids are fleet-unique, so the shared tracer's
+        #: per-request index never conflates two shards' requests.
+        self._ids = itertools.count()
         self.telemetry = ClusterTelemetry()
         #: Shards being retired: closed to admission and routing, still
         #: ticking until their in-flight lanes complete.
@@ -525,6 +548,7 @@ class Cluster:
         )
         engine.shard_id = self._next_shard_id
         self._next_shard_id += 1
+        engine._ids = self._ids
         # Join the fleet's lock-step logical clock mid-flight, so queue
         # waits and finish ticks stay comparable across grow events.
         engine._tick = self._tick
@@ -571,6 +595,58 @@ class Cluster:
             + self._retired_dispatches
         )
 
+    # -- observability -------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        handle: Optional[ResultHandle] = None,
+        shard: Optional[int] = None,
+        src: Optional[int] = None,
+        priority: Optional[int] = None,
+    ) -> None:
+        """Record one cluster-level trace event (no-op untraced)."""
+        if self.trace is None or self.trace.tracer is None:
+            return
+        if handle is not None and priority is None:
+            priority = handle.request.priority
+        self.trace.tracer.record(
+            kind,
+            self._tick,
+            request_id=None if handle is None else handle.request_id,
+            shard=shard,
+            priority=priority,
+            src=src,
+        )
+
+    def _sample_metrics(self) -> None:
+        """Record this tick's fleet-wide gauges (metrics enabled only)."""
+        bufs = self._metric_bufs
+        if bufs is None:
+            metrics = self.trace.metrics
+            bufs = self._metric_bufs = tuple(
+                metrics.series(name)
+                for name in (
+                    "fleet/queue_depth", "fleet/busy_lanes",
+                    "fleet/active_shards",
+                )
+            )
+        depth_buf, busy_buf, shards_buf = bufs
+        tick = self._tick
+        depth_buf.append(
+            (tick, float(sum(len(e.queue) for e in self.engines)))
+        )
+        busy_buf.append(
+            (
+                tick,
+                float(
+                    sum(e.pool.busy_count() for e in self.engines)
+                    + sum(e.pool.busy_count() for e in self.draining)
+                ),
+            )
+        )
+        shards_buf.append((tick, float(len(self.engines))))
+
     # -- submission ----------------------------------------------------------
 
     def submit(
@@ -596,6 +672,7 @@ class Cluster:
             )
         if self.admission_full():
             self.telemetry.cluster_rejected += 1
+            self._emit("reject", priority=priority)
             raise QueueFullError(
                 f"every shard's queue is at max_depth="
                 f"{self.engines[0].queue.max_depth}"
@@ -656,6 +733,18 @@ class Cluster:
             thief.requeue(handles)
             for handle in handles:
                 handle.shard = thief.shard_id
+                self._emit(
+                    "steal", handle, shard=thief.shard_id, src=victim.shard_id
+                )
+                if handle.snapshot is not None:
+                    # The eviction checkpoint crossed shards: record the
+                    # migration on top of the steal that carried it.
+                    self._emit(
+                        "migrate",
+                        handle,
+                        shard=thief.shard_id,
+                        src=victim.shard_id,
+                    )
             moved += len(handles)
             migrated_snapshots += sum(
                 1 for h in handles if h.snapshot is not None
@@ -703,6 +792,9 @@ class Cluster:
             )
             self.engines[target].requeue([handle])
             handle.shard = self.engines[target].shard_id
+            self._emit(
+                "drain", handle, shard=handle.shard, src=victim.shard_id
+            )
         self.telemetry.drain_migrations += len(orphans)
 
     def _retire_drained(self) -> None:
@@ -729,6 +821,8 @@ class Cluster:
             self._autoscale_step()
         if self.steal is not None:
             self._steal_step()
+        if self.trace is not None and self.trace.metrics is not None:
+            self._sample_metrics()
         self._tick += 1
         pending = False
         for engine in self.engines + self.draining:

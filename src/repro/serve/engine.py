@@ -20,12 +20,14 @@ against.
 from __future__ import annotations
 
 import copy
+import itertools
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
 
 import numpy as np
 
 from repro.frontend.registry import PrimitiveRegistry
 from repro.ir.instructions import StackProgram
+from repro.observe import resolve_trace
 from repro.serve.lanes import LanePool
 from repro.vm.executors import ExecutionPlan
 from repro.serve.queue import (
@@ -248,6 +250,14 @@ class Engine:
         :class:`~repro.vm.program_counter.LaneSnapshot` and *resumes* when
         a lane frees (keeping its step budget and arrival order).
         Requires ``refill="continuous"``.
+    trace:
+        Observability (off by default, zero overhead when off): ``True``
+        for a full :class:`~repro.observe.Trace` (per-request event
+        timelines, per-tick metrics, per-block profiling),
+        ``"events"``/``"metrics"``/``"profile"`` for one piece, or a
+        :class:`~repro.observe.Trace` instance to share one recorder
+        across engines.  Everything is stamped with the logical clock,
+        so traces from identical runs are byte-identical.
     executor:
         Block-executor choice for the machine: ``"eager"`` (per-op
         dispatch) or ``"fused"`` (each block one pre-compiled callable —
@@ -272,6 +282,7 @@ class Engine:
         default_step_budget: Optional[int] = None,
         refill: str = "continuous",
         preempt: Any = None,
+        trace: Any = None,
         max_steps: int = 10 ** 12,
         instrumentation: Optional[Instrumentation] = None,
     ):
@@ -330,7 +341,20 @@ class Engine:
             num_lanes=num_lanes, instrumentation=self.vm.instr
         )
         self._tick = 0
-        self._next_id = 0
+        #: Request-id source.  Standalone engines number from 0; a cluster
+        #: replaces this with one counter shared by every shard, so ids are
+        #: fleet-unique and a shared tracer never merges two requests'
+        #: timelines under one key.
+        self._ids = itertools.count()
+        #: Resolved observability hub (None = fully off; the hot paths pay
+        #: one ``is None`` check).  A cluster passes one shared instance to
+        #: every shard, so the fleet shares an event stream and recorder.
+        self.trace = resolve_trace(trace)
+        self._metric_bufs = None
+        if self.trace is not None:
+            if self.trace.profile:
+                self.vm.instr.track_blocks = True
+            self.trace.attach_engine(self)
         #: Stable shard identity within a :class:`~repro.serve.cluster.Cluster`
         #: (None for a standalone engine); survives fleet grow/shrink, unlike
         #: a position in the cluster's active-engine list.
@@ -363,6 +387,56 @@ class Engine:
         """
         return len(self.queue) + self.pool.busy_count()
 
+    # -- observability -------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        handle: Optional[ResultHandle] = None,
+        lane: Optional[int] = None,
+        src: Optional[int] = None,
+    ) -> None:
+        """Record one trace event at the current tick (no-op untraced)."""
+        if self.trace is None or self.trace.tracer is None:
+            return
+        self.trace.tracer.record(
+            kind,
+            self._tick,
+            request_id=None if handle is None else handle.request_id,
+            shard=self.shard_id,
+            lane=lane,
+            priority=None if handle is None else handle.request.priority,
+            src=src,
+        )
+
+    def _sample_metrics(self, busy: int) -> None:
+        """Record this tick's gauges (only called when metrics are on).
+
+        The four ring buffers are resolved once, on the first sample (by
+        which point a cluster has assigned ``shard_id``, fixing the series
+        prefix), so the per-tick cost is four tuple appends — cheap enough
+        that metrics stay within the tracing overhead budget the ``trace``
+        benchmark asserts.
+        """
+        bufs = self._metric_bufs
+        if bufs is None:
+            metrics = self.trace.metrics
+            prefix = "" if self.shard_id is None else f"shard{self.shard_id}/"
+            bufs = self._metric_bufs = tuple(
+                metrics.series(prefix + name)
+                for name in (
+                    "queue_depth", "busy_lanes", "preempted_backlog",
+                    "utilization",
+                )
+            )
+        depth_buf, busy_buf, backlog_buf, util_buf = bufs
+        tick = self._tick
+        queue = self.queue
+        depth_buf.append((tick, float(len(queue._heap))))
+        busy_buf.append((tick, float(busy)))
+        backlog_buf.append((tick, float(queue._snapshots)))
+        util_buf.append((tick, busy / self.pool.num_lanes))
+
     def submit(
         self,
         *inputs: Any,
@@ -385,11 +459,16 @@ class Engine:
             )
         if self.queue.full():
             self.telemetry.rejected += 1
+            if self.trace is not None and self.trace.tracer is not None:
+                # No request id is ever assigned to a rejected submission.
+                self.trace.tracer.record(
+                    "reject", self._tick, shard=self.shard_id, priority=priority
+                )
             raise QueueFullError(
                 f"request queue is at max_depth={self.queue.max_depth}"
             )
         request = ServeRequest(
-            request_id=self._next_id,
+            request_id=next(self._ids),
             inputs=split_request_inputs(inputs),
             priority=priority,
             step_budget=(
@@ -397,10 +476,12 @@ class Engine:
             ),
             submit_tick=self._tick,
         )
-        self._next_id += 1
         handle = ResultHandle(request)
+        if self.trace is not None and self.trace.tracer is not None:
+            handle._tracer = self.trace.tracer
         self.queue.push(handle)
         self.telemetry.submitted += 1
+        self._emit("submit", handle)
         return handle
 
     # -- queue migration (cluster work stealing / shard retirement) ----------
@@ -481,6 +562,7 @@ class Engine:
             # eviction must never reject, so it bypasses max_depth.
             self.queue.requeue(handle)
             self.telemetry.record_preempt()
+            self._emit("preempt", handle, lane=lane)
 
     def _resume(self, handle: ResultHandle, lane: int) -> None:
         """Reinstall a preempted request's snapshot into a vacant lane.
@@ -502,9 +584,11 @@ class Engine:
             handle.snapshot = None
             handle._fail(error, self._tick)
             self.telemetry.failed += 1
+            self._emit("fail", handle, lane=lane)
             return
         handle._mark_resumed(lane, self._tick)
         self.telemetry.record_resume(wait)
+        self._emit("resume", handle, lane=lane)
 
     def _admit(self) -> None:
         """Move queued requests into vacant lanes, per the refill policy."""
@@ -521,6 +605,7 @@ class Engine:
                 continue
             handle._mark_running(lane, self._tick)
             self.telemetry.record_inject(handle.queue_wait())
+            self._emit("inject", handle, lane=lane)
             seated.append(handle)
         if not seated:
             return
@@ -552,6 +637,7 @@ class Engine:
             self.pool.release(handle.lane)
             handle._fail(error, self._tick)
             self.telemetry.failed += 1
+            self._emit("fail", handle, lane=int(lane[0]))
 
     def _retire_finished(self) -> None:
         """Deliver outputs of every busy lane whose member has halted."""
@@ -573,6 +659,7 @@ class Engine:
                 priority=handle.request.priority,
                 latency=self._tick - handle.request.submit_tick,
             )
+            self._emit("complete", handle, lane=int(lane))
 
     def _enforce_budgets(self, stepped: np.ndarray) -> None:
         """Abort still-running requests that exhausted their step budget."""
@@ -593,6 +680,7 @@ class Engine:
                     self._tick,
                 )
                 self.telemetry.failed += 1
+                self._emit("fail", handle, lane=int(lane))
 
     def tick(self) -> bool:
         """One engine step: preempt, admit, step the machine, retire, enforce
@@ -607,6 +695,8 @@ class Engine:
         self._admit()
         busy = self.pool.busy_count()
         self.telemetry.record_tick(busy)
+        if self.trace is not None and self.trace.metrics is not None:
+            self._sample_metrics(busy)
         self._tick += 1
         if busy:
             stepped = self.vm.step_lanes()

@@ -97,6 +97,9 @@ class ResultHandle:
         self.preempt_tick: Optional[int] = None
         #: engine tick of the most recent resume (None if never resumed)
         self.resume_tick: Optional[int] = None
+        #: the :class:`~repro.observe.Tracer` recording this request's
+        #: events (set at submission by a traced engine; None untraced)
+        self._tracer: Any = None
 
     @property
     def request_id(self) -> int:
@@ -125,6 +128,18 @@ class ResultHandle:
     def exception(self) -> Optional[BaseException]:
         """The error that failed this request, if any."""
         return self._error
+
+    def trace(self) -> List[Any]:
+        """This request's causal event timeline, in logical-tick order.
+
+        The recorded :class:`~repro.observe.TraceEvent` sequence — submit,
+        inject, every preemption/resume/migration, and the terminal
+        complete or fail — when the serving engine was built with
+        ``trace=`` enabled; an empty list otherwise.
+        """
+        if self._tracer is None:
+            return []
+        return self._tracer.events_for(self.request_id)
 
     def queue_wait(self) -> Optional[int]:
         """Ticks spent queued before reaching a lane (None while queued)."""
@@ -191,6 +206,12 @@ class RequestQueue:
         default_factory=list
     )
     _seq: int = 0
+    #: Running count of queued handles carrying a preempted-lane snapshot.
+    #: Maintained on push/pop — valid because a handle's ``snapshot`` only
+    #: mutates while it is *out* of every queue (``_mark_preempted`` runs
+    #: before the requeue, ``_mark_resumed`` after the pop) — so
+    #: ``snapshot_count`` is O(1) on the per-tick metrics path.
+    _snapshots: int = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -225,10 +246,15 @@ class RequestQueue:
             (-handle.request.priority, handle.arrival, self._seq, handle),
         )
         self._seq += 1
+        if handle.snapshot is not None:
+            self._snapshots += 1
 
     def pop(self) -> ResultHandle:
         """The highest-priority (then oldest) queued handle."""
-        return heapq.heappop(self._heap)[3]
+        handle = heapq.heappop(self._heap)[3]
+        if handle.snapshot is not None:
+            self._snapshots -= 1
+        return handle
 
     def peek(self) -> ResultHandle:
         return self._heap[0][3]
@@ -258,7 +284,7 @@ class RequestQueue:
         of repeatedly proposing steals that would only churn past
         unstealable entries.
         """
-        return sum(1 for entry in self._heap if entry[3].snapshot is not None)
+        return self._snapshots
 
 
 def split_request_inputs(inputs: Sequence[Any]) -> Tuple[np.ndarray, ...]:

@@ -15,6 +15,9 @@ Metrics:
 * **queue wait** — ticks between submission and lane injection.
 * **time-to-first-result** — ticks until the first request retires.
 * **throughput** — completed requests per tick.
+* **latency percentiles** — nearest-rank p50/p90/p99 completion latency
+  (:func:`repro.observe.nearest_rank`), overall and per priority level,
+  the deterministic counterpart to ``slo_attainment``.
 
 :class:`ClusterTelemetry` rolls per-shard :class:`ServeTelemetry` up into
 fleet-level metrics — fleet utilization, aggregate throughput, per-shard
@@ -29,7 +32,48 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.observe.metrics import nearest_rank
 from repro.vm.instrumentation import Instrumentation
+
+
+def _priority_table(
+    telemetry, slo_ticks: Optional[int] = None
+) -> Dict[int, Dict[str, float]]:
+    """Per-priority percentile (and optional SLO) rows, sorted by priority.
+
+    Shared by :class:`ServeTelemetry` and :class:`ClusterTelemetry`: each
+    priority level maps to its completion count, nearest-rank p50/p90/p99
+    latencies, and max — plus ``slo_attainment`` when ``slo_ticks`` is
+    given.
+    """
+    table: Dict[int, Dict[str, float]] = {}
+    for priority in telemetry.priorities():
+        lats = telemetry.latencies(priority)
+        row: Dict[str, float] = {
+            "count": len(lats),
+            "p50": nearest_rank(lats, 50),
+            "p90": nearest_rank(lats, 90),
+            "p99": nearest_rank(lats, 99),
+            "max": float(max(lats)) if lats else 0.0,
+        }
+        if slo_ticks is not None:
+            row["slo_attainment"] = telemetry.slo_attainment(
+                slo_ticks, priority
+            )
+        table[priority] = row
+    return table
+
+
+def _priority_lines(telemetry) -> List[str]:
+    """Per-priority rollup lines for a summary (only when levels differ)."""
+    priorities = telemetry.priorities()
+    if len(priorities) < 2:
+        return []
+    return [
+        f"  priority {p}: n={row['count']:.0f} p50={row['p50']:.0f} "
+        f"p99={row['p99']:.0f} max={row['max']:.0f} ticks"
+        for p, row in telemetry.priority_table().items()
+    ]
 
 
 @dataclass
@@ -135,6 +179,28 @@ class ServeTelemetry:
             return 0.0
         return sum(1 for l in lats if l <= slo_ticks) / len(lats)
 
+    def percentile(self, q: float, priority: Optional[int] = None) -> float:
+        """Nearest-rank completion-latency percentile, in ticks.
+
+        The deterministic counterpart to :meth:`slo_attainment`: where
+        attainment answers "what fraction met the target?", this answers
+        "what target would the q% slowest have met?" — over the same
+        :meth:`latencies` values, optionally for one priority level.
+        0.0 with no completions.
+        """
+        return nearest_rank(self.latencies(priority), q)
+
+    def priorities(self) -> List[int]:
+        """Priority levels with at least one completion, sorted."""
+        return sorted(self.priority_latencies)
+
+    def priority_table(
+        self, slo_ticks: Optional[int] = None
+    ) -> Dict[int, Dict[str, float]]:
+        """Per-priority p50/p90/p99/max latency rows (plus SLO attainment
+        when ``slo_ticks`` is given), keyed by priority level."""
+        return _priority_table(self, slo_ticks)
+
     def summary(self) -> str:
         """Human-readable multi-line telemetry summary."""
         lines = [
@@ -148,6 +214,12 @@ class ServeTelemetry:
             f"time-to-first-result={self.first_result_tick} ticks, "
             f"throughput={self.throughput():.4f} requests/tick",
         ]
+        if self.latencies():
+            lines.append(
+                f"latency: p50={self.percentile(50):.0f} "
+                f"p99={self.percentile(99):.0f} ticks"
+            )
+            lines.extend(_priority_lines(self))
         if self.preemptions or self.resumes:
             lines.append(
                 f"preemption: evictions={self.preemptions} "
@@ -259,15 +331,39 @@ class ClusterTelemetry:
     def max_queue_wait(self) -> int:
         return max((s.max_queue_wait() for s in self.shards), default=0)
 
+    def latencies(self, priority: Optional[int] = None) -> List[int]:
+        """Completion latencies across every shard, retired ones included
+        (their completions happened and stay in the fleet's record)."""
+        return [l for s in self.shards for l in s.latencies(priority)]
+
     def slo_attainment(
         self, slo_ticks: int, priority: Optional[int] = None
     ) -> float:
         """Fleet-wide fraction of completions within ``slo_ticks`` of
         submission (optionally one priority level); 0.0 with none."""
-        lats = [l for s in self.shards for l in s.latencies(priority)]
+        lats = self.latencies(priority)
         if not lats:
             return 0.0
         return sum(1 for l in lats if l <= slo_ticks) / len(lats)
+
+    def percentile(self, q: float, priority: Optional[int] = None) -> float:
+        """Nearest-rank completion-latency percentile across the fleet, in
+        ticks (optionally one priority level); 0.0 with no completions.
+        Same definition as :meth:`ServeTelemetry.percentile`, over the
+        pooled :meth:`latencies` — a percentile of the union, not a mean
+        of per-shard percentiles."""
+        return nearest_rank(self.latencies(priority), q)
+
+    def priorities(self) -> List[int]:
+        """Priority levels with a completion on any shard, sorted."""
+        return sorted({p for s in self.shards for p in s.priority_latencies})
+
+    def priority_table(
+        self, slo_ticks: Optional[int] = None
+    ) -> Dict[int, Dict[str, float]]:
+        """Per-priority p50/p90/p99/max rollup over the pooled fleet
+        latencies (plus SLO attainment when ``slo_ticks`` is given)."""
+        return _priority_table(self, slo_ticks)
 
     def mean_resume_wait(self) -> float:
         """Mean evict-to-resume wait across every shard's resumed requests."""
@@ -275,6 +371,16 @@ class ClusterTelemetry:
         return sum(waits) / len(waits) if waits else 0.0
 
     def first_result_tick(self) -> Optional[int]:
+        """Earliest completion tick across *every* shard ever in the fleet.
+
+        Retired shards are **included**: their telemetries stay in
+        ``shards`` after autoscale drops them, and a completion that
+        happened on a since-retired shard is still the fleet's first
+        result.  The min is meaningful across shards because they tick in
+        lock-step — every shard's clock (grown shards included, which
+        join at the cluster's current tick) reads the same logical time.
+        None until any shard completes a request.
+        """
         firsts = [
             s.first_result_tick
             for s in self.shards
@@ -316,7 +422,8 @@ class ClusterTelemetry:
     def summary(self) -> str:
         """Human-readable multi-line fleet summary."""
         lines = [
-            f"shards={self.num_shards} ticks={self.ticks} "
+            f"shards={self.num_shards} (retired={self.shards_retired}) "
+            f"ticks={self.ticks} "
             f"fleet_utilization={self.fleet_utilization():.3f}",
             f"requests: submitted={self.submitted} rejected={self.rejected} "
             f"spillovers={self.spillovers} injected={self.injected} "
@@ -329,6 +436,12 @@ class ClusterTelemetry:
             "per-shard completed: "
             + " ".join(str(c) for c in self.completed_per_shard()),
         ]
+        if self.latencies():
+            lines.append(
+                f"latency: p50={self.percentile(50):.0f} "
+                f"p99={self.percentile(99):.0f} ticks"
+            )
+            lines.extend(_priority_lines(self))
         if self.steals or self.steal_ticks:
             lines.append(
                 f"rebalancing: steals={self.steals} over "

@@ -121,6 +121,17 @@ class BlockExecutor:
     def on_restore_lane(self, vm: Any, lane: int, snapshot: Any) -> None:
         """Lane ``lane`` was reinstalled from ``snapshot`` (resume)."""
 
+    def on_block_executed(self, vm: Any, index: int, idx: np.ndarray) -> None:
+        """Block ``index`` is about to run with active lanes ``idx``.
+
+        Only fired when the machine's per-block profiling is armed
+        (``vm.instr.track_blocks``), so the hot path stays hook-free by
+        default.  A backend can use it to attribute device-side counters
+        (kernel time, memory traffic) to basic blocks, feeding the same
+        :class:`~repro.observe.BlockProfile` reports the built-in
+        lane-accounting does.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -284,7 +295,7 @@ class BoundPlan:
     which backend runs the blocks.
     """
 
-    __slots__ = ("plan", "vm", "blocks")
+    __slots__ = ("plan", "vm", "blocks", "block_hook")
 
     def __init__(self, plan: "ExecutionPlan", vm: Any, blocks: List[Callable]):
         if len(blocks) != len(plan.program.blocks):
@@ -295,6 +306,15 @@ class BoundPlan:
         self.plan = plan
         self.vm = vm
         self.blocks = blocks
+        # Resolved once per binding: None when the executor left the base
+        # no-op in place, so the profiling step skips the double dispatch
+        # entirely (it fires once per machine step when armed).
+        hook = type(plan.executor).on_block_executed
+        self.block_hook = (
+            None
+            if hook is BlockExecutor.on_block_executed
+            else plan.executor.on_block_executed
+        )
 
     def on_reset_lanes(self, idx: np.ndarray) -> None:
         self.plan.executor.on_reset_lanes(self.vm, idx)
@@ -310,6 +330,10 @@ class BoundPlan:
 
     def on_restore_lane(self, lane: int, snapshot: Any) -> None:
         self.plan.executor.on_restore_lane(self.vm, lane, snapshot)
+
+    def on_block_executed(self, index: int, idx: np.ndarray) -> None:
+        if self.block_hook is not None:
+            self.block_hook(self.vm, index, idx)
 
     def __repr__(self) -> str:
         return f"BoundPlan({self.plan.executor.name!r}, blocks={len(self.blocks)})"

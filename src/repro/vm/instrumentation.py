@@ -39,6 +39,32 @@ class OpCounter:
         return self.active / self.slots if self.slots else 1.0
 
 
+@dataclass(slots=True)
+class BlockCounter:
+    """Per-basic-block lane accounting (profiling only, off by default).
+
+    ``slots - active`` is the block's masked-lane waste — the per-block
+    signal superblock fusion ranks stragglers by.  ``live`` records how
+    many lanes were live anywhere in the machine at those steps, which
+    separates "the batch is drained" from "the batch diverged away from
+    this block".  Slotted: it is updated once per machine step when
+    profiling is armed.
+    """
+
+    executions: int = 0
+    active: int = 0    # lanes whose pc sat at this block (useful work)
+    live: int = 0      # lanes live anywhere in the machine at those steps
+    slots: int = 0     # lane-slots the platform offered (Z per execution)
+
+    def waste(self) -> int:
+        """Offered lane-slots that did no useful work at this block."""
+        return self.slots - self.active
+
+    def occupancy(self) -> float:
+        """Fraction of offered slots active at this block."""
+        return self.active / self.slots if self.slots else 1.0
+
+
 @dataclass
 class Instrumentation:
     """Mutable counters, shared across nested interpreter activations."""
@@ -57,6 +83,8 @@ class Instrumentation:
     lane_live: int = 0                  # lanes holding a live (unhalted) member
     by_prim: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
     by_tag: Dict[str, OpCounter] = field(default_factory=lambda: defaultdict(OpCounter))
+    track_blocks: bool = False          # arm per-block profiling (O(Z) scan/step)
+    by_block: Dict[int, BlockCounter] = field(default_factory=dict)
 
     def record_step(self) -> None:
         """Count one basic-block execution."""
@@ -75,6 +103,21 @@ class Instrumentation:
         """
         self.lane_slots += slots
         self.lane_live += live
+
+    def record_block(self, index: int, active: int, live: int, slots: int) -> None:
+        """Count one basic-block execution's lane accounting (profiling).
+
+        Only called when ``track_blocks`` is set; ``slots`` mirrors the
+        primitive-level convention (batch width under masking, the
+        gathered index size under gather-scatter).
+        """
+        counter = self.by_block.get(index)
+        if counter is None:
+            counter = self.by_block[index] = BlockCounter()
+        counter.executions += 1
+        counter.active += active
+        counter.live += live
+        counter.slots += slots
 
     def record_prim(
         self,

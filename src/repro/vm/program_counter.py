@@ -227,12 +227,22 @@ class ProgramCounterVM:
         if self._steps > self.max_steps:
             raise ExecutionLimitExceeded(f"exceeded max_steps={self.max_steps}")
         self.instr.record_step()
-        if self.track_occupancy:
-            self.instr.record_occupancy(
-                int(np.count_nonzero(self.pcreg < self.exit_index)), self.batch_size
-            )
+        profiling = self.instr.track_blocks
+        if self.track_occupancy or profiling:
+            live = int(np.count_nonzero(self.pcreg < self.exit_index))
+            if self.track_occupancy:
+                self.instr.record_occupancy(live, self.batch_size)
         mask = self.pcreg == i
         idx = np.flatnonzero(mask)
+        if profiling:
+            # Mirror the primitive-level slot convention: the platform
+            # offers the full batch width under masking but only the
+            # gathered lanes under gather-scatter.
+            slots = int(idx.size) if self.mode == "gather" else self.batch_size
+            self.instr.record_block(i, int(idx.size), live, slots)
+            hook = self._bound.block_hook
+            if hook is not None:
+                hook(self, i, idx)
         if self.block_executors is not None and self.block_executors[i] is not None:
             self.block_executors[i](self, mask, idx)
         else:

@@ -45,6 +45,7 @@ from repro.serve.queue import ResultHandle, ServeRequest
 from repro.vm.executors import ExecutionPlan
 
 from .programs import ALL_EXAMPLES, fib, gcd
+from .test_serve import check_trace_invariants
 
 CLUSTER_CORPUS = ["fib", "gcd", "collatz_steps", "poly", "rng_walk",
                   "recursive_pair", "newton_sqrt"]
@@ -979,10 +980,11 @@ class TestRebalancingSchedules:
         steal=st.booleans(),
         autoscale=st.booleans(),
         preempt=st.booleans(),
+        trace=st.booleans(),
     )
     def test_random_schedule_invariants(
         self, schedule, num_engines, num_lanes, policy, seed, steal,
-        autoscale, preempt
+        autoscale, preempt, trace
     ):
         max_engines = num_engines + 2
         cluster = fib.serve_cluster(
@@ -999,6 +1001,7 @@ class TestRebalancingSchedules:
                 else None
             ),
             preempt=PreemptPolicy() if preempt else None,
+            trace="events" if trace else None,
             max_stack_depth=64,
         )
         handles = []
@@ -1052,3 +1055,107 @@ class TestRebalancingSchedules:
             assert 1 <= cluster.num_engines <= max_engines
         else:
             assert cluster.num_engines == num_engines
+        # Every traced timeline is well-formed and the event counts agree
+        # one-for-one with the fleet's telemetry counters.
+        if trace:
+            check_trace_invariants(handles, t, cluster.trace)
+        else:
+            assert cluster.trace is None
+
+
+# -- observability determinism -------------------------------------------------
+#
+# Tracing rides the logical clock, so two identical schedules must produce
+# *byte-identical* artifacts: the Chrome-trace export and the metrics series
+# are pure functions of (program, schedule, seed), even under the full
+# rebalancing stack (steal + preempt + autoscale).
+
+
+class TestClusterObservability:
+    def _traced_run(self, tmp_path, tag):
+        from repro.observe import Trace, validate_chrome_trace
+
+        trace = Trace()
+        cluster = fib.serve_cluster(
+            2,
+            num_lanes=1,
+            policy=PinnedPolicy(),
+            seed=7,
+            steal=StealPolicy(),
+            autoscale=AutoscalePolicy(
+                max_engines=4, grow_patience=1, shrink_patience=2
+            ),
+            preempt=PreemptPolicy(min_age=0),
+            trace=trace,
+            max_stack_depth=64,
+        )
+        handles = []
+        for i, (n, priority) in enumerate(
+            [(12, 0), (11, 0), (13, 0), (4, 3), (5, 3), (10, 1), (9, 2)]
+        ):
+            handles.append(cluster.submit(np.int64(n), priority=priority))
+            if i % 2:
+                cluster.tick()
+        cluster.run_until_idle()
+        path = tmp_path / f"trace_{tag}.json"
+        trace.export_chrome_trace(path)
+        validate_chrome_trace(path)
+        return cluster, handles, trace, path.read_bytes()
+
+    def test_two_identical_runs_are_byte_identical(self, tmp_path):
+        cluster_a, handles_a, trace_a, chrome_a = self._traced_run(tmp_path, "a")
+        cluster_b, handles_b, trace_b, chrome_b = self._traced_run(tmp_path, "b")
+        # The exercise is real: the schedule provokes rebalancing events.
+        assert trace_a.tracer.count("preempt") > 0
+        assert cluster_a.telemetry.steals > 0
+        # Chrome export, raw event stream, and metric series all match
+        # byte-for-byte across the two runs.
+        assert chrome_a == chrome_b
+        assert trace_a.tracer.to_json() == trace_b.tracer.to_json()
+        assert trace_a.metrics.to_json() == trace_b.metrics.to_json()
+        assert [int(h.result()) for h in handles_a] == [
+            int(h.result()) for h in handles_b
+        ]
+        check_trace_invariants(
+            [(None, h) for h in handles_a], cluster_a.telemetry, trace_a
+        )
+
+    def test_first_result_tick_includes_retired_shards(self):
+        # A completion on a since-retired shard is still the fleet's first
+        # result: autoscale retirement keeps the shard's telemetry in the
+        # rollup, and the lock-step clock keeps the min meaningful.
+        early = ServeTelemetry(num_lanes=1, completed=3, retired=True)
+        early.first_result_tick = 2
+        late = ServeTelemetry(num_lanes=1, completed=5)
+        late.first_result_tick = 9
+        t = ClusterTelemetry(shards=[early, late], shards_retired=1)
+        assert t.first_result_tick() == 2
+        assert "retired=1" in t.summary()
+
+    def test_first_result_tick_live_cluster_retirement(self):
+        # End-to-end: force an autoscale shrink after completions, then
+        # check the rollup still reports the pre-retirement first result.
+        cluster = fib.serve_cluster(
+            2,
+            num_lanes=2,
+            policy=PinnedPolicy(),
+            autoscale=AutoscalePolicy(
+                min_engines=1, max_engines=2, shrink_patience=1
+            ),
+            max_stack_depth=64,
+        )
+        handles = [cluster.submit(np.int64(n)) for n in (8, 9, 10, 11)]
+        cluster.run_until_idle()
+        first = cluster.telemetry.first_result_tick()
+        assert first is not None
+        # Idle ticks trigger the shrink; the retired shard's telemetry
+        # stays in the rollup, so the fleet's first result is unchanged.
+        for _ in range(20):
+            cluster.tick()
+            if cluster.telemetry.shards_retired:
+                break
+        assert cluster.telemetry.shards_retired == 1
+        assert any(s.retired for s in cluster.telemetry.shards)
+        assert cluster.telemetry.first_result_tick() == first
+        assert all(int(h.result()) == FIB_REF[int(a)]
+                   for h, a in zip(handles, (8, 9, 10, 11)))

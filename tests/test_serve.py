@@ -656,6 +656,35 @@ def check_serving_invariants(server, handles, telemetry):
     check_preemption_invariants(handles, telemetry)
 
 
+def check_trace_invariants(handles, telemetry, trace):
+    """Every traced request's timeline is well-formed and the event
+    stream reconstructs the telemetry counters exactly.
+
+    Works for an engine's ServeTelemetry and a cluster's ClusterTelemetry
+    alike (the counter names coincide by design).
+    """
+    from repro.observe import validate_timeline
+
+    tracer = trace.tracer
+    for _, h in handles:
+        events = h.trace()
+        terminal = validate_timeline(events)
+        assert terminal == ("complete" if h.state == "done" else "fail")
+        assert sum(1 for e in events if e.kind == "preempt") == h.preemptions
+    assert tracer.count("submit") == telemetry.submitted
+    assert tracer.count("inject") == telemetry.injected
+    assert tracer.count("complete") == telemetry.completed
+    assert tracer.count("fail") == telemetry.failed
+    assert tracer.count("preempt") == telemetry.preemptions
+    assert tracer.count("resume") == telemetry.resumes
+    assert tracer.count("reject") == telemetry.rejected
+    assert tracer.count("steal") == getattr(telemetry, "steals", 0)
+    assert tracer.count("migrate") == getattr(
+        telemetry, "preempted_migrations", 0
+    )
+    assert tracer.count("drain") == getattr(telemetry, "drain_migrations", 0)
+
+
 def check_preemption_invariants(handles, telemetry):
     """Every eviction resumed exactly once, nothing lingers preempted.
 
@@ -723,11 +752,13 @@ class TestPropertyBasedSchedules:
     ):
         """Random arrivals x priorities under an always-on preempt policy:
         no lost/duplicated handles, every eviction resumes exactly once,
-        results bit-identical to the unbatched reference."""
+        results bit-identical to the unbatched reference, and every traced
+        timeline well-formed (submit → inject → ... → one terminal)."""
         engine = fib.serve(
             num_lanes=num_lanes,
             max_stack_depth=64,
             preempt=PreemptPolicy(min_age=min_age, max_per_tick=max_per_tick),
+            trace="events",
         )
         handles = []
         for n, gap, priority, budget in schedule:
@@ -743,6 +774,7 @@ class TestPropertyBasedSchedules:
             )
         engine.run_until_idle()
         check_serving_invariants(engine, handles, engine.telemetry)
+        check_trace_invariants(handles, engine.telemetry, engine.trace)
         assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
 
     @settings(max_examples=15, deadline=None)
