@@ -1,7 +1,7 @@
 """Serving benchmarks: continuous batching, shard scaling, rebalancing,
 preemption, and observability overhead.
 
-Five subcommands share one workload generator (``fib`` calls with skewed
+Six subcommands share one workload generator (``fib`` calls with skewed
 sizes) and one assertion discipline — inequalities are asserted, not just
 printed, and every scenario's outputs must stay bit-identical to the static
 ``run_pc`` batch:
@@ -32,10 +32,18 @@ printed, and every scenario's outputs must stay bit-identical to the static
   event counts reconcile exactly with the fleet telemetry; the block
   profile must rank fib's straggler blocks by masked-lane waste.
   → ``BENCH_trace.json`` + ``TRACE_preempt.json``
+* ``superblock`` — superblock dispatch amortization (static and
+  profile-guided region selection) plus pc-bucketed re-batching of
+  preempted stragglers on resume.  The profile-guided superblock engine
+  must reach >= 1.5x fused throughput at strictly less than one host
+  dispatch per executed block; the pc-aligned resume refill must drain
+  preempted cohorts >= 1.3x faster than naive FIFO refill.
+  → ``BENCH_superblock.json``
 
-Run: ``python benchmarks/bench_serve.py [serve|cluster|steal|preempt|trace]
-[--quick] [--out FILE] ...``  (the legacy ``--cluster``/``--steal``/
-``--preempt`` flags are accepted as aliases for the subcommands).
+Run: ``python benchmarks/bench_serve.py
+[serve|cluster|steal|preempt|trace|superblock] [--quick] [--out FILE] ...``
+(the legacy ``--cluster``/``--steal``/``--preempt`` flags are accepted as
+aliases for the subcommands).
 """
 
 import argparse
@@ -50,9 +58,31 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 sys.path.insert(0, _HERE)
 
+from repro import autobatch  # noqa: E402
 from repro.bench.report import format_table  # noqa: E402
 from repro.serve import RoutingPolicy  # noqa: E402
 from common import fib  # noqa: E402
+
+
+@autobatch
+def mix(x):
+    return (x * 1103515245 + 12345) % 2147483647
+
+
+@autobatch
+def walk(n, x):
+    # A branch-free loop *cycle*: the body is three calls, so control flow
+    # crosses PushJump/Return block boundaries every iteration but never
+    # forks on data.  Lanes seeded at the same pc with the same n stay in
+    # pc-lockstep forever — the workload that makes resumed-straggler
+    # re-batching measurable (fib's recursion gives same-pc lanes divergent
+    # stacks, and data-dependent branches split even aligned cohorts).
+    while n > 0:
+        x = mix(x + n)
+        x = mix(x * 2 + 1)
+        x = mix(x + 17)
+        n = n - 1
+    return x
 
 
 # -- shared trace generation ---------------------------------------------------
@@ -893,6 +923,214 @@ def run_trace(args) -> None:
           "ranked by masked-lane waste")
 
 
+# -- superblock: profile-guided fusion + resumed-straggler re-batching --------
+
+
+def run_superblock(args) -> None:
+    """Superblock dispatch amortization and pc-bucketed resume refill.
+
+    Part A — *fewer dispatches, same answers*: the skewed fib trace under
+    closed load, fused vs superblock vs a profile-seeded superblock (regions
+    re-selected from a warm-up run's block profile).  The profiled engine
+    must reach >= 1.5x the fused engine's throughput (ticks are the logical
+    clock: one dispatch each, so the tick ratio *is* the throughput ratio)
+    while paying strictly less than one host dispatch per executed block.
+
+    Part B — *aligned resume refill*: six preempted cohorts of ``walk``
+    stragglers, each checkpointed at a distinct pc, are requeued interleaved
+    into a fresh engine.  A naive FIFO refill seats a mixed wave (one member
+    of each cohort) and the machine grinds through 6 separated fronts;
+    ``resume_batching=True`` seats whole pc-aligned cohorts back-to-back and
+    must finish >= 1.3x faster.  Both refills must reproduce the static
+    ``run_pc`` answers bit-identically.
+    """
+    from repro.backend.fusion import SuperblockExecutor
+    from repro.serve import PreemptPolicy
+
+    n_requests = positive(
+        args.requests if args.requests is not None else (40 if args.quick else 200),
+        "--requests",
+    )
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 16),
+        "--lanes",
+    )
+
+    # ---- part A: dispatch amortization on the shared fib trace ----
+    sizes, requests, expected = fib_trace(n_requests, seed=args.seed)
+    arrivals = np.zeros(n_requests, dtype=np.int64)  # closed load
+    print(f"part A: {n_requests} fib requests (sizes {sizes.min()}.."
+          f"{sizes.max()}), closed load, {num_lanes} lanes")
+
+    def drive(executor, label, trace=None):
+        engine = fib.serve(num_lanes=num_lanes, executor=executor, trace=trace)
+        handles = []
+        i = 0
+        wall_start = time.perf_counter()
+        while i < len(requests) or engine.busy():
+            while i < len(requests) and arrivals[i] <= engine.now:
+                handles.append(engine.submit(*requests[i]))
+                i += 1
+            engine.tick()
+        wall = time.perf_counter() - wall_start
+        check_outputs([h.result() for h in handles], expected, label)
+        return engine, wall
+
+    warm, _ = drive("superblock", "profile warm-up", trace="profile")
+    profile = warm.trace.block_profile()
+    profiled_ex = SuperblockExecutor(profile=profile)
+    regions = profiled_ex.regions_for(fib.stack_program())
+
+    rows, part_a = [], {}
+    for key, executor in [("fused", "fused"),
+                          ("superblock", "superblock"),
+                          ("superblock+profile", profiled_ex)]:
+        engine, wall = drive(executor, key)
+        instr = engine.vm.instr
+        part_a[key] = {
+            "executor": key,
+            "ticks": int(engine.telemetry.ticks),
+            "host_dispatches": int(instr.host_dispatches),
+            "block_steps": int(instr.steps),
+            "dispatches_per_block_step":
+                instr.host_dispatches / max(instr.steps, 1),
+            "wall_seconds": wall,
+        }
+        m = part_a[key]
+        rows.append([key, f"{m['ticks']:,}", f"{m['host_dispatches']:,}",
+                     f"{m['block_steps']:,}",
+                     f"{m['dispatches_per_block_step']:.3f}",
+                     f"{m['wall_seconds']:.3f}"])
+    print(format_table(
+        ["executor", "ticks", "dispatches", "block steps", "disp/step",
+         "wall s"], rows))
+
+    speedup_static = part_a["fused"]["ticks"] / part_a["superblock"]["ticks"]
+    speedup_profiled = (part_a["fused"]["ticks"]
+                        / part_a["superblock+profile"]["ticks"])
+    amortization = part_a["superblock+profile"]["dispatches_per_block_step"]
+    print(f"\nsuperblock/fused throughput: static {speedup_static:.2f}x, "
+          f"profile-guided {speedup_profiled:.2f}x "
+          f"(mean region length {regions.mean_length():.2f}); "
+          f"profiled engine pays {amortization:.3f} dispatches per block\n")
+
+    # ---- part B: pc-bucketed resume refill of preempted stragglers ----
+    lanes_b = 8  # pc phase structure below is probed for this lane count
+    # walk's loop cycle revisits mix's entry block three times per
+    # iteration, so the eviction-tick phase (period 8) yields exactly six
+    # distinct checkpoint pcs; these offsets before completion hit each
+    # one once (asserted below — misalignment would void the experiment).
+    evict_offsets = (17, 18, 19, 21, 23, 24)
+    base_n = 20 if args.quick else 40
+
+    def full_ticks(n):
+        engine = walk.serve(num_lanes=lanes_b, executor="fused",
+                            max_stack_depth=16)
+        for i in range(lanes_b):
+            engine.submit(np.int64(n), np.int64(1000 + i))
+        engine.run_until_idle()
+        return engine.telemetry.ticks
+
+    def donor_round(r, n, evict_tick):
+        """A cohort of near-done stragglers evicted ``offset`` ticks early."""
+        engine = walk.serve(num_lanes=lanes_b, executor="fused",
+                            max_stack_depth=16,
+                            preempt=PreemptPolicy(min_age=0))
+        for i in range(lanes_b):
+            engine.submit(np.int64(n), np.int64(1000 + 100 * r + i))
+        for _ in range(evict_tick):
+            engine.tick()
+        for _ in range(lanes_b):  # burst that evicts every straggler lane
+            engine.submit(np.int64(1), np.int64(5), priority=5)
+        engine.tick()
+        evicted = []
+        while len(engine.queue):
+            handle = engine.queue.pop()
+            if handle.snapshot is not None:
+                evicted.append(handle)
+        return evicted
+
+    def build_rounds():
+        groups = []
+        for r, offset in enumerate(evict_offsets):
+            n = base_n + 2 * r
+            groups.append(donor_round(r, n, full_ticks(n) - offset))
+        return groups
+
+    def refill(groups, rebatch):
+        order = []  # interleaved: a naive FIFO wave seats a mixed batch
+        for i in range(lanes_b):
+            for g in groups:
+                order.append(g[i])
+        engine = walk.serve(num_lanes=lanes_b, executor="fused",
+                            max_stack_depth=16, resume_batching=rebatch,
+                            resume_defer_limit=lanes_b)
+        engine.requeue(order)
+        engine.run_until_idle()
+        ns = np.array([h.request.inputs[0] for h in order])
+        xs = np.array([h.request.inputs[1] for h in order])
+        check_outputs([h.result() for h in order], walk.run_pc(ns, xs),
+                      "rebatched refill" if rebatch else "naive refill")
+        return engine
+
+    naive_groups, rebatch_groups = build_rounds(), build_rounds()
+    cohort_pcs = [sorted({int(h.snapshot.pc) for h in g})
+                  for g in naive_groups]
+    print(f"part B: {len(evict_offsets)} preempted walk cohorts x "
+          f"{lanes_b} lanes, checkpoint pcs "
+          f"{[p[0] if len(p) == 1 else p for p in cohort_pcs]}")
+    assert all(len(p) == 1 for p in cohort_pcs) and (
+        len({p[0] for p in cohort_pcs}) == len(evict_offsets)
+    ), "eviction offsets failed to land each cohort on its own distinct pc"
+
+    naive_engine = refill(naive_groups, rebatch=False)
+    rebatch_engine = refill(rebatch_groups, rebatch=True)
+    ticks_naive = int(naive_engine.telemetry.ticks)
+    ticks_rebatch = int(rebatch_engine.telemetry.ticks)
+    resume_speedup = ticks_naive / ticks_rebatch
+    rebatches = int(rebatch_engine.telemetry.resume_rebatches)
+    print(f"naive refill {ticks_naive} ticks, pc-bucketed refill "
+          f"{ticks_rebatch} ticks: {resume_speedup:.2f}x "
+          f"({rebatches} queue-jumps)\n")
+
+    result = {
+        "benchmark": "bench_superblock",
+        "config": {"requests": n_requests, "lanes": num_lanes,
+                   "seed": args.seed, "quick": bool(args.quick),
+                   "resume_lanes": lanes_b, "resume_base_n": base_n,
+                   "evict_offsets": list(evict_offsets)},
+        "engines": list(part_a.values()),
+        "mean_region_length_profiled": regions.mean_length(),
+        "superblock_over_fused_throughput": speedup_static,
+        "profiled_superblock_over_fused_throughput": speedup_profiled,
+        "profiled_dispatches_per_block_step": amortization,
+        "resume_cohort_pcs": [p[0] for p in cohort_pcs],
+        "resume_naive_ticks": ticks_naive,
+        "resume_rebatched_ticks": ticks_rebatch,
+        "resume_refill_speedup": resume_speedup,
+        "resume_rebatches": rebatches,
+    }
+    write_result(result, args, "BENCH_superblock.json")
+
+    assert speedup_profiled >= 1.5, (
+        f"profile-guided superblock reached only {speedup_profiled:.2f}x "
+        "fused throughput; expected >= 1.5x"
+    )
+    assert amortization < 1.0, (
+        f"superblock paid {amortization:.3f} host dispatches per executed "
+        "block; amortization requires strictly < 1"
+    )
+    assert resume_speedup >= 1.3, (
+        f"pc-bucketed resume refill reached only {resume_speedup:.2f}x the "
+        "naive refill; expected >= 1.3x"
+    )
+    assert rebatches >= 1, "resume_batching never exercised a queue-jump"
+    print(f"OK: profile-guided superblocks sustain {speedup_profiled:.2f}x "
+          f"fused throughput at {amortization:.3f} dispatches per block; "
+          f"pc-bucketed resume refill drains preempted cohorts "
+          f"{resume_speedup:.2f}x faster, all outputs bit-identical")
+
+
 # -- CLI -----------------------------------------------------------------------
 
 SCENARIOS = {
@@ -901,6 +1139,7 @@ SCENARIOS = {
     "steal": run_steal_rebalance,
     "preempt": run_preempt,
     "trace": run_trace,
+    "superblock": run_superblock,
 }
 
 #: Legacy flag spellings accepted as subcommand aliases.
@@ -950,6 +1189,11 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="observability overhead + deterministic trace export "
                       "(traced vs untraced preempt workload)")
     _common_flags(p_trace)
+
+    p_superblock = sub.add_parser(
+        "superblock", help="profile-guided superblock fusion + pc-bucketed "
+                           "resume refill of preempted stragglers")
+    _common_flags(p_superblock)
 
     return parser
 

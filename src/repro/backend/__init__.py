@@ -7,7 +7,11 @@ XLA (kernel fusion, low dispatch overhead).  This package reproduces the
 * :mod:`repro.backend.fusion` — compiles each basic block of a stack program
   into a single generated Python function ("fused kernel"), replacing the
   op-at-a-time interpreter loop.  One dispatch per block instead of one per
-  primitive: the XLA analog.
+  primitive: the XLA analog.  :class:`SuperblockExecutor` goes below that
+  floor, chaining blocks into multi-block runs with side exits.
+* :mod:`repro.backend.regions` — the region-selection pass feeding the
+  superblock executor: static fall-through chains, optionally extended
+  through branches by a :class:`~repro.observe.BlockProfile`.
 * :mod:`repro.backend.device` — deterministic cost models of a CPU-like and
   a GPU-like device (dispatch overhead, throughput, parallel width), used to
   produce reproducible simulated timings alongside real wall-clock ones.
@@ -18,10 +22,12 @@ from repro.backend.device import CPU_DEVICE, GPU_DEVICE, DeviceModel
 from repro.backend.fusion import (
     FusedBlockExecutor,
     FusionUnsupported,
+    SuperblockExecutor,
     compile_block_executors,
     run_fused,
 )
 from repro.backend.kernels import KernelLibrary
+from repro.backend.regions import RegionTable, select_regions
 
 __all__ = [
     "CPU_DEVICE",
@@ -29,7 +35,10 @@ __all__ = [
     "DeviceModel",
     "FusedBlockExecutor",
     "FusionUnsupported",
+    "SuperblockExecutor",
     "compile_block_executors",
     "run_fused",
     "KernelLibrary",
+    "RegionTable",
+    "select_regions",
 ]

@@ -104,7 +104,11 @@ class _CompiledBlock:
         self.spec = spec
 
     def bind(self, vm: Any, registry: PrimitiveRegistry) -> Callable:
-        namespace: Dict[str, object] = {"np": np, "_el": elements_per_lane}
+        namespace: Dict[str, object] = {
+            "np": np,
+            "_el": elements_per_lane,
+            "_sbp": _superblock_profile,
+        }
         for name, kind, payload in self.spec:
             if kind == "storage":
                 namespace[name] = vm.storage(payload)
@@ -121,6 +125,22 @@ class _CompiledBlock:
         fn = namespace[f"_fused_block_{self.index}"]
         fn.__fused_source__ = self.source  # type: ignore[attr-defined]
         return fn
+
+
+def _superblock_profile(vm, index: int, idx: np.ndarray) -> None:
+    """Per-member profiling for superblock bodies (mirrors ``step_lanes``).
+
+    The machine loop only profiles the dispatch's *entry* block; superblock
+    members executed in the same dispatch call this instead, so a profiled
+    superblock run feeds :class:`~repro.observe.BlockProfile` the same
+    per-block rows the single-block executors would.  Only called when
+    ``vm.instr.track_blocks`` is armed.
+    """
+    live = int(np.count_nonzero(vm.pcreg < vm.exit_index))
+    vm.instr.record_block(index, int(idx.size), live, vm.batch_size)
+    hook = vm._bound.block_hook
+    if hook is not None:
+        hook(vm, index, idx)
 
 
 class _BlockCompiler:
@@ -167,10 +187,15 @@ class _BlockCompiler:
         s = self._bind("s", "storage", var)
         lines.append(f"{s}.write(mask, np.asarray({expr}))")
 
-    def compile(self, block_index: int) -> _CompiledBlock:
-        """Generate and compile block ``block_index``'s fused source."""
+    def emit_block(self, block_index: int, lines: List[str]) -> None:
+        """Append block ``block_index``'s body and terminator statements.
+
+        Emitted statements are flat (no multi-line constructs), reading the
+        conventional locals ``vm``/``mask``/``idx``/``_na``/``_i``/``_z`` —
+        so a caller can splice several blocks into one function body
+        (superblocks) by re-deriving ``mask``/``idx`` between members.
+        """
         block = self.program.blocks[block_index]
-        lines: List[str] = []
 
         for j, op in enumerate(block.ops):
             if isinstance(op, ConstOp):
@@ -234,15 +259,66 @@ class _BlockCompiler:
         else:
             raise FusionUnsupported(f"cannot fuse terminator {term!r}")
 
+    def _wrap(self, entry_index: int, lines: List[str]) -> _CompiledBlock:
         body = textwrap.indent("\n".join(lines) or "pass", "        ")
         source = (
-            f"def _fused_block_{block_index}(vm, mask, idx):\n"
+            f"def _fused_block_{entry_index}(vm, mask, idx):\n"
             f"    _i = vm.instr\n"
             f"    _na = int(idx.size)\n"
             f"    with np.errstate(all='ignore'):\n"
             f"{body}\n"
         )
-        return _CompiledBlock(block_index, source, self.spec)
+        return _CompiledBlock(entry_index, source, self.spec)
+
+    def compile(self, block_index: int) -> _CompiledBlock:
+        """Generate and compile block ``block_index``'s fused source."""
+        lines: List[str] = []
+        self.emit_block(block_index, lines)
+        return self._wrap(block_index, lines)
+
+    def compile_chain(self, chain: Sequence[int]) -> _CompiledBlock:
+        """Generate one guarded multi-block function for a superblock run.
+
+        The entry member executes exactly as a plain fused block.  Each
+        later member re-derives its mask from the *current* program
+        counters and runs under an ``if idx.size`` guard, so:
+
+        * lanes that left the hot path have already fallen out — the side
+          exit costs nothing beyond the pc compare;
+        * lanes that were already parked at the member (other requests,
+          resumed stragglers) are swept into the same dispatch, which is
+          sound because masked execution makes each lane's results
+          independent of its dispatch companions.
+
+        Per-member instrumentation matches the machine loop: one
+        ``record_step`` per member that ran, profiling via ``_sbp`` when
+        armed, and the active-lane sets of every member concatenated into
+        ``vm._stepped_override`` so serving step budgets charge the same
+        per-block rate as the single-block executors.
+        """
+        start = chain[0]
+        if len(chain) == 1:
+            return self.compile(start)
+        lines: List[str] = []
+        self.emit_block(start, lines)
+        lines.append("_stepped = [idx]")
+        for member in chain[1:]:
+            body: List[str] = []
+            self.emit_block(member, body)
+            lines.append(f"mask = np.equal(vm.pcreg, {member})")
+            lines.append("idx = np.flatnonzero(mask)")
+            lines.append("if idx.size:")
+            inner = [
+                "_na = int(idx.size)",
+                "_i.record_step()",
+                "_stepped.append(idx)",
+                "if _i.track_blocks:",
+                f"    _sbp(vm, {member}, idx)",
+            ] + body
+            lines.extend("    " + stmt for stmt in inner)
+        lines.append("if len(_stepped) > 1:")
+        lines.append("    vm._stepped_override = np.concatenate(_stepped)")
+        return self._wrap(start, lines)
 
 
 class FusedBlockExecutor(BlockExecutor):
@@ -310,6 +386,110 @@ class FusedBlockExecutor(BlockExecutor):
 
 
 register_executor(FusedBlockExecutor.name, FusedBlockExecutor)
+
+
+class SuperblockExecutor(FusedBlockExecutor):
+    """Hot block *runs* compiled into one guarded callable per entry block.
+
+    Where the fused executor pays one host dispatch per basic block per
+    machine step, this executor compiles every block's superblock run (see
+    :func:`repro.backend.regions.select_regions`) into a single function:
+    one dispatch executes the entry block and then falls through the run's
+    members, each guarded by a fresh pc mask.  Lanes that diverge fall out
+    at a side exit with their pcs already set by the member terminator that
+    diverted them; lanes parked further down the run are swept in.  Every
+    block fronts its own run, so arbitrary entry pcs (preemption resume,
+    side exits, snapshot migration) never hit a slow path.
+
+    Region selection is fixed at construction: ``profile=None`` seeds runs
+    statically from fall-through edges, a
+    :class:`~repro.observe.BlockProfile` additionally extends runs through
+    branches into their dominant successors.  An executor never re-derives
+    regions — feed a new profile to a *new* executor instance, which also
+    yields a new :class:`~repro.vm.executors.ExecutionPlan` (instances
+    bypass the :class:`~repro.frontend.api.AutobatchFunction` plan cache),
+    so stale compiled regions are structurally impossible.
+
+    Results are bit-identical to the eager and fused executors: masked
+    execution makes each lane's values independent of its dispatch
+    companions, so sweeping extra lanes through a member block changes
+    *when* work happens, never what it computes.  Dispatch accounting uses
+    :attr:`~repro.vm.instrumentation.Instrumentation.host_dispatches`
+    (one per ``step_lanes`` call) rather than ``steps``; the gap between
+    the two is the amortization superblocks buy.
+    """
+
+    name = "superblock"
+    accounting = "fused"
+
+    def __init__(
+        self,
+        profile: Any = None,
+        max_length: Optional[int] = None,
+        min_slots: int = 0,
+        registry: Optional[PrimitiveRegistry] = None,
+    ):
+        from repro.backend.regions import DEFAULT_MAX_LENGTH
+
+        super().__init__(registry)
+        self.profile = profile
+        self.max_length = (
+            DEFAULT_MAX_LENGTH if max_length is None else int(max_length)
+        )
+        self.min_slots = int(min_slots)
+        self._regions: Dict[int, Tuple[StackProgram, Any]] = {}
+
+    def regions_for(self, program: StackProgram):
+        """The :class:`~repro.backend.regions.RegionTable` for ``program``.
+
+        Derived once per program from the executor's construction-time
+        profile and cached; region-aware schedulers read it through the
+        machine (see :class:`~repro.vm.scheduler.RegionScheduler`).
+        """
+        from repro.backend.regions import select_regions
+
+        entry = self._regions.get(id(program))
+        if entry is None:
+            table = select_regions(
+                program,
+                profile=self.profile,
+                max_length=self.max_length,
+                min_slots=self.min_slots,
+            )
+            self._regions[id(program)] = (program, table)
+            return table
+        return entry[1]
+
+    def _compiled_blocks(self, program: StackProgram) -> List[_CompiledBlock]:
+        entry = self._compiled.get(id(program))
+        if entry is None:
+            table = self.regions_for(program)
+            blocks = [
+                _BlockCompiler(program).compile_chain(table.chain(i))
+                for i in range(len(program.blocks))
+            ]
+            self._compiled[id(program)] = (program, blocks)
+            self.compile_count += 1
+            _TOTAL_FUSED_COMPILES[0] += 1
+            return blocks
+        return entry[1]
+
+    def dispatch_count(self, instr: Instrumentation) -> int:
+        """One host launch per machine dispatch — several blocks each."""
+        return instr.host_dispatches
+
+    def device_dispatch_count(self, instr: Instrumentation) -> int:
+        """Identical: the whole superblock is the launch unit."""
+        return instr.host_dispatches
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperblockExecutor(profiled={self.profile is not None}, "
+            f"max_length={self.max_length}, min_slots={self.min_slots})"
+        )
+
+
+register_executor(SuperblockExecutor.name, SuperblockExecutor)
 
 
 def compile_block_executors(

@@ -207,11 +207,15 @@ class AutobatchFunction:
 
         Options are forwarded to :class:`~repro.serve.engine.Engine`;
         ``executor="fused"`` serves through fused basic blocks (identical
-        results, one host dispatch per block), and ``preempt=`` (``True``
+        results, one host dispatch per block) and ``executor="superblock"``
+        through profile-guided multi-block runs (identical results, below
+        one dispatch per executed block), and ``preempt=`` (``True``
         or a tuned :class:`~repro.serve.engine.PreemptPolicy`) lets
         higher-priority arrivals checkpoint-and-evict straggler lanes —
         the evicted request *resumes* from its lane snapshot when a lane
-        frees, it is never recomputed.  ``trace=True`` (or a
+        frees, it is never recomputed (``resume_batching=True`` re-aligns
+        same-pc evictees at refill so they re-converge into shared masked
+        steps).  ``trace=True`` (or a
         :class:`~repro.observe.Trace`) records per-request event
         timelines (``handle.trace()``), per-tick metrics, and a per-block
         execution profile — deterministic on the logical clock, and

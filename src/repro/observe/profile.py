@@ -105,14 +105,29 @@ class BlockProfile:
     def row(self, index: int) -> Optional[BlockRow]:
         return self._rows.get(index)
 
-    def stragglers(self, limit: Optional[int] = None) -> List[BlockRow]:
+    def stragglers(
+        self, limit: Optional[int] = None, min_slots: int = 0
+    ) -> List[BlockRow]:
         """Blocks ranked by masked-lane waste, worst first.
 
-        Ties break on block index so the ranking is deterministic.  The
-        top of this list is the input to superblock fusion: the blocks
-        whose executions burn the most dead lane-slots.
+        The ranking is fully deterministic: waste descending, then block
+        index ascending — equal-waste blocks always come out in program
+        order, independent of dict iteration or collection order.  The top
+        of this list is the input to superblock fusion: the blocks whose
+        executions burn the most dead lane-slots.
+
+        ``min_slots`` floors the ranking on offered slots: a block the
+        profile barely sampled can post a perfect waste-per-execution
+        ratio out of noise, so blocks with ``slots < min_slots`` are
+        dropped (not just demoted) before ranking.  The default of 0
+        keeps every profiled block.
         """
-        ranked = sorted(self._rows.values(), key=lambda r: (-r.waste, r.index))
+        if min_slots < 0:
+            raise ValueError(f"min_slots must be >= 0, got {min_slots}")
+        ranked = sorted(
+            (r for r in self._rows.values() if r.slots >= min_slots),
+            key=lambda r: (-r.waste, r.index),
+        )
         return ranked if limit is None else ranked[:limit]
 
     @property

@@ -250,6 +250,17 @@ class Engine:
         :class:`~repro.vm.program_counter.LaneSnapshot` and *resumes* when
         a lane frees (keeping its step budget and arrival order).
         Requires ``refill="continuous"``.
+    resume_batching:
+        Off by default.  When on, lane refill prefers *groups* of
+        preempted requests parked at the same program counter: if the
+        queue head carries a snapshot, admission seats the largest
+        same-``(priority, pc)`` cohort (ties to the lowest pc) instead of
+        strict service order, so resumed stragglers re-converge into
+        shared masked steps — undoing the divergence preemption scattered
+        them into.  Only reorders *within* one priority level and only
+        among snapshot-carrying handles; a passed-over head is seated
+        unconditionally after ``resume_defer_limit`` deferrals, so the
+        reordering is bounded and deterministic.
     trace:
         Observability (off by default, zero overhead when off): ``True``
         for a full :class:`~repro.observe.Trace` (per-request event
@@ -260,10 +271,14 @@ class Engine:
         so traces from identical runs are byte-identical.
     executor:
         Block-executor choice for the machine: ``"eager"`` (per-op
-        dispatch) or ``"fused"`` (each block one pre-compiled callable —
-        same results, a fraction of the dispatches).  Lane recycling is
-        executor-agnostic: the retire/reset/inject hooks go through the
-        machine's :class:`~repro.vm.executors.ExecutionPlan`.
+        dispatch), ``"fused"`` (each block one pre-compiled callable —
+        same results, a fraction of the dispatches), or ``"superblock"``
+        (hot block *runs* fused into one callable each — same results
+        again, below one dispatch per executed block; pass a
+        :class:`~repro.backend.fusion.SuperblockExecutor` instance to
+        seed regions from a :class:`~repro.observe.BlockProfile`).  Lane
+        recycling is executor-agnostic: the retire/reset/inject hooks go
+        through the machine's :class:`~repro.vm.executors.ExecutionPlan`.
     """
 
     def __init__(
@@ -282,6 +297,8 @@ class Engine:
         default_step_budget: Optional[int] = None,
         refill: str = "continuous",
         preempt: Any = None,
+        resume_batching: bool = False,
+        resume_defer_limit: int = 4,
         trace: Any = None,
         max_steps: int = 10 ** 12,
         instrumentation: Optional[Instrumentation] = None,
@@ -316,9 +333,19 @@ class Engine:
                 "program must be an AutobatchFunction, a StackProgram, or "
                 f"an ExecutionPlan, got {type(program).__name__}"
             )
+        if resume_defer_limit < 1:
+            raise ValueError(
+                f"resume_defer_limit must be >= 1, got {resume_defer_limit}"
+            )
         self.refill = refill
         self.default_step_budget = default_step_budget
         self.preempt = preempt_policy
+        self.resume_batching = bool(resume_batching)
+        self.resume_defer_limit = int(resume_defer_limit)
+        #: The snapshot pc the current admission wave is seating (reset at
+        #: every wave): keeps :meth:`_pop_next` drawing from one cohort
+        #: until it runs dry instead of round-robining over ties.
+        self._resume_sticky_pc: Optional[int] = None
         self.plan = plan
         self.vm = ProgramCounterVM(
             plan,
@@ -590,13 +617,56 @@ class Engine:
         self.telemetry.record_resume(wait)
         self._emit("resume", handle, lane=lane)
 
+    def _pop_next(self) -> ResultHandle:
+        """The next handle to seat, honoring resume re-batching when on.
+
+        Strict service order unless the queue head is a preempted request:
+        then the largest same-priority snapshot cohort wins (ties to the
+        lowest pc), because seating pc-aligned stragglers together lets
+        every one of their resumed steps share one masked dispatch.  Within
+        one admission wave the choice is *sticky*: once a cohort starts
+        seating, later pops keep drawing from it until it is exhausted.
+        A per-pop greedy maximum would round-robin across equal-sized
+        cohorts (popping one member makes that cohort no longer the max),
+        seating a perfectly mixed wave — the opposite of alignment.  The
+        head is never deferred more than ``resume_defer_limit``
+        consecutive times, and never in favor of lower-priority work — the
+        reordering is bounded, intra-priority, and deterministic.
+        """
+        head = self.queue.peek()
+        if head.snapshot is None:
+            return self.queue.pop()
+        priority = head.request.priority
+        counts = self.queue.resume_pc_counts(priority)
+        sticky = self._resume_sticky_pc
+        if sticky is not None and counts.get(sticky, 0) > 0:
+            pc = sticky
+        else:
+            pc = min(counts, key=lambda p: (-counts[p], p))
+        if pc == head.snapshot.pc:
+            self._resume_sticky_pc = pc
+            return self.queue.pop()
+        if head.resume_defers >= self.resume_defer_limit:
+            self._resume_sticky_pc = head.snapshot.pc
+            return self.queue.pop()
+        picked = self.queue.pop_resume_at(priority, pc)
+        if picked is None:  # no cohort member actually available
+            return self.queue.pop()
+        head.resume_defers += 1
+        self.telemetry.resume_rebatches += 1
+        self._resume_sticky_pc = pc
+        return picked
+
     def _admit(self) -> None:
         """Move queued requests into vacant lanes, per the refill policy."""
+        self._resume_sticky_pc = None
         if self.refill == "drain" and self.pool.busy_count() > 0:
             return
         seated: List[ResultHandle] = []
         while len(self.queue) and self.pool.free_count():
-            handle = self.queue.pop()
+            handle = (
+                self._pop_next() if self.resume_batching else self.queue.pop()
+            )
             lane = self.pool.acquire(handle)
             if handle.snapshot is not None:
                 # A preempted request resumes from its checkpoint instead

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,6 +93,10 @@ class ResultHandle:
         self.snapshot: Any = None
         #: how many times this request's lane was preempted
         self.preemptions: int = 0
+        #: consecutive admissions at which this (queue-head) handle was
+        #: passed over by resume re-batching in favor of a larger same-pc
+        #: cohort; bounds the deferral (see ``Engine(resume_batching=...)``)
+        self.resume_defers: int = 0
         #: engine tick of the most recent eviction (None if never preempted)
         self.preempt_tick: Optional[int] = None
         #: engine tick of the most recent resume (None if never resumed)
@@ -176,6 +180,7 @@ class ResultHandle:
         self.lane = lane
         self.resume_tick = tick
         self.snapshot = None  # consumed by the machine's restore
+        self.resume_defers = 0
 
     def _resolve(self, value: Any, tick: int) -> None:
         self.state = DONE
@@ -212,6 +217,12 @@ class RequestQueue:
     #: before the requeue, ``_mark_resumed`` after the pop) — so
     #: ``snapshot_count`` is O(1) on the per-tick metrics path.
     _snapshots: int = 0
+    #: Queued snapshot-carrying handles bucketed by ``(priority, pc)`` —
+    #: the index resume re-batching groups on.  Maintained incrementally
+    #: under the same invariant as ``_snapshots`` (a handle's snapshot and
+    #: priority never mutate while it sits in a queue), so reading the
+    #: cohort sizes costs O(#distinct pcs), not a heap scan.
+    _pc_buckets: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -248,12 +259,67 @@ class RequestQueue:
         self._seq += 1
         if handle.snapshot is not None:
             self._snapshots += 1
+            key = (handle.request.priority, handle.snapshot.pc)
+            self._pc_buckets[key] = self._pc_buckets.get(key, 0) + 1
+
+    def _bucket_remove(self, handle: ResultHandle) -> None:
+        self._snapshots -= 1
+        key = (handle.request.priority, handle.snapshot.pc)
+        remaining = self._pc_buckets.get(key, 0) - 1
+        if remaining <= 0:
+            self._pc_buckets.pop(key, None)
+        else:
+            self._pc_buckets[key] = remaining
 
     def pop(self) -> ResultHandle:
         """The highest-priority (then oldest) queued handle."""
         handle = heapq.heappop(self._heap)[3]
         if handle.snapshot is not None:
-            self._snapshots -= 1
+            self._bucket_remove(handle)
+        return handle
+
+    def resume_pc_counts(self, priority: int) -> Dict[int, int]:
+        """Sizes of the queued same-pc snapshot cohorts at one priority.
+
+        Maps ``snapshot.pc -> count`` over the queued preempted handles of
+        ``priority``; the resume re-batching scheduler picks the largest
+        cohort (ties to the lowest pc) so resumed stragglers re-converge
+        into shared masked steps.
+        """
+        return {
+            pc: count
+            for (pri, pc), count in self._pc_buckets.items()
+            if pri == priority
+        }
+
+    def pop_resume_at(self, priority: int, pc: int) -> Optional[ResultHandle]:
+        """Remove the first-in-service-order preempted handle parked at
+        ``(priority, pc)``, or None when no such handle is queued.
+
+        An O(Q) scan plus re-heapify — only taken on the resume
+        re-batching path, where Q is bounded by the preempted backlog.
+        """
+        if self._pc_buckets.get((priority, pc), 0) == 0:
+            return None
+        best = None
+        for i, entry in enumerate(self._heap):
+            handle = entry[3]
+            if (
+                handle.snapshot is not None
+                and handle.request.priority == priority
+                and handle.snapshot.pc == pc
+                and (best is None or entry < self._heap[best])
+            ):
+                best = i
+        if best is None:
+            return None
+        entry = self._heap[best]
+        last = self._heap.pop()
+        if best < len(self._heap):
+            self._heap[best] = last
+            heapq.heapify(self._heap)
+        handle = entry[3]
+        self._bucket_remove(handle)
         return handle
 
     def peek(self) -> ResultHandle:

@@ -96,6 +96,10 @@ class ServeTelemetry:
     preemptions: int = 0           # running lanes evicted with a snapshot
     resumes: int = 0               # preempted requests reinstalled in a lane
     resume_waits: List[int] = field(default_factory=list)  # evict→resume ticks
+    #: resumes seated out of service order by resume re-batching — the
+    #: engine preferred a same-pc cohort member over the queue head so the
+    #: resumed stragglers re-converge into shared masked steps
+    resume_rebatches: int = 0
     #: completion latency (finish - submit ticks) per priority level; the
     #: raw material for per-priority SLO attainment
     priority_latencies: Dict[int, List[int]] = field(default_factory=dict)
@@ -224,6 +228,7 @@ class ServeTelemetry:
             lines.append(
                 f"preemption: evictions={self.preemptions} "
                 f"resumes={self.resumes} "
+                f"(re-batched={self.resume_rebatches}) "
                 f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
             )
         if self.instrumentation is not None:

@@ -71,6 +71,7 @@ class Instrumentation:
 
     batch_size: int = 0
     steps: int = 0                      # basic-block executions
+    host_dispatches: int = 0            # machine dispatches (step_lanes calls)
     kernel_calls: int = 0               # primitive dispatches
     pushes: int = 0                     # stack frames pushed (all variables)
     pops: int = 0
@@ -89,6 +90,17 @@ class Instrumentation:
     def record_step(self) -> None:
         """Count one basic-block execution."""
         self.steps += 1
+
+    def record_dispatch(self) -> None:
+        """Count one host dispatch (one ``step_lanes`` call).
+
+        For the eager and fused executors every dispatch executes exactly
+        one basic block, so ``host_dispatches == steps``.  A superblock
+        executor runs several blocks per dispatch, pushing
+        ``host_dispatches / steps`` strictly below one — the amortization
+        the superblock benchmark asserts on.
+        """
+        self.host_dispatches += 1
 
     def record_occupancy(self, live: int, slots: int) -> None:
         """Count one machine step's lane occupancy.

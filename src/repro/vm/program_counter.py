@@ -132,6 +132,17 @@ class ProgramCounterVM:
         self._bound = plan.bind(self)
         self._block_fns = self._bound.blocks
         self._steps = 0
+        # A multi-block executor (superblock fusion) sets this to the union
+        # of lanes that were active across every member block it ran, so
+        # step_lanes can report the full set to per-request step budgets.
+        self._stepped_override: Optional[np.ndarray] = None
+        # Region-aware schedulers get the executor's superblock table so
+        # they can prefer entry blocks whose chains cover the most lanes.
+        if hasattr(self.scheduler, "set_regions"):
+            regions_for = getattr(plan.executor, "regions_for", None)
+            self.scheduler.set_regions(
+                None if regions_for is None else regions_for(self.program)
+            )
 
     # -- storage ----------------------------------------------------------------
 
@@ -227,6 +238,7 @@ class ProgramCounterVM:
         if self._steps > self.max_steps:
             raise ExecutionLimitExceeded(f"exceeded max_steps={self.max_steps}")
         self.instr.record_step()
+        self.instr.record_dispatch()
         profiling = self.instr.track_blocks
         if self.track_occupancy or profiling:
             live = int(np.count_nonzero(self.pcreg < self.exit_index))
@@ -247,6 +259,12 @@ class ProgramCounterVM:
             self.block_executors[i](self, mask, idx)
         else:
             self._block_fns[i](self, mask, idx)
+        stepped = self._stepped_override
+        if stepped is not None:
+            # A superblock executed several member blocks in this one
+            # dispatch; report every lane that did work in any of them.
+            self._stepped_override = None
+            return stepped
         return idx
 
     # -- lane lifecycle (continuous-batching serving) -----------------------------

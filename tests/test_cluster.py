@@ -981,10 +981,12 @@ class TestRebalancingSchedules:
         autoscale=st.booleans(),
         preempt=st.booleans(),
         trace=st.booleans(),
+        executor=st.sampled_from(["eager", "superblock"]),
+        resume_batching=st.booleans(),
     )
     def test_random_schedule_invariants(
         self, schedule, num_engines, num_lanes, policy, seed, steal,
-        autoscale, preempt, trace
+        autoscale, preempt, trace, executor, resume_batching
     ):
         max_engines = num_engines + 2
         cluster = fib.serve_cluster(
@@ -1002,6 +1004,8 @@ class TestRebalancingSchedules:
             ),
             preempt=PreemptPolicy() if preempt else None,
             trace="events" if trace else None,
+            executor=executor,
+            resume_batching=resume_batching,
             max_stack_depth=64,
         )
         handles = []

@@ -13,7 +13,11 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.backend.fusion import FusedBlockExecutor, FusionUnsupported
+from repro.backend.fusion import (
+    FusedBlockExecutor,
+    FusionUnsupported,
+    SuperblockExecutor,
+)
 from repro.lowering.pipeline import LoweringOptions
 from repro.serve.engine import Engine
 from repro.vm.executors import (
@@ -33,10 +37,12 @@ class TestResolution:
     def test_names(self):
         names = executor_names()
         assert "eager" in names and "fused" in names
+        assert "superblock" in names
 
     def test_resolve_by_name(self):
         assert isinstance(resolve_executor("eager"), EagerBlockExecutor)
         assert isinstance(resolve_executor("fused"), FusedBlockExecutor)
+        assert isinstance(resolve_executor("superblock"), SuperblockExecutor)
 
     def test_resolve_instance_passthrough(self):
         ex = FusedBlockExecutor()
@@ -154,6 +160,56 @@ class TestExecutionPlan:
         np.testing.assert_array_equal(out1[0], out2[0])
         assert_instrumentation_identical(i1, i2)
 
+    def test_superblock_plan_cached_by_name(self):
+        p1 = fib.execution_plan(executor="superblock")
+        p2 = fib.execution_plan(executor="superblock")
+        assert p1 is p2
+        assert p1.name == "superblock"
+        assert p1 is not fib.execution_plan(executor="fused")
+
+    def test_superblock_profile_instance_bypasses_cache(self):
+        """The stale-region guard: a profile-seeded executor instance must
+        yield a *fresh* plan — never the cached static-region one — so a
+        new profile can never run through stale compiled regions."""
+        from repro.observe.profile import BlockProfile, BlockRow
+
+        profile = BlockProfile({
+            i: BlockRow(
+                index=i, label=f"b{i}", source="", executions=1,
+                active=a, live=s, slots=s,
+            )
+            for i, (a, s) in {1: (10, 120), 2: (100, 120)}.items()
+        })
+        cached = fib.execution_plan(executor="superblock")
+        seeded = fib.execution_plan(executor=SuperblockExecutor(profile=profile))
+        assert seeded is not cached
+        assert seeded is not fib.execution_plan(
+            executor=SuperblockExecutor(profile=profile)
+        )
+        # The two plans really select different regions: the profile
+        # extends fib's entry branch into the dominant recursive side.
+        sp = fib.stack_program()
+        assert cached.executor.regions_for(sp).chain(0) == (0,)
+        assert seeded.executor.regions_for(sp).chain(0) == (0, 2)
+
+    def test_superblock_compile_once_bind_many(self):
+        """compile_count/bind_count regression: one superblock plan bound
+        to two machines does exactly one region codegen, and both machines
+        produce identical outputs."""
+        plan = ExecutionPlan.compile(
+            gcd.stack_program(), executor=SuperblockExecutor()
+        )
+        assert plan.executor.compile_count == 0
+        assert plan.stats.bind_count == 0
+        vm1 = ProgramCounterVM(plan, batch_size=3, max_stack_depth=32)
+        assert plan.executor.compile_count == 1
+        vm2 = ProgramCounterVM(plan, batch_size=3, max_stack_depth=32)
+        assert plan.executor.compile_count == 1  # bind is not compile
+        assert plan.stats.bind_count == 2
+        a = np.array([48, 17, 270], dtype=np.int64)
+        b = np.array([36, 5, 192], dtype=np.int64)
+        np.testing.assert_array_equal(vm1.run([a, b])[0], vm2.run([a, b])[0])
+
     def test_eager_executor_never_compiles(self):
         plan = ExecutionPlan.compile(fib.stack_program(), executor="eager")
         ProgramCounterVM(plan, batch_size=2, max_stack_depth=8)
@@ -215,6 +271,24 @@ class TestEagerFusedDifferential:
             )
         assert_results_equal(outs["eager"], outs["fused"], context=name)
         assert_instrumentation_identical(instr["eager"], instr["fused"])
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+    def test_superblock_outputs_identical(self, name):
+        """Superblock sweeps change lane *grouping*, not lane results: the
+        op-count accounting may differ from fused, but outputs must stay
+        bit-identical and the host never dispatches more often than it
+        executes blocks."""
+        fn, inputs = ALL_EXAMPLES[name]
+        instr = Instrumentation()
+        got = fn.run_pc(
+            *inputs,
+            executor="superblock",
+            instrumentation=instr,
+            max_stack_depth=64,
+        )
+        expected = fn.run_pc(*inputs, executor="eager", max_stack_depth=64)
+        assert_results_equal(got, expected, context=name)
+        assert instr.host_dispatches <= instr.steps
 
     def test_device_model_estimates_comparable(self):
         """Same run, two plans: fused must cost less on every device."""
@@ -311,7 +385,7 @@ class TestSnapshotRestoreDifferential:
         return vm.outputs()
 
     @pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
-    @pytest.mark.parametrize("executor", ["eager", "fused"])
+    @pytest.mark.parametrize("executor", ["eager", "fused", "superblock"])
     def test_roundtrip_matches_static(self, name, executor):
         fn, inputs = ALL_EXAMPLES[name]
         inputs = [np.asarray(x) for x in inputs]
@@ -336,11 +410,21 @@ class TestSnapshotRestoreDifferential:
         under the fused machine, and vice versa."""
         ns = np.array([4, 11, 7, 13], dtype=np.int64)
         expected = fib.run_pc(ns)
-        plans = {ex: fib.execution_plan(executor=ex) for ex in ("eager", "fused")}
-        for src, dst in (("eager", "fused"), ("fused", "eager")):
-            snaps = self._snapshot_at(plans[src], [ns], 25, max_stack_depth=32)
-            (out,) = self._finish_from(plans[dst], snaps, max_stack_depth=32)
-            np.testing.assert_array_equal(out, expected, err_msg=f"{src}->{dst}")
+        names = ("eager", "fused", "superblock")
+        plans = {ex: fib.execution_plan(executor=ex) for ex in names}
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                snaps = self._snapshot_at(
+                    plans[src], [ns], 25, max_stack_depth=32
+                )
+                (out,) = self._finish_from(
+                    plans[dst], snaps, max_stack_depth=32
+                )
+                np.testing.assert_array_equal(
+                    out, expected, err_msg=f"{src}->{dst}"
+                )
 
     def test_restore_across_stack_layouts(self):
         """The frame representation is layout-independent: a top-cached

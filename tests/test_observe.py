@@ -322,6 +322,39 @@ class TestBlockProfile:
         assert profile.total_waste == 85
         assert [r.index for r in profile.stragglers(limit=1)] == [0]
 
+    def test_stragglers_tie_break_is_deterministic(self):
+        # Three-way waste tie: ordering must fall back to block index,
+        # regardless of collection order.
+        profile = BlockProfile.collect([
+            _machine({
+                2: (4, 12, 24, 24),    # waste 12
+                0: (6, 12, 24, 24),    # waste 12
+                1: (5, 12, 24, 24),    # waste 12
+            })
+        ])
+        assert [r.index for r in profile.stragglers()] == [0, 1, 2]
+        assert [r.index for r in profile.stragglers()] == [
+            r.index for r in profile.stragglers()
+        ]
+
+    def test_stragglers_min_slots_floor(self):
+        # min_slots drops near-idle blocks entirely (no demotion): block 1
+        # has the highest waste but only 4 slots of evidence.
+        profile = BlockProfile.collect([
+            _machine({
+                0: (10, 40, 80, 80),   # waste 40, slots 80
+                1: (1, 0, 4, 4),       # waste 4, slots 4 — thin evidence
+                2: (8, 56, 64, 64),    # waste 8, slots 64
+            })
+        ])
+        assert [r.index for r in profile.stragglers()] == [0, 2, 1]
+        assert [r.index for r in profile.stragglers(min_slots=5)] == [0, 2]
+        assert [r.index for r in profile.stragglers(min_slots=5, limit=1)] == [0]
+        # A floor above every block's slots yields an empty ranking.
+        assert profile.stragglers(min_slots=1000) == []
+        with pytest.raises(ValueError, match="min_slots"):
+            profile.stragglers(min_slots=-1)
+
     def test_merge_across_machines(self):
         a = _machine({0: (2, 4, 8, 8)})
         b = _machine({0: (3, 2, 12, 12), 1: (1, 1, 4, 4)})

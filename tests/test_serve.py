@@ -709,9 +709,17 @@ def check_preemption_invariants(handles, telemetry):
 
 class TestPropertyBasedSchedules:
     @settings(max_examples=25, deadline=None)
-    @given(schedule=schedule_strategy, num_lanes=st.integers(1, 3))
-    def test_engine_random_schedule_invariants(self, schedule, num_lanes):
-        engine = fib.serve(num_lanes=num_lanes, max_stack_depth=64)
+    @given(
+        schedule=schedule_strategy,
+        num_lanes=st.integers(1, 3),
+        executor=st.sampled_from(["eager", "fused", "superblock"]),
+    )
+    def test_engine_random_schedule_invariants(
+        self, schedule, num_lanes, executor
+    ):
+        engine = fib.serve(
+            num_lanes=num_lanes, max_stack_depth=64, executor=executor
+        )
         handles = []
         for n, gap, budget in schedule:
             for _ in range(gap):
@@ -746,17 +754,25 @@ class TestPropertyBasedSchedules:
         num_lanes=st.integers(1, 3),
         min_age=st.integers(0, 4),
         max_per_tick=st.one_of(st.none(), st.just(1)),
+        executor=st.sampled_from(["fused", "superblock"]),
+        resume_batching=st.booleans(),
     )
     def test_engine_preemption_schedule_invariants(
-        self, schedule, num_lanes, min_age, max_per_tick
+        self, schedule, num_lanes, min_age, max_per_tick, executor,
+        resume_batching
     ):
         """Random arrivals x priorities under an always-on preempt policy:
         no lost/duplicated handles, every eviction resumes exactly once,
         results bit-identical to the unbatched reference, and every traced
-        timeline well-formed (submit → inject → ... → one terminal)."""
+        timeline well-formed (submit → inject → ... → one terminal).
+        Drawn across executors (superblock resumes sweep lanes mid-run)
+        and with resume re-batching on and off (pc-cohort refill must
+        reorder seating without losing or duplicating anything)."""
         engine = fib.serve(
             num_lanes=num_lanes,
             max_stack_depth=64,
+            executor=executor,
+            resume_batching=resume_batching,
             preempt=PreemptPolicy(min_age=min_age, max_per_tick=max_per_tick),
             trace="events",
         )
