@@ -1,7 +1,7 @@
 """Serving benchmarks: continuous batching, shard scaling, rebalancing,
 preemption, and observability overhead.
 
-Six subcommands share one workload generator (``fib`` calls with skewed
+Seven subcommands share one workload generator (``fib`` calls with skewed
 sizes) and one assertion discipline — inequalities are asserted, not just
 printed, and every scenario's outputs must stay bit-identical to the static
 ``run_pc`` batch:
@@ -39,9 +39,16 @@ printed, and every scenario's outputs must stay bit-identical to the static
   dispatch per executed block; the pc-aligned resume refill must drain
   preempted cohorts >= 1.3x faster than naive FIFO refill.
   → ``BENCH_superblock.json``
+* ``deadline`` — deadline-carrying requests all at one priority, so
+  priority preemption cannot help; ``DeadlinePreemptPolicy`` must lift
+  deadline-mode SLO attainment >= 2x over the priority-only engine.  A
+  wall-clock :class:`AsyncServer` run records its arrival schedule, which
+  replayed twice must export Chrome traces byte-identical to the live
+  run's.  → ``BENCH_deadline.json`` + ``TRACE_deadline.json``
 
 Run: ``python benchmarks/bench_serve.py
-[serve|cluster|steal|preempt|trace|superblock] [--quick] [--out FILE] ...``
+[serve|cluster|steal|preempt|trace|superblock|deadline] [--quick]
+[--out FILE] ...``
 (the legacy ``--cluster``/``--steal``/``--preempt`` flags are accepted as
 aliases for the subcommands).
 """
@@ -1131,6 +1138,228 @@ def run_superblock(args) -> None:
           f"{resume_speedup:.2f}x faster, all outputs bit-identical")
 
 
+# -- deadline: deadline-aware eviction + wall-clock async front door ----------
+
+
+def run_deadline(args) -> None:
+    """Deadline SLOs on a straggler-saturated machine, all at ONE priority.
+
+    Every request carries ``deadline_ticks`` and the same priority, so
+    priority preemption (which needs a strictly higher-priority waiter)
+    can never evict: the tight-deadline burst waits out the stragglers and
+    blows its SLO.  ``DeadlinePreemptPolicy`` ranks by slack instead — the
+    loose-deadline stragglers are checkpointed, the burst seats
+    immediately, and deadline-mode SLO attainment must come out >= 2x the
+    priority-only run, with bit-identical outputs.  A second section
+    drives the same shape of workload through the wall-clock async front
+    door (:class:`AsyncServer`), records the arrival schedule, and replays
+    it twice synchronously: both replays and the live run must export
+    byte-identical Chrome traces — wall-clock jitter only decides which
+    logical tick an arrival lands on, and from there everything is
+    deterministic.
+    """
+    import asyncio
+
+    from repro.observe import Trace, validate_timeline
+    from repro.serve import (
+        AsyncServer, DeadlinePreemptPolicy, PreemptPolicy, replay_arrivals,
+    )
+
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
+    n_burst = positive(
+        args.requests if args.requests is not None else (8 if args.quick else 24),
+        "--requests",
+    )
+    straggler_size = 14 if args.quick else 16
+    burst_deadline = 400 if args.quick else 800
+    straggler_deadline = 200000  # loose: attainable even after eviction
+    warmup_ticks = 3
+
+    rng = np.random.RandomState(args.seed)
+    straggler_sizes = np.full(num_lanes, straggler_size, dtype=np.int64)
+    burst_sizes = rng.randint(3, 8, size=n_burst).astype(np.int64)
+    all_sizes = np.concatenate([straggler_sizes, burst_sizes])
+    expected = fib.run_pc(all_sizes)
+
+    print(f"workload: {num_lanes} stragglers (fib {straggler_size}, deadline "
+          f"{straggler_deadline}) saturating {num_lanes} lanes, then a burst "
+          f"of {n_burst} requests (fib {burst_sizes.min()}.."
+          f"{burst_sizes.max()}, deadline {burst_deadline}) at tick "
+          f"{warmup_ticks} — every request priority 0\n")
+
+    def drive(preempt, label):
+        engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                           preempt=preempt)
+        stragglers = [
+            engine.submit(np.int64(n), deadline_ticks=straggler_deadline)
+            for n in straggler_sizes
+        ]
+        for _ in range(warmup_ticks):
+            engine.tick()
+        burst_tick = engine.now
+        burst = [engine.submit(np.int64(n), deadline_ticks=burst_deadline)
+                 for n in burst_sizes]
+        wall_start = time.perf_counter()
+        engine.run_until_idle()
+        wall = time.perf_counter() - wall_start
+        check_outputs([h.result() for h in stragglers + burst],
+                      expected, label)
+        latencies = [h.finish_tick - burst_tick for h in burst]
+        return engine, min(latencies), max(latencies), wall
+
+    rows, metrics = [], {}
+    for label, preempt in (("priority_only", PreemptPolicy()),
+                           ("deadline", DeadlinePreemptPolicy())):
+        engine, ttfr, makespan, wall = drive(preempt, label)
+        t = engine.telemetry
+        metrics[label] = {
+            "variant": label,
+            "lanes": num_lanes,
+            "ticks": int(t.ticks),
+            "burst_ttfr": int(ttfr),
+            "burst_makespan": int(makespan),
+            "preemptions": int(t.preemptions),
+            "resumes": int(t.resumes),
+            "deadline_misses": int(t.deadline_misses),
+            "deadline_attainment": t.slo_attainment("deadline"),
+            "wall_seconds": wall,
+        }
+        m = metrics[label]
+        rows.append([
+            label,
+            f"{m['ticks']:,}",
+            f"{m['burst_ttfr']:,}",
+            f"{m['burst_makespan']:,}",
+            f"{m['preemptions']}",
+            f"{m['deadline_misses']}",
+            f"{m['deadline_attainment']:.3f}",
+            f"{m['wall_seconds']:.3f}",
+        ])
+
+    print(format_table(
+        ["variant", "ticks", "burst ttfr", "burst makespan", "evictions",
+         "misses", "attainment", "wall s"],
+        rows,
+    ))
+
+    pa = metrics["priority_only"]["deadline_attainment"]
+    da = metrics["deadline"]["deadline_attainment"]
+    attain_gain = da / pa if pa else float("inf")
+    print(f"\ndeadline SLO attainment improvement: {attain_gain:.2f}x "
+          f"({pa:.3f} -> {da:.3f})")
+
+    # Wall-clock async front door: a live AsyncServer run records the
+    # arrival schedule its wall-clock jitter produced; replaying that
+    # schedule synchronously — twice — must export the identical bytes.
+    tick_interval = 0.0005
+    async_straggler = max(straggler_size - 2, 10)
+    async_burst = burst_sizes[: min(n_burst, 6)]
+    async_expected = fib.run_pc(np.concatenate([
+        np.full(num_lanes, async_straggler, dtype=np.int64), async_burst]))
+
+    def traced_engine():
+        trace = Trace()
+        engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                           preempt=DeadlinePreemptPolicy(), trace=trace)
+        return engine, trace
+
+    async def live_run():
+        engine, trace = traced_engine()
+        async with AsyncServer(engine, tick_interval=tick_interval) as srv:
+            handles = [
+                await srv.submit(np.int64(async_straggler),
+                                 deadline_ticks=straggler_deadline)
+                for _ in range(num_lanes)
+            ]
+            while engine.now < warmup_ticks:
+                await asyncio.sleep(tick_interval)
+            handles += [
+                await srv.submit(np.int64(n), deadline_ticks=burst_deadline)
+                for n in async_burst
+            ]
+            results = [await h for h in handles]
+            arrivals = list(srv.arrivals)
+        return engine, trace, arrivals, results
+
+    wall_start = time.perf_counter()
+    engine, live_trace, arrivals, live_results = asyncio.run(live_run())
+    live_wall = time.perf_counter() - wall_start
+    check_outputs(live_results, async_expected, "async_live")
+
+    out_dir = os.path.dirname(os.path.abspath(
+        args.out or os.path.join(os.curdir, "BENCH_deadline.json")))
+    trace_path = os.path.join(out_dir, "TRACE_deadline.json")
+    live_trace.export_chrome_trace(trace_path)
+    with open(trace_path, "rb") as f:
+        live_bytes = f.read()
+
+    replay_bytes = []
+    for _ in range(2):
+        r_engine, r_trace = traced_engine()
+        r_handles = replay_arrivals(r_engine, arrivals)
+        check_outputs([h.result() for h in r_handles],
+                      async_expected, "replay")
+        for h in r_handles:
+            validate_timeline(h.trace())
+        replay_path = trace_path + ".replay"
+        r_trace.export_chrome_trace(replay_path)
+        with open(replay_path, "rb") as f:
+            replay_bytes.append(f.read())
+        os.remove(replay_path)
+
+    assert replay_bytes[0] == replay_bytes[1], (
+        "two replays of the identical arrival schedule exported different "
+        "Chrome traces; replay must be deterministic on the logical clock"
+    )
+    assert replay_bytes[0] == live_bytes, (
+        "replaying the recorded arrival schedule diverged from the live "
+        "wall-clock run; the logical clock must stay the sole source of "
+        "scheduling truth"
+    )
+    assert live_trace.tracer.count("arrive") == len(arrivals)
+    print(f"\nasync front door: {len(arrivals)} wall-clock arrivals landed "
+          f"on ticks {[a.tick for a in arrivals]} in {live_wall:.2f}s; the "
+          "recorded schedule replays byte-identically (live == replay x2)")
+
+    result = {
+        "benchmark": "bench_serve_deadline",
+        "config": {"lanes": num_lanes, "burst": n_burst,
+                   "straggler_size": int(straggler_size),
+                   "burst_deadline_ticks": int(burst_deadline),
+                   "straggler_deadline_ticks": int(straggler_deadline),
+                   "tick_interval_s": tick_interval,
+                   "seed": args.seed, "quick": bool(args.quick)},
+        "variants": [metrics["priority_only"], metrics["deadline"]],
+        "deadline_attainment_improvement": attain_gain,
+        "async": {
+            "arrival_ticks": [int(a.tick) for a in arrivals],
+            "live_wall_seconds": live_wall,
+            "replay_byte_identical": True,
+            "trace_file": trace_path,
+        },
+    }
+    write_result(result, args, "BENCH_deadline.json")
+
+    assert metrics["priority_only"]["preemptions"] == 0, (
+        "priority-only preemption evicted at equal priority; the baseline "
+        "must be unable to help this workload"
+    )
+    assert metrics["deadline"]["preemptions"] >= 1
+    assert metrics["deadline"]["preemptions"] == metrics["deadline"]["resumes"], (
+        "every evicted straggler must resume exactly as many times"
+    )
+    assert da > 0 and da >= 2 * pa, (
+        f"deadline-aware eviction attained {da:.3f} vs {pa:.3f} "
+        "priority-only; expected >= 2x on a straggler-saturated machine"
+    )
+    print(f"OK: deadline-aware eviction lifts deadline SLO attainment "
+          f"{attain_gain:.2f}x with bit-identical outputs; wall-clock "
+          "arrivals replay byte-identically on the logical clock")
+
+
 # -- CLI -----------------------------------------------------------------------
 
 SCENARIOS = {
@@ -1140,6 +1369,7 @@ SCENARIOS = {
     "preempt": run_preempt,
     "trace": run_trace,
     "superblock": run_superblock,
+    "deadline": run_deadline,
 }
 
 #: Legacy flag spellings accepted as subcommand aliases.
@@ -1194,6 +1424,11 @@ def build_parser() -> argparse.ArgumentParser:
         "superblock", help="profile-guided superblock fusion + pc-bucketed "
                            "resume refill of preempted stragglers")
     _common_flags(p_superblock)
+
+    p_deadline = sub.add_parser(
+        "deadline", help="deadline-aware eviction vs priority-only, plus "
+                         "wall-clock async arrivals replayed byte-identically")
+    _common_flags(p_deadline)
 
     return parser
 

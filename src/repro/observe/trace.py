@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 #: is associated with the trace); every other kind does.
 EVENT_KINDS = (
     "submit",    # request entered a queue (engine or cluster admission)
+    "arrive",    # request crossed the async front door (wall-clock arrival)
     "reject",    # request refused at admission (bounded queue full)
     "inject",    # request seated into a machine lane
     "preempt",   # running request evicted to a snapshot
@@ -39,6 +40,7 @@ EVENT_KINDS = (
     "steal",     # queued/evicted request moved to another shard's queue
     "migrate",   # evicted request's snapshot carried across shards
     "drain",     # request re-seated off a draining shard
+    "deadline",  # request finished past its deadline (precedes terminal)
     "complete",  # terminal: result resolved
     "fail",      # terminal: budget exceeded / trap / failed restore
 )
@@ -298,7 +300,11 @@ def validate_timeline(events: Sequence[TraceEvent]) -> str:
       path (a ``fail`` may strand one eviction — a failed restore);
     * cross-shard moves only happen off-lane: ``steal``/``drain`` while
       queued or evicted, ``migrate`` only while evicted (it is the
-      snapshot that migrates).
+      snapshot that migrates);
+    * ``arrive`` (the async front door logging a wall-clock arrival)
+      only while queued — it trails the ``submit`` at the same tick;
+      ``deadline`` (an SLO miss marker) only while running, immediately
+      before the terminal event.
 
     Raises ``ValueError`` with a pinpointed message on any violation.
     """
@@ -341,6 +347,12 @@ def validate_timeline(events: Sequence[TraceEvent]) -> str:
         elif kind == "migrate":
             if state != "evicted":
                 raise ValueError(f"migrate while {state}")
+        elif kind == "arrive":
+            if state != "queued":
+                raise ValueError(f"arrive while {state}")
+        elif kind == "deadline":
+            if state != "running":
+                raise ValueError(f"deadline while {state}")
         elif kind == "complete":
             if state != "running":
                 raise ValueError(f"complete while {state}")

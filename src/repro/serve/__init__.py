@@ -99,6 +99,12 @@ machine, ``Cluster(fn, num_engines, num_lanes)`` /
 ``fn.serve_cluster(num_engines, num_lanes)`` for a fleet.
 """
 
+from repro.serve.aio import (
+    Arrival,
+    AsyncResultHandle,
+    AsyncServer,
+    replay_arrivals,
+)
 from repro.serve.cluster import (
     AutoscalePolicy,
     Cluster,
@@ -114,7 +120,9 @@ from repro.serve.cluster import (
     resolve_steal_policy,
 )
 from repro.serve.engine import (
+    DeadlinePreemptPolicy,
     Engine,
+    NO_PROGRESS_LIMIT,
     PREEMPT_POLICIES,
     PreemptPolicy,
     REFILL_POLICIES,
@@ -131,10 +139,15 @@ from repro.serve.queue import (
 from repro.serve.telemetry import ClusterTelemetry, ServeTelemetry
 
 __all__ = [
+    "Arrival",
+    "AsyncResultHandle",
+    "AsyncServer",
     "AutoscalePolicy",
     "Cluster",
     "ClusterTelemetry",
+    "DeadlinePreemptPolicy",
     "Engine",
+    "NO_PROGRESS_LIMIT",
     "PREEMPT_POLICIES",
     "PreemptPolicy",
     "STEAL_POLICIES",
@@ -155,5 +168,6 @@ __all__ = [
     "ServeRequest",
     "StepBudgetExceeded",
     "ServeTelemetry",
+    "replay_arrivals",
     "resolve_policy",
 ]

@@ -654,6 +654,7 @@ class Cluster:
         *inputs: Any,
         priority: int = 0,
         step_budget: Optional[int] = None,
+        deadline_ticks: Optional[int] = None,
     ) -> ResultHandle:
         """Route one request to a shard; returns its handle.
 
@@ -683,7 +684,10 @@ class Cluster:
             if engine.queue.full():
                 continue
             handle = engine.submit(
-                *inputs, priority=priority, step_budget=step_budget
+                *inputs,
+                priority=priority,
+                step_budget=step_budget,
+                deadline_ticks=deadline_ticks,
             )
             handle.shard = engine.shard_id
             if shard != order[0]:
@@ -709,6 +713,19 @@ class Cluster:
     def admission_full(self) -> bool:
         """True while no active shard can queue a new submission."""
         return all(e.queue.full() for e in self.engines)
+
+    def progress_signature(self) -> Tuple[Tuple[int, ...], ...]:
+        """Fleet fingerprint that changes iff some shard makes progress.
+
+        The per-shard :meth:`Engine.progress_signature` tuples (draining
+        shards included) plus the fleet shape, so growth, shrinkage, and
+        drain-retirement all register as progress.  Like the shard version
+        it excludes the logical clock, which advances unconditionally.
+        """
+        shape = (len(self.engines), len(self.draining))
+        return (shape,) + tuple(
+            e.progress_signature() for e in self.engines + self.draining
+        )
 
     # -- rebalancing ---------------------------------------------------------
 
@@ -843,6 +860,7 @@ class Cluster:
         *,
         priority: int = 0,
         step_budget: Optional[int] = None,
+        deadline_ticks: Optional[int] = None,
     ) -> List[Any]:
         """Serve a whole collection of requests; results in request order.
 
@@ -850,7 +868,11 @@ class Cluster:
         queue is full, the cluster ticks until a slot opens somewhere.
         """
         return serve_all(
-            self, request_inputs, priority=priority, step_budget=step_budget
+            self,
+            request_inputs,
+            priority=priority,
+            step_budget=step_budget,
+            deadline_ticks=deadline_ticks,
         )
 
     def __repr__(self) -> str:

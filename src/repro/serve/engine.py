@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import copy
 import itertools
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -136,9 +136,99 @@ class PreemptPolicy:
         )
 
 
+class DeadlinePreemptPolicy(PreemptPolicy):
+    """Deadline-aware eviction: urgent waiters take the slackest lanes.
+
+    Where :class:`PreemptPolicy` pairs queued work with victims by
+    *priority*, this policy pairs by *slack* — ticks of headroom before a
+    request's absolute deadline (``submit_tick + deadline_ticks``;
+    requests without a deadline have infinite slack).  Each tick, the
+    queued deadline-carrying requests are ranked most-urgent-first
+    (least slack), the running lanes most-evictable-first (most slack),
+    and a lane is evicted when its occupant holds at least
+    ``slack_delta`` more ticks of slack than the waiter — so eviction
+    always trades a lane from a request that can afford to wait to one
+    that cannot, even *within* one priority level.
+
+    No ping-pong: every eviction strictly decreases the seated slack by
+    at least ``slack_delta`` (and both slacks decay at the same rate, so
+    the relation is time-invariant) — the evicted request can never turn
+    around and evict its evictor.  Requests without deadlines never
+    trigger an eviction and are the first victims.  ``min_age`` and
+    ``max_per_tick`` behave as on the base policy; ``priority_delta``
+    gates nothing here (slack is the signal), but queue service order
+    still seats higher priorities first, so a deadline can expedite a
+    request within its priority class, not across classes.
+    """
+
+    #: Name used in ``preempt="..."`` selection.
+    name = "deadline"
+
+    def __init__(
+        self,
+        slack_delta: int = 1,
+        min_age: int = 0,
+        max_per_tick: Optional[int] = None,
+    ):
+        super().__init__(
+            priority_delta=1, min_age=min_age, max_per_tick=max_per_tick
+        )
+        if slack_delta < 1:
+            raise ValueError(
+                f"slack_delta must be >= 1, got {slack_delta} "
+                "(zero-gap eviction would ping-pong between equal slacks)"
+            )
+        self.slack_delta = int(slack_delta)
+
+    def plan(self, engine: "Engine") -> List[int]:
+        """Lanes to evict this tick: slackest victims for urgent waiters."""
+        if engine.pool.free_count() or not len(engine.queue):
+            return []
+        now = engine.now
+        evictable = [
+            h
+            for h in engine.pool.occupants().values()
+            if h.lane_age(now) >= self.min_age
+        ]
+        # Most slack first; ties fall back to the base policy's weakest-
+        # first order (lowest priority, longest resident, lowest lane).
+        evictable.sort(
+            key=lambda h: (
+                -h.slack(now), h.request.priority, -h.lane_age(now), h.lane
+            )
+        )
+        # Least slack first among the waiters; arrival stamps break ties
+        # deterministically.  Deadline-less waiters (infinite slack) sort
+        # last and can never satisfy the slack gap, so the zip below
+        # stops before reaching them.
+        waiting = sorted(
+            engine.queue.waiting(),
+            key=lambda h: (h.slack(now), -h.request.priority, h.arrival),
+        )
+        lanes: List[int] = []
+        for waiter, victim in zip(waiting, evictable):
+            if self.max_per_tick is not None and len(lanes) >= self.max_per_tick:
+                break
+            # Compare on the >= side: a deadline-less waiter against a
+            # deadline-less victim gives inf - inf = nan, which must read
+            # as "no gap" — `nan < delta` is False and would fall through
+            # to an eviction that ping-pongs every tick.
+            if not victim.slack(now) - waiter.slack(now) >= self.slack_delta:
+                break
+            lanes.append(victim.lane)
+        return lanes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(slack_delta={self.slack_delta}, "
+            f"min_age={self.min_age}, max_per_tick={self.max_per_tick})"
+        )
+
+
 #: Preempt-policy factories by selection name.
 PREEMPT_POLICIES: Dict[str, Type[PreemptPolicy]] = {
     PreemptPolicy.name: PreemptPolicy,
+    DeadlinePreemptPolicy.name: DeadlinePreemptPolicy,
 }
 
 
@@ -176,17 +266,23 @@ def drive_until_idle(server: Any, max_ticks: Optional[int] = None) -> int:
     """
     start = server.now
     while server.busy():
-        server.tick()
-        if (
-            max_ticks is not None
-            and server.now - start >= max_ticks
-            and server.busy()
-        ):
+        # Budget check *before* the tick: a busy server with max_ticks=0
+        # must raise without running a step, and an exact budget (work
+        # finishing on tick N with max_ticks=N) must not.
+        if max_ticks is not None and server.now - start >= max_ticks:
             raise RuntimeError(
                 f"{type(server).__name__.lower()} still busy after "
                 f"max_ticks={max_ticks}"
             )
+        server.tick()
     return server.now - start
+
+
+#: Consecutive full-admission ticks with an unchanged progress signature
+#: that :func:`serve_all` tolerates before declaring the server wedged.
+#: Large enough to outlast transient plateaus (autoscale patience counters,
+#: steal cooldowns) that resolve themselves without any counter moving.
+NO_PROGRESS_LIMIT = 64
 
 
 def serve_all(
@@ -194,16 +290,24 @@ def serve_all(
     request_inputs: Iterable[Sequence[Any]],
     priority: int = 0,
     step_budget: Optional[int] = None,
+    deadline_ticks: Optional[int] = None,
 ) -> List[Any]:
     """Submit every request with backpressure, drain, return results in order.
 
     The shared body of ``Engine.map`` and ``Cluster.map``: while admission
     is full everywhere (``server.admission_full()``), tick instead of
     overflowing; raise :class:`QueueFullError` if the server goes idle
-    without ever being able to admit.
+    without ever being able to admit, or if :data:`NO_PROGRESS_LIMIT`
+    consecutive ticks leave the server's :meth:`progress_signature`
+    unchanged — a wedged fleet (e.g. every shard draining for retirement
+    with nowhere to re-seat its queue) would otherwise spin here forever,
+    since the logical clock always advances even when nothing else does.
     """
+    signature = getattr(server, "progress_signature", None)
     handles = []
     for inputs in request_inputs:
+        stalled = 0
+        before = None if signature is None else signature()
         while server.admission_full():
             if not server.tick():
                 raise QueueFullError(
@@ -211,8 +315,28 @@ def serve_all(
                     f"{type(server).__name__.lower()} is idle; "
                     "max_queue_depth is too small to ever admit"
                 )
+            if signature is None:
+                continue
+            after = signature()
+            if after == before:
+                stalled += 1
+                if stalled >= NO_PROGRESS_LIMIT:
+                    raise QueueFullError(
+                        f"admission is full but {stalled} consecutive ticks "
+                        f"made no progress; the "
+                        f"{type(server).__name__.lower()} can never admit "
+                        "(is every shard draining for retirement?)"
+                    )
+            else:
+                stalled = 0
+                before = after
         handles.append(
-            server.submit(*inputs, priority=priority, step_budget=step_budget)
+            server.submit(
+                *inputs,
+                priority=priority,
+                step_budget=step_budget,
+                deadline_ticks=deadline_ticks,
+            )
         )
     server.run_until_idle()
     return [h.result() for h in handles]
@@ -459,9 +583,9 @@ class Engine:
         depth_buf, busy_buf, backlog_buf, util_buf = bufs
         tick = self._tick
         queue = self.queue
-        depth_buf.append((tick, float(len(queue._heap))))
+        depth_buf.append((tick, float(queue.depth())))
         busy_buf.append((tick, float(busy)))
-        backlog_buf.append((tick, float(queue._snapshots)))
+        backlog_buf.append((tick, float(queue.snapshot_count())))
         util_buf.append((tick, busy / self.pool.num_lanes))
 
     def submit(
@@ -469,12 +593,23 @@ class Engine:
         *inputs: Any,
         priority: int = 0,
         step_budget: Optional[int] = None,
+        deadline_ticks: Optional[int] = None,
     ) -> ResultHandle:
         """Enqueue one request; returns its handle.
 
         ``inputs`` are *per-example* (unbatched) values, one per program
         input.  Raises :class:`QueueFullError` at ``max_queue_depth``.
+        ``deadline_ticks`` attaches a relative SLO deadline: the request
+        should finish within that many ticks of now.  Queue service order
+        becomes earliest-deadline-first within the request's priority
+        level, :class:`DeadlinePreemptPolicy` may evict slack-rich lanes
+        for it, and ``telemetry.slo_attainment("deadline")`` scores its
+        completion against its own deadline.
         """
+        if deadline_ticks is not None and deadline_ticks < 0:
+            raise ValueError(
+                f"deadline_ticks must be >= 0, got {deadline_ticks}"
+            )
         n_expected = len(self.vm.program.inputs)
         if len(inputs) != n_expected:
             raise ValueError(
@@ -502,6 +637,7 @@ class Engine:
                 step_budget if step_budget is not None else self.default_step_budget
             ),
             submit_tick=self._tick,
+            deadline_ticks=deadline_ticks,
         )
         handle = ResultHandle(request)
         if self.trace is not None and self.trace.tracer is not None:
@@ -724,11 +860,17 @@ class Engine:
             handle = self.pool.release(int(lane))
             value = outputs[0][j] if single else tuple(o[j] for o in outputs)
             handle._resolve(value, self._tick)
+            deadline = handle.deadline_tick
             self.telemetry.record_completion(
                 self._tick,
                 priority=handle.request.priority,
                 latency=self._tick - handle.request.submit_tick,
+                deadline_ticks=handle.request.deadline_ticks,
             )
+            if deadline is not None and self._tick > deadline:
+                # A deadline miss is its own timeline marker, just before
+                # the terminal event at the same tick.
+                self._emit("deadline", handle, lane=int(lane))
             self._emit("complete", handle, lane=int(lane))
 
     def _enforce_budgets(self, stepped: np.ndarray) -> None:
@@ -783,6 +925,25 @@ class Engine:
         """True while no new submission can be queued."""
         return self.queue.full()
 
+    def progress_signature(self) -> Tuple[int, ...]:
+        """A fingerprint that changes iff the engine is making progress.
+
+        Deliberately excludes the logical clock (which advances every tick
+        regardless): machine steps, completions, failures, preemptions,
+        resumes, queue depth, and busy lanes.  Backpressure loops compare
+        consecutive signatures to tell a busy fleet from a wedged one.
+        """
+        t = self.telemetry
+        return (
+            self.vm.instr.steps,
+            t.completed,
+            t.failed,
+            t.preemptions,
+            t.resumes,
+            self.queue.depth(),
+            self.pool.busy_count(),
+        )
+
     def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
         """Tick until no request is queued or in flight; returns ticks run."""
         return drive_until_idle(self, max_ticks)
@@ -795,6 +956,7 @@ class Engine:
         *,
         priority: int = 0,
         step_budget: Optional[int] = None,
+        deadline_ticks: Optional[int] = None,
     ) -> List[Any]:
         """Serve a whole collection of requests; results in request order.
 
@@ -804,7 +966,11 @@ class Engine:
         request.
         """
         return serve_all(
-            self, request_inputs, priority=priority, step_budget=step_budget
+            self,
+            request_inputs,
+            priority=priority,
+            step_budget=step_budget,
+            deadline_ticks=deadline_ticks,
         )
 
     def __repr__(self) -> str:

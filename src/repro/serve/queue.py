@@ -6,11 +6,15 @@ caller holds a :class:`ResultHandle` — a deliberately minimal Future: the
 engine loop is synchronous and single-threaded (the machine *is* the event
 loop), so the handle needs states and accessors, not locks or callbacks.
 
-:class:`RequestQueue` orders requests by ``(-priority, arrival)`` — a
-bounded priority queue that degrades to FIFO when every priority is equal —
-and rejects at ``max_depth`` so a traffic burst surfaces as
+:class:`RequestQueue` orders requests by ``(-priority, deadline, arrival)``
+— a bounded priority queue that serves earliest-deadline-first *within* a
+priority level (requests without a deadline sort as infinitely late, so the
+order degrades to plain ``(-priority, arrival)`` FIFO when no request
+carries one) — and rejects at ``max_depth`` so a traffic burst surfaces as
 :class:`QueueFullError` at submission time instead of unbounded memory
-growth inside the engine.
+growth inside the engine.  The EDF key is what keeps deadline preemption
+from ping-ponging: a deadline-less straggler evicted for an urgent waiter
+re-queues *behind* that waiter despite its older arrival stamp.
 
 Requests can *migrate* between queues (cross-shard work stealing and
 shard drain-retirement in :mod:`repro.serve.cluster`): the first ``push``
@@ -59,6 +63,11 @@ class ServeRequest:
     priority: int = 0
     step_budget: Optional[int] = None
     submit_tick: int = 0
+    #: Relative SLO deadline in ticks: the request should finish within
+    #: this many ticks of submission (``None`` = no deadline).  The
+    #: absolute target is ``submit_tick + deadline_ticks`` — what
+    #: deadline-aware preemption and the telemetry deadline mode read.
+    deadline_ticks: Optional[int] = None
 
 
 class ResultHandle:
@@ -151,6 +160,27 @@ class ResultHandle:
             return None
         return self.inject_tick - self.request.submit_tick
 
+    @property
+    def deadline_tick(self) -> Optional[int]:
+        """Absolute deadline on the logical clock (None without a deadline)."""
+        deadline = self.request.deadline_ticks
+        if deadline is None:
+            return None
+        return self.request.submit_tick + deadline
+
+    def slack(self, now: int) -> float:
+        """Ticks of headroom before this request's deadline (inf without one).
+
+        Negative once the deadline has passed.  The eviction signal
+        :class:`~repro.serve.engine.DeadlinePreemptPolicy` ranks on: a
+        running request with lots of slack (or no deadline at all) is the
+        cheapest lane to take from an urgent waiter.
+        """
+        deadline = self.deadline_tick
+        if deadline is None:
+            return float("inf")
+        return float(deadline - now)
+
     def lane_age(self, now: int) -> int:
         """Ticks since the request was (last) seated in its current lane.
 
@@ -198,16 +228,19 @@ class ResultHandle:
 
 @dataclass
 class RequestQueue:
-    """Bounded priority queue (higher priority first, FIFO within a level).
+    """Bounded priority queue: higher priority first, then earliest
+    deadline, then FIFO.
 
-    Heap entries are ``(-priority, arrival, seq, handle)``: ``arrival`` is
-    the handle's first-push stamp (kept across migrations), ``seq`` a local
-    tie-break so ordering stays total and deterministic even when two
-    shards' arrival stamps collide.
+    Heap entries are ``(-priority, deadline, arrival, seq, handle)``:
+    ``deadline`` is the absolute deadline tick (``inf`` for requests
+    without one, so deadline-less traffic keeps its plain FIFO order),
+    ``arrival`` the handle's first-push stamp (kept across migrations),
+    ``seq`` a local tie-break so ordering stays total and deterministic
+    even when two shards' arrival stamps collide.
     """
 
     max_depth: Optional[int] = None
-    _heap: List[Tuple[int, Tuple[int, int], int, ResultHandle]] = field(
+    _heap: List[Tuple[int, float, Tuple[int, int], int, ResultHandle]] = field(
         default_factory=list
     )
     _seq: int = 0
@@ -225,6 +258,16 @@ class RequestQueue:
     _pc_buckets: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def __len__(self) -> int:
+        return len(self._heap)
+
+    def depth(self) -> int:
+        """Number of queued handles — the public face of ``len(queue)``.
+
+        Metrics and policies should read this (and
+        :meth:`snapshot_count`) instead of reaching into ``_heap``, so
+        the heap representation can change without silently breaking
+        consumers.
+        """
         return len(self._heap)
 
     def full(self) -> bool:
@@ -252,9 +295,16 @@ class RequestQueue:
     def _admit(self, handle: ResultHandle) -> None:
         if handle.arrival is None:
             handle.arrival = (handle.request.submit_tick, self._seq)
+        deadline = handle.deadline_tick
         heapq.heappush(
             self._heap,
-            (-handle.request.priority, handle.arrival, self._seq, handle),
+            (
+                -handle.request.priority,
+                float("inf") if deadline is None else float(deadline),
+                handle.arrival,
+                self._seq,
+                handle,
+            ),
         )
         self._seq += 1
         if handle.snapshot is not None:
@@ -272,8 +322,8 @@ class RequestQueue:
             self._pc_buckets[key] = remaining
 
     def pop(self) -> ResultHandle:
-        """The highest-priority (then oldest) queued handle."""
-        handle = heapq.heappop(self._heap)[3]
+        """The highest-priority (then most-urgent, then oldest) queued handle."""
+        handle = heapq.heappop(self._heap)[-1]
         if handle.snapshot is not None:
             self._bucket_remove(handle)
         return handle
@@ -303,7 +353,7 @@ class RequestQueue:
             return None
         best = None
         for i, entry in enumerate(self._heap):
-            handle = entry[3]
+            handle = entry[-1]
             if (
                 handle.snapshot is not None
                 and handle.request.priority == priority
@@ -318,12 +368,12 @@ class RequestQueue:
         if best < len(self._heap):
             self._heap[best] = last
             heapq.heapify(self._heap)
-        handle = entry[3]
+        handle = entry[-1]
         self._bucket_remove(handle)
         return handle
 
     def peek(self) -> ResultHandle:
-        return self._heap[0][3]
+        return self._heap[0][-1]
 
     def waiting(self, limit: Optional[int] = None) -> List[ResultHandle]:
         """The first ``limit`` queued handles in service order (all when
@@ -340,7 +390,7 @@ class RequestQueue:
             entries = sorted(self._heap)
         else:
             entries = heapq.nsmallest(limit, self._heap)
-        return [entry[3] for entry in entries]
+        return [entry[-1] for entry in entries]
 
     def snapshot_count(self) -> int:
         """Queued handles currently carrying a preempted-lane snapshot.

@@ -30,7 +30,7 @@ is always safe to summarize mid-run or after a dead engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.observe.metrics import nearest_rank
 from repro.vm.instrumentation import Instrumentation
@@ -103,6 +103,14 @@ class ServeTelemetry:
     #: completion latency (finish - submit ticks) per priority level; the
     #: raw material for per-priority SLO attainment
     priority_latencies: Dict[int, List[int]] = field(default_factory=dict)
+    #: ``(latency, deadline_ticks)`` per priority for completions that
+    #: carried their own deadline — the raw material for the telemetry
+    #: deadline mode (``slo_attainment("deadline")``)
+    priority_deadlines: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    #: deadline-carrying completions that finished past their own deadline
+    deadline_misses: int = 0
     #: set once the owning shard was drained and dropped by autoscale;
     #: its counters freeze, and the fleet skew metrics exclude it
     retired: bool = False
@@ -127,12 +135,19 @@ class ServeTelemetry:
         tick: int,
         priority: Optional[int] = None,
         latency: Optional[int] = None,
+        deadline_ticks: Optional[int] = None,
     ) -> None:
         self.completed += 1
         if self.first_result_tick is None:
             self.first_result_tick = tick
         if priority is not None and latency is not None:
             self.priority_latencies.setdefault(priority, []).append(latency)
+            if deadline_ticks is not None:
+                self.priority_deadlines.setdefault(priority, []).append(
+                    (latency, deadline_ticks)
+                )
+                if latency > deadline_ticks:
+                    self.deadline_misses += 1
 
     def record_preempt(self) -> None:
         self.preemptions += 1
@@ -172,12 +187,34 @@ class ServeTelemetry:
             return [l for ls in self.priority_latencies.values() for l in ls]
         return list(self.priority_latencies.get(priority, []))
 
+    def deadline_outcomes(
+        self, priority: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """``(latency, deadline_ticks)`` pairs of deadline-carrying
+        completions, optionally for one priority level."""
+        if priority is None:
+            return [p for ps in self.priority_deadlines.values() for p in ps]
+        return list(self.priority_deadlines.get(priority, []))
+
     def slo_attainment(
-        self, slo_ticks: int, priority: Optional[int] = None
+        self,
+        slo_ticks: Union[int, str],
+        priority: Optional[int] = None,
     ) -> float:
-        """Fraction of completed requests finishing within ``slo_ticks`` of
-        submission — fleet-wide or for one priority level; 0.0 with no
-        completions (an empty class never claims perfect attainment)."""
+        """Fraction of completed requests finishing within their SLO.
+
+        With an integer ``slo_ticks``, one shared target: completions
+        within ``slo_ticks`` of submission, fleet-wide or for one
+        priority level.  With ``slo_ticks="deadline"`` (the deadline
+        mode), each request is measured against its *own*
+        ``deadline_ticks``, over the deadline-carrying completions only.
+        0.0 with no qualifying completions (an empty class never claims
+        perfect attainment)."""
+        if slo_ticks == "deadline":
+            pairs = self.deadline_outcomes(priority)
+            if not pairs:
+                return 0.0
+            return sum(1 for lat, dl in pairs if lat <= dl) / len(pairs)
         lats = self.latencies(priority)
         if not lats:
             return 0.0
@@ -230,6 +267,12 @@ class ServeTelemetry:
                 f"resumes={self.resumes} "
                 f"(re-batched={self.resume_rebatches}) "
                 f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
+            )
+        if self.deadline_outcomes():
+            lines.append(
+                f"deadlines: carried={len(self.deadline_outcomes())} "
+                f"misses={self.deadline_misses} "
+                f"attainment={self.slo_attainment('deadline'):.3f}"
             )
         if self.instrumentation is not None:
             lines.append(
@@ -305,6 +348,10 @@ class ClusterTelemetry:
         return sum(s.preemptions for s in self.shards)
 
     @property
+    def deadline_misses(self) -> int:
+        return sum(s.deadline_misses for s in self.shards)
+
+    @property
     def resumes(self) -> int:
         """Fleet-wide resumes; a migrated preemption is evicted on one
         shard and resumed on another, so only the fleet totals balance."""
@@ -341,11 +388,28 @@ class ClusterTelemetry:
         (their completions happened and stay in the fleet's record)."""
         return [l for s in self.shards for l in s.latencies(priority)]
 
+    def deadline_outcomes(
+        self, priority: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Deadline-carrying ``(latency, deadline_ticks)`` completions
+        pooled across every shard (retired ones included)."""
+        return [p for s in self.shards for p in s.deadline_outcomes(priority)]
+
     def slo_attainment(
-        self, slo_ticks: int, priority: Optional[int] = None
+        self,
+        slo_ticks: Union[int, str],
+        priority: Optional[int] = None,
     ) -> float:
         """Fleet-wide fraction of completions within ``slo_ticks`` of
-        submission (optionally one priority level); 0.0 with none."""
+        submission (optionally one priority level); 0.0 with none.
+        ``slo_ticks="deadline"`` measures each deadline-carrying request
+        against its own ``deadline_ticks``, like
+        :meth:`ServeTelemetry.slo_attainment`."""
+        if slo_ticks == "deadline":
+            pairs = self.deadline_outcomes(priority)
+            if not pairs:
+                return 0.0
+            return sum(1 for lat, dl in pairs if lat <= dl) / len(pairs)
         lats = self.latencies(priority)
         if not lats:
             return 0.0
@@ -458,6 +522,12 @@ class ClusterTelemetry:
                 f"preemption: evictions={self.preemptions} "
                 f"resumes={self.resumes} "
                 f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
+            )
+        if self.deadline_outcomes():
+            lines.append(
+                f"deadlines: carried={len(self.deadline_outcomes())} "
+                f"misses={self.deadline_misses} "
+                f"attainment={self.slo_attainment('deadline'):.3f}"
             )
         if self.grow_events or self.shrink_events:
             lines.append(

@@ -1,0 +1,41 @@
+"""Shared pytest configuration: asyncio test support with a fallback.
+
+``tests/test_aio.py`` exercises the asyncio front door with native
+``async def`` tests marked ``@pytest.mark.asyncio``.  CI installs
+``pytest-asyncio`` to run them; in minimal environments without the
+plugin, the hook below runs each coroutine test through ``asyncio.run``
+so the suite needs no extra dependency either way.
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+try:
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "asyncio: run the coroutine test on an event loop"
+    )
+
+
+if not _HAVE_PLUGIN:
+
+    @pytest.hookimpl(tryfirst=True)
+    def pytest_pyfunc_call(pyfuncitem):
+        test_fn = pyfuncitem.obj
+        if not inspect.iscoroutinefunction(test_fn):
+            return None
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(test_fn(**kwargs))
+        return True

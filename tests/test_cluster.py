@@ -26,6 +26,7 @@ from repro.serve import (
     AutoscalePolicy,
     Cluster,
     ClusterTelemetry,
+    DeadlinePreemptPolicy,
     LeastLoadedPolicy,
     PowerOfTwoPolicy,
     PreemptPolicy,
@@ -45,7 +46,7 @@ from repro.serve.queue import ResultHandle, ServeRequest
 from repro.vm.executors import ExecutionPlan
 
 from .programs import ALL_EXAMPLES, fib, gcd
-from .test_serve import check_trace_invariants
+from .test_serve import check_deadline_invariants, check_trace_invariants
 
 CLUSTER_CORPUS = ["fib", "gcd", "collatz_steps", "poly", "rng_walk",
                   "recursive_pair", "newton_sqrt"]
@@ -963,6 +964,7 @@ rebalance_schedule = st.lists(
         st.integers(0, 3),                             # arrival gap (ticks)
         st.integers(-2, 2),                            # priority
         st.one_of(st.none(), st.integers(1, 2000)),    # step budget
+        st.one_of(st.none(), st.integers(0, 500)),     # deadline_ticks
     ),
     min_size=1,
     max_size=14,
@@ -979,7 +981,7 @@ class TestRebalancingSchedules:
         seed=st.integers(0, 3),
         steal=st.booleans(),
         autoscale=st.booleans(),
-        preempt=st.booleans(),
+        preempt=st.sampled_from([None, "priority", "deadline"]),
         trace=st.booleans(),
         executor=st.sampled_from(["eager", "superblock"]),
         resume_batching=st.booleans(),
@@ -1002,21 +1004,28 @@ class TestRebalancingSchedules:
                 if autoscale
                 else None
             ),
-            preempt=PreemptPolicy() if preempt else None,
+            preempt={
+                None: None,
+                "priority": PreemptPolicy(),
+                "deadline": DeadlinePreemptPolicy(),
+            }[preempt],
             trace="events" if trace else None,
             executor=executor,
             resume_batching=resume_batching,
             max_stack_depth=64,
         )
         handles = []
-        for n, gap, priority, budget in schedule:
+        for n, gap, priority, budget, deadline in schedule:
             for _ in range(gap):
                 cluster.tick()
             handles.append(
                 (
                     n,
                     cluster.submit(
-                        np.int64(n), priority=priority, step_budget=budget
+                        np.int64(n),
+                        priority=priority,
+                        step_budget=budget,
+                        deadline_ticks=deadline,
                     ),
                 )
             )
@@ -1051,8 +1060,10 @@ class TestRebalancingSchedules:
         assert t.preemptions == t.resumes
         assert sum(h.preemptions for _, h in handles) == t.preemptions
         assert t.preempted_migrations <= t.steals
-        if not preempt:
+        if preempt is None:
             assert t.preemptions == 0
+        # Deadline accounting reconstructs from the handles fleet-wide.
+        check_deadline_invariants(handles, t)
         assert cluster.load() == 0
         assert not cluster.draining
         if autoscale:

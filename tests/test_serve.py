@@ -13,8 +13,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.serve import (
+    DeadlinePreemptPolicy,
     Engine,
     LanePool,
+    NO_PROGRESS_LIMIT,
     PreemptPolicy,
     QueueFullError,
     RequestQueue,
@@ -165,6 +167,19 @@ class TestAdmissionControl:
         with pytest.raises(RuntimeError, match="still busy"):
             engine3.run_until_idle(max_ticks=ticks - 1)
 
+    def test_run_until_idle_zero_max_ticks_checks_before_ticking(self):
+        """A zero budget on a busy server must raise without ticking at
+        all — the budget check comes before the tick, not after."""
+        engine = fib.serve(num_lanes=1)
+        engine.submit(np.int64(5))
+        with pytest.raises(RuntimeError, match="still busy"):
+            engine.run_until_idle(max_ticks=0)
+        assert engine.now == 0
+        # An already-idle server spends a zero budget successfully.
+        idle = fib.serve(num_lanes=1)
+        assert idle.run_until_idle(max_ticks=0) == 0
+        assert idle.now == 0
+
     def test_priority_admitted_first(self):
         engine = poly.serve(num_lanes=1)
         lo = engine.submit(np.float64(0.0), priority=0)
@@ -181,6 +196,54 @@ class TestAdmissionControl:
         for h in handles:
             q.push(h)
         assert [q.pop().request_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_earliest_deadline_first_within_priority(self):
+        """Equal priority: tighter absolute deadline pops first; requests
+        without a deadline sort last (infinite slack)."""
+        q = RequestQueue(max_depth=None)
+        deadlines = [None, 50, 9, None, 30]
+        for i, dl in enumerate(deadlines):
+            q.push(ResultHandle(ServeRequest(
+                request_id=i, inputs=(), deadline_ticks=dl)))
+        assert [q.pop().request_id for _ in range(5)] == [2, 4, 1, 0, 3]
+
+    def test_priority_still_dominates_deadlines(self):
+        q = RequestQueue(max_depth=None)
+        lo_tight = ResultHandle(ServeRequest(
+            request_id=0, inputs=(), priority=0, deadline_ticks=1))
+        hi_loose = ResultHandle(ServeRequest(
+            request_id=1, inputs=(), priority=5, deadline_ticks=9999))
+        q.push(lo_tight)
+        q.push(hi_loose)
+        assert q.pop() is hi_loose
+
+    def test_queue_depth_is_public_and_tracks_len(self):
+        q = RequestQueue(max_depth=3)
+        assert q.depth() == 0 and q.snapshot_count() == 0
+        handles = [
+            ResultHandle(ServeRequest(request_id=i, inputs=()))
+            for i in range(3)
+        ]
+        for i, h in enumerate(handles):
+            q.push(h)
+            assert q.depth() == len(q) == i + 1
+        q.pop()
+        assert q.depth() == len(q) == 2
+
+    def test_queue_depth_counts_requeued_snapshots(self):
+        """An evicted straggler sits in the queue with its checkpoint:
+        depth() and snapshot_count() see it without touching privates."""
+        engine = fib.serve(num_lanes=1, preempt=PreemptPolicy())
+        engine.submit(np.int64(14))
+        for _ in range(3):
+            engine.tick()
+        engine.submit(np.int64(3), priority=5)
+        engine.tick()  # eviction checkpoints and requeues the straggler
+        assert engine.queue.depth() == len(engine.queue) == 1
+        assert engine.queue.snapshot_count() == 1
+        engine.run_until_idle()
+        assert engine.queue.depth() == 0
+        assert engine.queue.snapshot_count() == 0
 
 
 class TestStepBudgets:
@@ -561,6 +624,173 @@ class TestPreemption:
         assert engine.telemetry.preemptions == engine.telemetry.resumes
 
 
+class TestDeadlineEviction:
+    """DeadlinePreemptPolicy: slack-ranked eviction at equal priority."""
+
+    def test_tight_deadline_evicts_slack_rich_straggler(self):
+        engine = fib.serve(
+            num_lanes=2, preempt=DeadlinePreemptPolicy(), executor="fused"
+        )
+        stragglers = [
+            engine.submit(np.int64(14), deadline_ticks=100000)
+            for _ in range(2)
+        ]
+        for _ in range(3):
+            engine.tick()
+        urgent = engine.submit(np.int64(3), deadline_ticks=40)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions >= 1
+        assert engine.telemetry.preemptions == engine.telemetry.resumes
+        assert urgent.finish_tick <= urgent.deadline_tick
+        assert all(int(h.result()) == _FIB_REF[14] for h in stragglers)
+        assert int(urgent.result()) == _FIB_REF[3]
+
+    def test_priority_policy_cannot_help_at_equal_priority(self):
+        """The contrast case: same workload, priority-only policy, no
+        evictions — the urgent request waits out a straggler."""
+        engine = fib.serve(num_lanes=2, preempt=PreemptPolicy(),
+                           executor="fused")
+        for _ in range(2):
+            engine.submit(np.int64(14), deadline_ticks=100000)
+        for _ in range(3):
+            engine.tick()
+        urgent = engine.submit(np.int64(3), deadline_ticks=40)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == 0
+        assert urgent.finish_tick > urgent.deadline_tick
+        assert engine.telemetry.deadline_misses == 1
+
+    def test_deadline_less_traffic_never_ping_pongs(self):
+        """Regression: with no deadlines anywhere, victim slack minus
+        waiter slack is inf - inf = nan, and the comparison must read
+        that as "no gap" — an engine under pure overload used to evict
+        (and immediately re-seat) a lane every single tick."""
+        engine = fib.serve(
+            num_lanes=2, preempt=DeadlinePreemptPolicy(), executor="fused"
+        )
+        ns = np.array([12, 11, 10, 9, 8, 7], dtype=np.int64)
+        results = engine.map([(np.int64(n),) for n in ns])
+        np.testing.assert_array_equal(np.stack(results), fib.run_pc(ns))
+        assert engine.telemetry.preemptions == 0
+
+    def test_deadline_less_victim_still_evicted_for_deadline_waiter(self):
+        """inf victim slack minus finite waiter slack is +inf: always a
+        big enough gap."""
+        engine = fib.serve(
+            num_lanes=1, preempt=DeadlinePreemptPolicy(), executor="fused"
+        )
+        straggler = engine.submit(np.int64(14))  # no deadline at all
+        for _ in range(3):
+            engine.tick()
+        urgent = engine.submit(np.int64(2), deadline_ticks=30)
+        engine.run_until_idle()
+        assert straggler.preemptions == 1
+        assert urgent.finish_tick <= urgent.deadline_tick
+
+    def test_no_eviction_while_lanes_free(self):
+        engine = fib.serve(
+            num_lanes=3, preempt=DeadlinePreemptPolicy(), executor="fused"
+        )
+        engine.submit(np.int64(14), deadline_ticks=100000)
+        for _ in range(3):
+            engine.tick()
+        engine.submit(np.int64(3), deadline_ticks=10)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == 0
+
+    def test_slack_delta_gates_eviction(self):
+        """A waiter whose slack is within slack_delta of every victim's
+        gains nothing from an eviction, so none happens."""
+        engine = fib.serve(
+            num_lanes=1,
+            preempt=DeadlinePreemptPolicy(slack_delta=10**6),
+            executor="fused",
+        )
+        engine.submit(np.int64(12), deadline_ticks=5000)
+        for _ in range(3):
+            engine.tick()
+        engine.submit(np.int64(3), deadline_ticks=40)
+        engine.run_until_idle()
+        assert engine.telemetry.preemptions == 0
+
+    def test_policy_validation_and_registry(self):
+        with pytest.raises(ValueError, match="slack_delta"):
+            DeadlinePreemptPolicy(slack_delta=0)
+        policy = resolve_preempt_policy("deadline")
+        assert isinstance(policy, DeadlinePreemptPolicy)
+        assert "slack_delta" in repr(policy)
+
+    def test_negative_deadline_rejected(self):
+        engine = fib.serve(num_lanes=1)
+        with pytest.raises(ValueError, match="deadline_ticks"):
+            engine.submit(np.int64(3), deadline_ticks=-1)
+
+    def test_deadline_telemetry_and_trace_event(self):
+        """A completion past its deadline counts as a miss, scores against
+        slo_attainment('deadline'), and emits a 'deadline' trace event
+        just before its terminal."""
+        engine = fib.serve(num_lanes=1, trace="events")
+        missed = engine.submit(np.int64(12), deadline_ticks=1)
+        made = engine.submit(np.int64(12), deadline_ticks=10**6)
+        engine.run_until_idle()
+        t = engine.telemetry
+        assert t.deadline_misses == 1
+        assert t.slo_attainment("deadline") == 0.5
+        outcomes = t.deadline_outcomes()
+        assert len(outcomes) == 2
+        kinds = [e.kind for e in missed.trace()]
+        assert "deadline" in kinds
+        assert kinds.index("deadline") == len(kinds) - 2  # precedes terminal
+        assert "deadline" not in [e.kind for e in made.trace()]
+        from repro.observe import validate_timeline
+        assert validate_timeline(missed.trace()) == "complete"
+
+
+class _DrainingFleet:
+    """Admission full, clock advancing, every other counter frozen — the
+    observable shape of a fleet whose every shard is draining away."""
+
+    def __init__(self):
+        self.now = 0
+
+    def busy(self):
+        return True
+
+    def admission_full(self):
+        return True
+
+    def tick(self):
+        self.now += 1
+        return True
+
+    def progress_signature(self):
+        return ("draining",)
+
+
+class TestBackpressureWedge:
+    def test_no_progress_backpressure_raises_instead_of_spinning(self):
+        """Regression: map/serve_all backpressure used to tick forever
+        against a server that could never admit, because the logical
+        clock always advances; the progress signature excludes it."""
+        from repro.serve.engine import serve_all
+
+        stub = _DrainingFleet()
+        with pytest.raises(QueueFullError, match="no progress"):
+            serve_all(stub, [(np.int64(1),)])
+        assert stub.now == NO_PROGRESS_LIMIT  # bounded, not forever
+
+    def test_engine_progress_signature_moves_with_work(self):
+        engine = fib.serve(num_lanes=1)
+        idle = engine.progress_signature()
+        engine.tick()  # an idle tick is NOT progress
+        assert engine.progress_signature() == idle
+        engine.submit(np.int64(5))
+        moved = engine.progress_signature()
+        assert moved != idle
+        engine.tick()
+        assert engine.progress_signature() != moved
+
+
 class TestTelemetryEdgeCases:
     """Zero-traffic and failure-only corners must report zeros, not raise."""
 
@@ -707,6 +937,28 @@ def check_preemption_invariants(handles, telemetry):
             assert h.preempt_tick <= h.resume_tick <= h.finish_tick
 
 
+def check_deadline_invariants(handles, telemetry):
+    """Deadline accounting reconstructs from the handles exactly."""
+    done = [h for _, h in handles if h.state == "done"]
+    expect_misses = sum(
+        1
+        for h in done
+        if h.deadline_tick is not None and h.finish_tick > h.deadline_tick
+    )
+    assert telemetry.deadline_misses == expect_misses
+    carried = [
+        (h.finish_tick - h.request.submit_tick, h.request.deadline_ticks)
+        for h in done
+        if h.request.deadline_ticks is not None
+    ]
+    attained = (
+        sum(1 for lat, dl in carried if lat <= dl) / len(carried)
+        if carried
+        else 0.0
+    )
+    assert telemetry.slo_attainment("deadline") == attained
+
+
 class TestPropertyBasedSchedules:
     @settings(max_examples=25, deadline=None)
     @given(
@@ -791,6 +1043,64 @@ class TestPropertyBasedSchedules:
         engine.run_until_idle()
         check_serving_invariants(engine, handles, engine.telemetry)
         check_trace_invariants(handles, engine.telemetry, engine.trace)
+        assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(0, 14),                          # fib argument
+                st.integers(0, 3),                           # arrival gap
+                st.one_of(st.none(), st.integers(0, 500)),   # deadline_ticks
+                st.one_of(st.none(), st.integers(1, 2000)),  # step budget
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        num_lanes=st.integers(1, 3),
+        slack_delta=st.sampled_from([1, 5, 50]),
+        min_age=st.integers(0, 4),
+        max_per_tick=st.one_of(st.none(), st.just(1)),
+        executor=st.sampled_from(["fused", "superblock"]),
+    )
+    def test_engine_deadline_schedule_invariants(
+        self, schedule, num_lanes, slack_delta, min_age, max_per_tick,
+        executor
+    ):
+        """Random deadline-carrying arrivals under slack-ranked eviction:
+        the usual serving invariants (no lost/duplicated handles, every
+        eviction resumed exactly once, bit-identical results, well-formed
+        timelines) plus deadline accounting that reconstructs from the
+        handles exactly."""
+        engine = fib.serve(
+            num_lanes=num_lanes,
+            max_stack_depth=64,
+            executor=executor,
+            preempt=DeadlinePreemptPolicy(
+                slack_delta=slack_delta,
+                min_age=min_age,
+                max_per_tick=max_per_tick,
+            ),
+            trace="events",
+        )
+        handles = []
+        for n, gap, deadline, budget in schedule:
+            for _ in range(gap):
+                engine.tick()
+            handles.append(
+                (
+                    n,
+                    engine.submit(
+                        np.int64(n),
+                        step_budget=budget,
+                        deadline_ticks=deadline,
+                    ),
+                )
+            )
+        engine.run_until_idle()
+        check_serving_invariants(engine, handles, engine.telemetry)
+        check_trace_invariants(handles, engine.telemetry, engine.trace)
+        check_deadline_invariants(handles, engine.telemetry)
         assert engine.pool.busy_count() == 0 and len(engine.queue) == 0
 
     @settings(max_examples=15, deadline=None)
