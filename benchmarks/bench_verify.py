@@ -1,0 +1,144 @@
+"""Verification-overhead smoke: verified plan compile must stay cheap.
+
+Plan compilation now runs the :mod:`repro.analysis.stackcheck` abstract
+interpreter by default (structural checks, stack-effect/depth analysis,
+region-table validation).  This smoke times the full lower-and-compile
+pipeline for a small corpus with ``verify=True`` vs ``verify=False`` —
+fresh lowering every iteration, so no AutobatchFunction cache flattens the
+comparison — and **asserts** the verified pipeline's best wall time is at
+most 1.5x the unverified one's.  Also sanity-checks that every corpus
+program verifies clean and that the proven depth bound is attached to the
+verified plan.
+
+Run: ``python benchmarks/bench_verify.py [--quick] [--repeats N] [--out FILE]``
+→ ``BENCH_verify.json``
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+from repro import autobatch  # noqa: E402
+from repro.lowering.pipeline import lower_program  # noqa: E402
+from repro.vm import ExecutionPlan  # noqa: E402
+from common import fib  # noqa: E402
+
+MAX_SLOWDOWN = 1.5
+
+
+@autobatch
+def looped_gcd(a, b):
+    while b > 0:
+        t = b
+        b = a % b
+        a = t
+    return a
+
+
+@autobatch
+def helper_double(x):
+    return x + x
+
+
+@autobatch
+def calls_helper(x, n):
+    total = 0
+    while n > 0:
+        total = total + helper_double(x + n)
+        n = n - 1
+    return total
+
+
+CORPUS = {
+    "fib": fib,
+    "looped_gcd": looped_gcd,
+    "calls_helper": calls_helper,
+}
+
+
+def compile_once(fn, verify: bool) -> ExecutionPlan:
+    """One cold lower-and-compile: lowering is re-run so nothing is cached."""
+    stack_program = lower_program(fn.program, optimize=True)
+    return ExecutionPlan.compile(stack_program, executor="eager", verify=verify)
+
+
+def best_wall(fn, verify: bool, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compile_once(fn, verify)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer repeats")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+    repeats = (
+        args.repeats
+        if args.repeats is not None
+        else (5 if args.quick else 15)
+    )
+
+    rows = []
+    total_plain = total_verified = 0.0
+    for name, fn in CORPUS.items():
+        plan = compile_once(fn, verify=True)
+        assert plan.facts is not None, name  # verified clean, facts attached
+        # Warm both paths once before timing (imports, prim registry).
+        compile_once(fn, verify=False)
+        plain = best_wall(fn, verify=False, repeats=repeats)
+        verified = best_wall(fn, verify=True, repeats=repeats)
+        total_plain += plain
+        total_verified += verified
+        rows.append(
+            {
+                "program": name,
+                "compile_ms": plain * 1e3,
+                "compile_verified_ms": verified * 1e3,
+                "slowdown": verified / plain,
+                "bounded": plan.facts.bounded,
+                "required_stack_depth": plan.facts.required_stack_depth,
+            }
+        )
+        print(
+            f"{name:>14}: compile {plain * 1e3:7.3f} ms, "
+            f"verified {verified * 1e3:7.3f} ms "
+            f"({verified / plain:4.2f}x)"
+        )
+
+    slowdown = total_verified / total_plain
+    print(
+        f"-- corpus total: {total_plain * 1e3:.3f} ms -> "
+        f"{total_verified * 1e3:.3f} ms verified ({slowdown:.2f}x, "
+        f"limit {MAX_SLOWDOWN}x)"
+    )
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"verification overhead {slowdown:.2f}x exceeds {MAX_SLOWDOWN}x"
+    )
+
+    result = {
+        "bench": "verify",
+        "params": {"repeats": repeats, "quick": bool(args.quick)},
+        "rows": rows,
+        "total_slowdown": slowdown,
+        "limit": MAX_SLOWDOWN,
+    }
+    out = args.out or os.path.join(os.curdir, "BENCH_verify.json")
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@
   recursion (cycle) detection, including mutual recursion.
 * :mod:`repro.analysis.storage` — storage-class assignment implementing the
   paper's optimizations 2 (temporaries) and 3 (stack-free variables).
+* :mod:`repro.analysis.stackcheck` — static verification of lowered stack
+  programs: abstract-interpretation stack-effect checking, exact depth
+  bounds (:class:`ProgramFacts`), region-table validation.
+* :mod:`repro.analysis.lint` — severity-ranked findings CLI
+  (``python -m repro.analysis.lint <example|all>``).
 """
 
 from repro.analysis.cfg import predecessors, successors, reverse_postorder
@@ -19,6 +24,15 @@ from repro.analysis.liveness import (
 )
 from repro.analysis.call_graph import CallGraphInfo, analyze_call_graph
 from repro.analysis.storage import StorageAssignment, assign_storage
+from repro.analysis.stackcheck import (
+    Diagnostic,
+    ProgramFacts,
+    Severity,
+    VerificationError,
+    analyze_stack_program,
+    verify_region_table,
+    verify_stack_program,
+)
 
 __all__ = [
     "predecessors",
@@ -33,4 +47,11 @@ __all__ = [
     "analyze_call_graph",
     "StorageAssignment",
     "assign_storage",
+    "Diagnostic",
+    "ProgramFacts",
+    "Severity",
+    "VerificationError",
+    "analyze_stack_program",
+    "verify_region_table",
+    "verify_stack_program",
 ]

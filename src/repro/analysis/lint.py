@@ -1,0 +1,195 @@
+"""Severity-ranked static diagnostics for autobatched programs.
+
+::
+
+    python -m repro.analysis.lint fib        # one example
+    python -m repro.analysis.lint all        # the whole corpus
+    python -m repro.analysis.lint --list     # available example names
+    python -m repro.analysis.lint all --json # machine-readable findings
+
+For each program the driver runs, over the *lowered* stack program, the
+full :mod:`repro.analysis.stackcheck` verifier (structural checks, the
+abstract-interpretation stack-effect/depth analysis, unreachable blocks,
+uncalled functions, the bounded/unbounded depth verdict) plus region-table
+validation of the statically selected superblocks; and, over the callable
+IR, a dead-store pass driven by the existing liveness analysis.  Findings
+print ranked by severity; the exit status is 1 iff any **error**-severity
+finding exists (warnings and the unbounded-recursion verdict are advisory),
+which is what the CI lint lane gates on.
+
+The corpus is ``tests.programs.ALL_EXAMPLES`` when the test suite is
+importable (run from the repository root); otherwise a small builtin
+fallback corpus keeps the CLI self-contained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.liveness import compute_liveness, op_defs
+from repro.analysis.stackcheck import (
+    Diagnostic,
+    Severity,
+    analyze_stack_program,
+    region_diagnostics,
+    sort_diagnostics,
+)
+from repro.ir.instructions import CallOp, ConstOp, PrimOp
+
+
+def _builtin_corpus() -> Dict[str, Any]:
+    """A minimal standalone corpus for running lint outside the repo root."""
+    from repro import autobatch
+
+    @autobatch
+    def lint_fib(n):
+        if n <= 1:
+            return 1
+        return lint_fib(n - 2) + lint_fib(n - 1)
+
+    @autobatch
+    def lint_gcd(a, b):
+        while b > 0:
+            t = b
+            b = a % b
+            a = t
+        return a
+
+    return {"lint_fib": lint_fib, "lint_gcd": lint_gcd}
+
+
+def load_corpus() -> Dict[str, Any]:
+    """Name -> AutobatchFunction for every lintable example."""
+    try:
+        from tests.programs import ALL_EXAMPLES
+    except ImportError:
+        return _builtin_corpus()
+    return {name: fn for name, (fn, _inputs) in sorted(ALL_EXAMPLES.items())}
+
+
+def _op_outputs(op) -> Tuple[str, ...]:
+    outs = op_defs(op)
+    if not outs and isinstance(op, ConstOp):
+        outs = (op.output,)
+    return outs
+
+
+def _dead_store_diagnostics(fn: Any) -> List[Diagnostic]:
+    """Writes whose value no later read observes, via the liveness analysis."""
+    diags: List[Diagnostic] = []
+    for func in fn.program.functions.values():
+        live = compute_liveness(func)
+        for blk in func.blocks:
+            for i, op in enumerate(blk.ops):
+                if not isinstance(op, (PrimOp, ConstOp, CallOp)):
+                    continue
+                outs = _op_outputs(op)
+                if not outs:
+                    continue
+                after = live.live_after_op[(blk.label, i)]
+                if not any(v in after for v in outs):
+                    names = ", ".join(repr(v) for v in outs)
+                    diags.append(
+                        Diagnostic(
+                            Severity.WARNING,
+                            "dead-store",
+                            f"{func.name}/{blk.label} op {i}: value of "
+                            f"{names} is never read ({op})",
+                            function=func.name,
+                        )
+                    )
+    return diags
+
+
+def lint_function(fn: Any, optimize: Any = True) -> List[Diagnostic]:
+    """All findings for one autobatched function, severity-ranked."""
+    from repro.backend.regions import select_regions
+
+    stack_program = fn.stack_program(optimize)
+    result = analyze_stack_program(stack_program)
+    diags = list(result.diagnostics)
+    diags.extend(
+        region_diagnostics(
+            stack_program, select_regions(stack_program), result.facts
+        )
+    )
+    diags.extend(_dead_store_diagnostics(fn))
+    return sort_diagnostics(diags)
+
+
+def _finding_json(name: str, diag: Diagnostic) -> Dict[str, Any]:
+    return {
+        "program": name,
+        "severity": str(diag.severity),
+        "code": diag.code,
+        "block": diag.block,
+        "function": diag.function,
+        "message": diag.message,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Static verification and lint over autobatched examples.",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        help="example name, or 'all' for the whole corpus (default)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print available example names"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON lines"
+    )
+    parser.add_argument(
+        "-O0",
+        dest="optimize",
+        action="store_false",
+        help="lint the unoptimized lowering",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = load_corpus()
+    if args.list:
+        print("\n".join(corpus))
+        return 0
+    if args.target == "all":
+        selected = corpus
+    elif args.target in corpus:
+        selected = {args.target: corpus[args.target]}
+    else:
+        parser.error(
+            f"unknown example {args.target!r}; known: {', '.join(corpus)}"
+        )
+
+    totals = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+    for name, fn in selected.items():
+        findings = lint_function(fn, optimize=args.optimize)
+        if args.json:
+            for d in findings:
+                print(json.dumps(_finding_json(name, d)))
+        else:
+            verdict = "clean" if not findings else f"{len(findings)} finding(s)"
+            print(f"== {name}: {verdict}")
+            for d in findings:
+                print(f"   {d.format()}")
+        for d in findings:
+            totals[d.severity] += 1
+
+    if not args.json:
+        print(
+            f"-- {len(selected)} program(s): {totals[Severity.ERROR]} error(s), "
+            f"{totals[Severity.WARNING]} warning(s), {totals[Severity.INFO]} info"
+        )
+    return 1 if totals[Severity.ERROR] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Static verification of lowered stack programs.
+
+* :mod:`~repro.analysis.stackcheck.structural` — shared structural checks
+  (one implementation behind ``validate_stack_program`` and the verifier).
+* :mod:`~repro.analysis.stackcheck.verify` — the abstract interpreter:
+  stack-effect consistency, per-pc entry depths, exact depth bounds or an
+  honest ``unbounded`` verdict, exported as :class:`ProgramFacts`.
+* :mod:`~repro.analysis.stackcheck.regions` — superblock region tables
+  checked against the verified CFG.
+* :mod:`repro.analysis.lint` — the CLI driver
+  (``python -m repro.analysis.lint <example|all>``).
+"""
+
+from repro.analysis.stackcheck.diagnostics import (
+    Diagnostic,
+    Severity,
+    VerificationError,
+    errors_only,
+    sort_diagnostics,
+)
+from repro.analysis.stackcheck.structural import structural_diagnostics
+from repro.analysis.stackcheck.verify import (
+    ProgramFacts,
+    StackCheckResult,
+    analyze_stack_program,
+    verify_stack_program,
+)
+from repro.analysis.stackcheck.regions import (
+    region_diagnostics,
+    verify_region_table,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "VerificationError",
+    "errors_only",
+    "sort_diagnostics",
+    "structural_diagnostics",
+    "ProgramFacts",
+    "StackCheckResult",
+    "analyze_stack_program",
+    "verify_stack_program",
+    "region_diagnostics",
+    "verify_region_table",
+]

@@ -1,0 +1,91 @@
+"""Severity-ranked findings for the stack-program verifier and lint driver.
+
+Every check in :mod:`repro.analysis.stackcheck` reports through
+:class:`Diagnostic` so one finding format flows from the structural checks
+(shared with :func:`repro.ir.validate.validate_stack_program`), through the
+abstract interpreter, the region-table checker, and out of the
+``python -m repro.analysis.lint`` CLI.  ``ERROR`` findings mean the program
+(or region table) must not execute; ``WARNING``/``INFO`` findings are
+advisory and never block plan compilation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; higher values sort first in reports."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in messages
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier/lint finding, anchored to a program location.
+
+    ``code`` is a stable kebab-case identifier tests and CI gates match on;
+    ``block`` is the pc (block index) the finding anchors to, when it has
+    one; ``function`` names the enclosing function when known.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    block: Optional[int] = None
+    function: Optional[str] = None
+
+    def format(self) -> str:
+        where = []
+        if self.function is not None:
+            where.append(self.function)
+        if self.block is not None:
+            where.append(f"pc={self.block}")
+        loc = f" [{'/'.join(where)}]" if where else ""
+        return f"{self.severity}: {self.code}{loc}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def sort_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Severity-ranked (errors first), then by location for determinism."""
+    return sorted(
+        diags,
+        key=lambda d: (
+            -int(d.severity),
+            d.block if d.block is not None else -1,
+            d.code,
+            d.message,
+        ),
+    )
+
+
+def errors_only(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+class VerificationError(ValueError):
+    """A stack program (or region table) failed static verification.
+
+    Carries the full severity-ranked finding list; ``str()`` leads with the
+    first error so ``pytest.raises(..., match=...)`` can target codes.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic], context: str = ""):
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(
+            sort_diagnostics(diagnostics)
+        )
+        errors = errors_only(self.diagnostics)
+        head = errors[0].format() if errors else "verification failed"
+        extra = len(errors) - 1
+        tail = f" (+{extra} more error{'s' if extra > 1 else ''})" if extra > 0 else ""
+        prefix = f"{context}: " if context else ""
+        super().__init__(f"{prefix}{head}{tail}")

@@ -1,0 +1,135 @@
+"""Structural well-formedness checks for the stack dialect.
+
+This is the single shared implementation behind both
+:func:`repro.ir.validate.validate_stack_program` (raising mode, used by the
+lowering pipeline) and the deeper verifier in
+:mod:`repro.analysis.stackcheck.verify` (collect mode, which refuses to run
+the abstract interpretation over a structurally broken CFG).
+
+Checked here, per block:
+
+* only stack-dialect ops (``CallOp`` must not survive lowering);
+* a terminator exists and is a stack-dialect terminator;
+* every terminator target is a resolved integer in ``[0, exit_index]``;
+* no direct ``Jump``/``Branch`` to the exit index (only the pc-stack bottom
+  may name it — a direct jump would bypass ``Return``'s pop);
+* neither ``PushJump`` target is the exit index (a call into the exit would
+  never return; a return continuation at the exit would silently drop the
+  caller's remaining work);
+
+and per program: at least one block, and no duplicate block labels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    Branch,
+    CallOp,
+    ConstOp,
+    Jump,
+    PopOp,
+    PrimOp,
+    PushJump,
+    PushOp,
+    Return,
+    StackProgram,
+)
+
+from repro.analysis.stackcheck.diagnostics import Diagnostic, Severity
+
+
+def _error(code: str, message: str, block=None) -> Diagnostic:
+    return Diagnostic(Severity.ERROR, code, message, block=block)
+
+
+def structural_diagnostics(program: StackProgram) -> List[Diagnostic]:
+    """All structural findings for ``program`` (empty list = well-formed)."""
+    diags: List[Diagnostic] = []
+    n = len(program.blocks)
+    exit_index = program.exit_index
+    if n == 0:
+        diags.append(_error("no-blocks", "stack program has no blocks"))
+        return diags
+    seen_labels = {}
+    for i, blk in enumerate(program.blocks):
+        prev = seen_labels.setdefault(blk.label, i)
+        if prev != i:
+            diags.append(
+                _error(
+                    "duplicate-label",
+                    f"block label {blk.label!r} already used by block {prev}",
+                    block=i,
+                )
+            )
+        for op in blk.ops:
+            if isinstance(op, CallOp):
+                diags.append(
+                    _error("call-survived", f"CallOp survived lowering: {op}", block=i)
+                )
+            elif not isinstance(op, (PrimOp, ConstOp, PushOp, PopOp)):
+                diags.append(
+                    _error("unknown-op", f"unknown operation {op!r}", block=i)
+                )
+        term = blk.terminator
+        if term is None:
+            diags.append(
+                _error("missing-terminator", "missing terminator", block=i)
+            )
+            continue
+        if isinstance(term, (Jump, Branch, PushJump)):
+            for target in term.targets():
+                if not isinstance(target, int) or isinstance(target, bool):
+                    diags.append(
+                        _error(
+                            "unresolved-target",
+                            f"unresolved target {target!r}",
+                            block=i,
+                        )
+                    )
+                    continue
+                if not (0 <= target <= exit_index):
+                    diags.append(
+                        _error(
+                            "target-out-of-range",
+                            f"target {target} out of range [0, {exit_index}]",
+                            block=i,
+                        )
+                    )
+                    continue
+                if target == exit_index:
+                    if isinstance(term, PushJump):
+                        what = (
+                            "call target"
+                            if target == term.jump_target
+                            else "return target"
+                        )
+                        diags.append(
+                            _error(
+                                "pushjump-to-exit",
+                                f"PushJump {what} is the exit index "
+                                f"{exit_index}; calls must enter and return "
+                                "through real blocks",
+                                block=i,
+                            )
+                        )
+                    else:
+                        # Only the pc-stack bottom may name the exit index;
+                        # direct jumps to it would bypass Return's pop.
+                        diags.append(
+                            _error(
+                                "jump-to-exit",
+                                f"direct jump to exit index {exit_index}",
+                                block=i,
+                            )
+                        )
+        elif isinstance(term, Return):
+            pass
+        else:
+            diags.append(
+                _error(
+                    "unknown-terminator", f"unknown terminator {term!r}", block=i
+                )
+            )
+    return diags

@@ -464,6 +464,14 @@ class SuperblockExecutor(FusedBlockExecutor):
         entry = self._compiled.get(id(program))
         if entry is None:
             table = self.regions_for(program)
+            # A stale or hand-built table must not reach codegen: every run
+            # edge has to exist in this program's CFG.  (Plan verification
+            # additionally checks runs against the abstract interpreter's
+            # reachability facts; this structural gate also covers plans
+            # compiled with verify=False.)
+            from repro.analysis.stackcheck.regions import verify_region_table
+
+            verify_region_table(program, table)
             blocks = [
                 _BlockCompiler(program).compile_chain(table.chain(i))
                 for i in range(len(program.blocks))

@@ -52,6 +52,7 @@ class AutobatchFunction:
         self._callee_objects: Dict[str, "AutobatchFunction"] = {}
         self._stack_programs: Dict[LoweringOptions, StackProgram] = {}
         self._execution_plans: Dict[Tuple, Any] = {}
+        self._program_facts: Dict[LoweringOptions, Any] = {}
         functools.update_wrapper(self, pyfunc, updated=())
 
     # -- plain Python execution (the reference semantics) --------------------
@@ -132,15 +133,37 @@ class AutobatchFunction:
             self._stack_programs[key] = lower_program(self.program, optimize=key)
         return self._stack_programs[key]
 
+    def program_facts(self, optimize: Any = True) -> Any:
+        """Statically verified :class:`~repro.analysis.stackcheck.ProgramFacts`.
+
+        The lowered program is verified once per lowering configuration —
+        every executor's plan shares the same facts object — and the result
+        (per-pc entry depths, the proven max stack depth or the ``unbounded``
+        verdict for recursive programs) is what machines pre-size their
+        stacks from.
+        """
+        key = normalize_lowering_options(optimize)
+        if key not in self._program_facts:
+            from repro.analysis.stackcheck import verify_stack_program
+
+            self._program_facts[key] = verify_stack_program(
+                self.stack_program(key), context=f"stack program of {self.name!r}"
+            )
+        return self._program_facts[key]
+
     def execution_plan(
-        self, executor: Any = "eager", optimize: Any = True
+        self, executor: Any = "eager", optimize: Any = True, verify: bool = True
     ) -> Any:
         """A cached :class:`~repro.vm.executors.ExecutionPlan` for this function.
 
         The plan pairs the lowered program with a block-executor choice
         (``"eager"`` per-op dispatch or ``"fused"`` one-call-per-block);
         one plan per (executor, lowering options) pair is compiled, then
-        shared by every machine ``run_pc`` or ``serve`` creates.
+        shared by every machine ``run_pc`` or ``serve`` creates.  With
+        ``verify=True`` (the default) the plan carries the statically
+        verified :meth:`program_facts`; ``verify=False`` skips the check
+        (the plan is still cached, and a later verifying call upgrades it
+        in place).
         """
         from repro.vm.executors import ExecutionPlan, resolve_executor
 
@@ -150,15 +173,19 @@ class AutobatchFunction:
             # A caller-supplied executor instance/class may carry its own
             # state or share a name with an unrelated class; only specs
             # resolved through the name registry go through the cache.
-            return ExecutionPlan(
+            plan = ExecutionPlan(
                 program=self.stack_program(opts), executor=ex, options=opts
             )
-        key = (ex.name, opts)
-        if key not in self._execution_plans:
-            self._execution_plans[key] = ExecutionPlan(
-                program=self.stack_program(opts), executor=ex, options=opts
-            )
-        return self._execution_plans[key]
+        else:
+            key = (ex.name, opts)
+            if key not in self._execution_plans:
+                self._execution_plans[key] = ExecutionPlan(
+                    program=self.stack_program(opts), executor=ex, options=opts
+                )
+            plan = self._execution_plans[key]
+        if verify and plan.facts is None:
+            plan.verify(self.program_facts(opts))
+        return plan
 
     # -- batched execution ----------------------------------------------------
 
@@ -183,9 +210,10 @@ class AutobatchFunction:
 
         optimize = options.pop("optimize", True)
         executor = options.pop("executor", "eager")
+        verify = options.pop("verify", True)
         registry = options.pop("registry", self.registry)
         return run_program_counter(
-            self.execution_plan(executor=executor, optimize=optimize),
+            self.execution_plan(executor=executor, optimize=optimize, verify=verify),
             list(inputs),
             registry=registry,
             **options,

@@ -109,33 +109,24 @@ def validate_program(program: Program) -> None:
 
 
 def validate_stack_program(program: StackProgram) -> None:
-    """Check a stack-dialect program: integer targets in range, no CallOps."""
-    n = len(program.blocks)
-    exit_index = program.exit_index
-    for i, blk in enumerate(program.blocks):
-        where = f"block {i} ({blk.label})"
-        for op in blk.ops:
-            if isinstance(op, CallOp):
-                _fail(f"{where}: CallOp survived lowering: {op}")
-            elif not isinstance(op, (PrimOp, ConstOp, PushOp, PopOp)):
-                _fail(f"{where}: unknown operation {op!r}")
-        term = blk.terminator
-        if term is None:
-            _fail(f"{where}: missing terminator")
-            continue
-        if isinstance(term, (Jump, Branch, PushJump)):
-            for target in term.targets():
-                if not isinstance(target, int):
-                    _fail(f"{where}: unresolved target {target!r}")
-                if not (0 <= target <= exit_index):
-                    _fail(f"{where}: target {target} out of range [0, {exit_index}]")
-                if target == exit_index and not isinstance(term, PushJump):
-                    # Only the pc-stack bottom may name the exit index; direct
-                    # jumps to it would bypass Return's pop.
-                    _fail(f"{where}: direct jump to exit index {exit_index}")
-        elif isinstance(term, Return):
-            pass
-        else:
-            _fail(f"{where}: unknown terminator {term!r}")
-    if n == 0:
-        _fail("stack program has no blocks")
+    """Check a stack-dialect program: integer targets in range, no CallOps.
+
+    The checks live in :mod:`repro.analysis.stackcheck.structural` — one
+    shared implementation behind this raising entry point and the deeper
+    abstract-interpretation verifier (``repro.analysis.stackcheck.verify``).
+    This fixed the seed implementation's gaps: duplicate block labels and
+    ``PushJump`` targets naming the exit index went undetected, and a block
+    with a missing terminator raised before its remaining checks could be
+    reported consistently.
+    """
+    # Imported lazily: repro.analysis pulls in its whole analysis suite
+    # (networkx included), which repro.ir must not require at import time.
+    from repro.analysis.stackcheck.structural import structural_diagnostics
+
+    diags = structural_diagnostics(program)
+    if diags:
+        first = diags[0]
+        if first.block is not None:
+            label = program.blocks[first.block].label
+            _fail(f"block {first.block} ({label}): {first.message}")
+        _fail(first.message)

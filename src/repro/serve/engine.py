@@ -403,6 +403,13 @@ class Engine:
         seed regions from a :class:`~repro.observe.BlockProfile`).  Lane
         recycling is executor-agnostic: the retire/reset/inject hooks go
         through the machine's :class:`~repro.vm.executors.ExecutionPlan`.
+    verify:
+        Statically verify the program once at plan compile (the default;
+        see :mod:`repro.analysis.stackcheck`) — stack-effect safety, depth
+        bounds, region-table consistency — with zero steady-state cost:
+        the proven facts are cached on the plan, and when
+        ``max_stack_depth`` is not given the machine's stacks pre-size
+        from the proven bound instead of the depth-32 guess.
     """
 
     def __init__(
@@ -413,10 +420,11 @@ class Engine:
         registry: Optional[PrimitiveRegistry] = None,
         mode: str = "mask",
         scheduler: Any = "earliest",
-        max_stack_depth: int = 32,
+        max_stack_depth: Optional[int] = None,
         top_cache: bool = True,
         optimize: Any = True,
         executor: Any = None,
+        verify: bool = True,
         max_queue_depth: Optional[int] = None,
         default_step_budget: Optional[int] = None,
         refill: str = "continuous",
@@ -445,12 +453,14 @@ class Engine:
                 )
             plan = program
         elif isinstance(program, StackProgram):
-            plan = ExecutionPlan.compile(program, executor=executor)
+            plan = ExecutionPlan.compile(
+                program, executor=executor, verify=verify
+            )
         elif hasattr(program, "stack_program"):
             if registry is None:
                 registry = getattr(program, "registry", None)
             plan = ExecutionPlan.compile(
-                program, executor=executor, optimize=optimize
+                program, executor=executor, optimize=optimize, verify=verify
             )
         else:
             raise TypeError(

@@ -28,6 +28,7 @@ from repro.vm.local_static import run_local_static
 from repro.vm.program_counter import (
     LaneSnapshot,
     ProgramCounterVM,
+    SnapshotIncompatibleError,
     run_program_counter,
 )
 from repro.vm.instrumentation import Instrumentation
@@ -38,6 +39,7 @@ __all__ = [
     "run_program_counter",
     "LaneSnapshot",
     "ProgramCounterVM",
+    "SnapshotIncompatibleError",
     "Instrumentation",
     "BatchedStack",
     "UncachedBatchedStack",

@@ -357,6 +357,11 @@ class ExecutionPlan:
     #: Mutable binding counters; excluded from equality so two plans over
     #: the same (program, executor, options) still compare equal.
     stats: PlanStats = field(default_factory=PlanStats, compare=False, repr=False)
+    #: :class:`~repro.analysis.stackcheck.ProgramFacts` from static
+    #: verification (None until :meth:`verify` runs, or forever under
+    #: ``verify=False``).  Machines pre-size their batched stacks from
+    #: ``facts.required_stack_depth`` when no explicit depth is given.
+    facts: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @classmethod
     def compile(
@@ -364,30 +369,72 @@ class ExecutionPlan:
         program: Any,
         executor: Union[str, BlockExecutor] = "eager",
         optimize: Union[bool, LoweringOptions] = True,
+        verify: bool = True,
     ) -> "ExecutionPlan":
         """Build a plan from a :class:`StackProgram`, an
         :class:`~repro.frontend.api.AutobatchFunction` (or anything with a
         ``stack_program(optimize=...)`` method), with the executor given by
-        name or instance."""
+        name or instance.
+
+        ``verify=True`` (the default) statically verifies the program —
+        stack-effect safety, depth bounds, region-table consistency — once
+        per plan, caching the proven :class:`ProgramFacts` on it; pass
+        ``verify=False`` to opt out (e.g. deliberately ill-formed inputs in
+        negative tests).
+        """
         if hasattr(program, "execution_plan"):
             # Delegate the *raw* spec so the function's per-(executor,
             # options) plan cache can key on the name.
-            return program.execution_plan(executor=executor, optimize=optimize)
+            return program.execution_plan(
+                executor=executor, optimize=optimize, verify=verify
+            )
         ex = resolve_executor(executor)
         if isinstance(program, StackProgram):
             opts = optimize if isinstance(optimize, LoweringOptions) else None
-            return cls(program=program, executor=ex, options=opts)
-        if hasattr(program, "stack_program"):
+            plan = cls(program=program, executor=ex, options=opts)
+        elif hasattr(program, "stack_program"):
             opts = normalize_lowering_options(optimize)
-            return cls(
+            plan = cls(
                 program=program.stack_program(optimize=opts),
                 executor=ex,
                 options=opts,
             )
-        raise TypeError(
-            "program must be a StackProgram or provide .stack_program(), "
-            f"got {type(program).__name__}"
+        else:
+            raise TypeError(
+                "program must be a StackProgram or provide .stack_program(), "
+                f"got {type(program).__name__}"
+            )
+        if verify:
+            plan.verify()
+        return plan
+
+    def verify(self, facts: Optional[Any] = None) -> Any:
+        """Statically verify the program (and region table) once per plan.
+
+        Runs the :mod:`repro.analysis.stackcheck` abstract interpreter —
+        or accepts already-proven ``facts`` for this same program, so a
+        function's per-options facts cache is shared across executor
+        plans — then checks the executor's superblock region table (when it
+        has one) against the verified CFG.  The resulting
+        :class:`~repro.analysis.stackcheck.ProgramFacts` is cached on the
+        plan; repeat calls are free.  Raises
+        :class:`~repro.analysis.stackcheck.VerificationError` on any
+        error-severity finding.
+        """
+        if self.facts is not None:
+            return self.facts
+        from repro.analysis.stackcheck import (
+            verify_region_table,
+            verify_stack_program,
         )
+
+        if facts is None:
+            facts = verify_stack_program(self.program)
+        regions_for = getattr(self.executor, "regions_for", None)
+        if regions_for is not None:
+            verify_region_table(self.program, regions_for(self.program), facts)
+        object.__setattr__(self, "facts", facts)
+        return facts
 
     @property
     def name(self) -> str:

@@ -27,8 +27,25 @@ from repro.vm.executors import ExecutionPlan, resolve_executor
 from repro.vm.instrumentation import Instrumentation
 from repro.vm.local_static import ExecutionLimitExceeded
 from repro.vm.scheduler import make_scheduler
-from repro.vm.stack import BatchedStack
+from repro.vm.stack import BatchedStack, StackOverflowError
 from repro.vm.state import RegisterStorage, StackedStorage
+
+#: Stack depth used when nothing better is known: no explicit
+#: ``max_stack_depth`` was given and the plan carries no verified bound
+#: (unverified plan, or a recursive program whose depth is input-dependent).
+DEFAULT_MAX_STACK_DEPTH = 32
+
+
+class SnapshotIncompatibleError(StackOverflowError):
+    """A :class:`LaneSnapshot` statically cannot restore into this machine.
+
+    Raised by :meth:`ProgramCounterVM.restore_lane` *before* any machine
+    state is touched, naming the required vs available depth — replacing
+    the old mid-restore overflow that surfaced from inside a stack after
+    the lane had already been reset.  Subclasses
+    :class:`~repro.vm.stack.StackOverflowError`, so the serving engine's
+    fail-only-this-handle handling is unchanged.
+    """
 
 
 @dataclass
@@ -59,6 +76,21 @@ class LaneSnapshot:
     storages: Dict[str, Optional[np.ndarray]]
     executor_state: Dict[str, Any] = field(default_factory=dict)
 
+    def required_depth(self) -> int:
+        """Smallest machine ``max_stack_depth`` that can hold these frames.
+
+        The deepest saved-frame count across the return-address stack and
+        every captured variable stack (the live top is the implicit base
+        frame and needs no saved slot).
+        """
+        required = int(self.addr_frames.shape[0]) - 1
+        for name, payload in self.storages.items():
+            if payload is None:
+                continue
+            if self.program.kind(name) is VarKind.STACKED:
+                required = max(required, int(np.asarray(payload).shape[0]) - 1)
+        return required
+
     def __repr__(self) -> str:
         return (
             f"LaneSnapshot(pc={self.pc}, "
@@ -77,7 +109,7 @@ class ProgramCounterVM:
         registry: Optional[PrimitiveRegistry] = None,
         mode: str = "mask",
         scheduler: Any = "earliest",
-        max_stack_depth: int = 32,
+        max_stack_depth: Optional[int] = None,
         top_cache: bool = True,
         instrumentation: Optional[Instrumentation] = None,
         max_steps: int = 10 ** 9,
@@ -93,6 +125,15 @@ class ProgramCounterVM:
                 raise ValueError("pass either an ExecutionPlan or executor=, not both")
         else:
             plan = ExecutionPlan(program=program, executor=resolve_executor(executor))
+        if max_stack_depth is None:
+            # Pre-size from the verifier's proven bound when the plan has
+            # one; recursive (depth-unbounded) or unverified programs fall
+            # back to the legacy default.  An explicit argument always wins.
+            facts = getattr(plan, "facts", None)
+            proven = None if facts is None else facts.required_stack_depth
+            max_stack_depth = (
+                DEFAULT_MAX_STACK_DEPTH if proven is None else proven
+            )
         self.program = program
         self.batch_size = int(batch_size)
         self.registry = registry or default_registry
@@ -370,9 +411,14 @@ class ProgramCounterVM:
         never saw stay zeroed (the thread never wrote them, so it must
         write before reading them again).  Whatever occupied the lane is
         destroyed — the serving engine only restores into vacant lanes.
-        Raises ``ValueError`` on a program mismatch and
-        :class:`~repro.vm.stack.StackOverflowError` when this machine's
-        ``max_stack_depth`` is too small for the captured frames.
+
+        Incompatibility is rejected *statically, before any machine state
+        is touched*: ``ValueError`` on a program mismatch or an impossible
+        pc, :class:`SnapshotIncompatibleError` (a
+        :class:`~repro.vm.stack.StackOverflowError`) when this machine's
+        ``max_stack_depth`` cannot hold the captured frames — naming the
+        required vs available depth, instead of the old mid-restore
+        overflow that left the lane half-written.
         """
         if snapshot.program is not self.program:
             raise ValueError(
@@ -380,6 +426,25 @@ class ProgramCounterVM:
                 "snapshots only restore into machines bound to the same "
                 "StackProgram"
             )
+        if not (0 <= snapshot.pc <= self.exit_index):
+            raise ValueError(
+                f"lane snapshot pc {snapshot.pc} is outside this program's "
+                f"pc range [0, {self.exit_index}]"
+            )
+        required = snapshot.required_depth()
+        if required > self.max_stack_depth:
+            raise SnapshotIncompatibleError(
+                f"lane snapshot at pc={snapshot.pc} requires stack depth "
+                f"{required} but this machine has max_stack_depth="
+                f"{self.max_stack_depth}; restore it into a machine with "
+                f"max_stack_depth >= {required}"
+            )
+        facts = getattr(self.plan, "facts", None)
+        if facts is not None:
+            # A snapshot claiming more frames than the verified bound was
+            # not produced by this program — reject it even on a machine
+            # deep enough to physically hold it.
+            facts.check_snapshot_frames(required, self.max_stack_depth)
         lane = int(lane)
         idx = np.asarray([lane], dtype=np.int64)
         self.reset_lanes(idx)
@@ -388,6 +453,22 @@ class ProgramCounterVM:
         for name, payload in snapshot.storages.items():
             self.storage(name).restore_lane(lane, payload)
         self._bound.on_restore_lane(lane, snapshot)
+
+    def observed_max_depth(self) -> int:
+        """Peak logical stack depth any lane reached on this machine.
+
+        The maximum over the return-address stack's and every variable
+        stack's high-water mark, plus the implicit base frame — the exact
+        runtime observable the verifier's static
+        ``ProgramFacts.max_logical_depth`` bounds (and, for bounded
+        programs whose deepest path executes, equals).
+        """
+        peak = self.addr_stack.high_water
+        for st in self.storages.values():
+            stack = getattr(st, "stack", None)
+            if stack is not None:
+                peak = max(peak, stack.high_water)
+        return peak + 1
 
     # -- inspection (Figure 3 snapshots) ----------------------------------------
 
@@ -416,7 +497,7 @@ def run_program_counter(
     registry: Optional[PrimitiveRegistry] = None,
     mode: str = "mask",
     scheduler: Any = "earliest",
-    max_stack_depth: int = 32,
+    max_stack_depth: Optional[int] = None,
     top_cache: bool = True,
     instrumentation: Optional[Instrumentation] = None,
     max_steps: int = 10 ** 9,

@@ -65,6 +65,11 @@ class BatchedStack:
         self.data = np.zeros((self.depth, self.batch_size) + self.event_shape, self.dtype)
         self.cache = np.zeros((self.batch_size,) + self.event_shape, self.dtype)
         self.sp = np.zeros(self.batch_size, dtype=np.int64)
+        #: Highest saved-frame count any lane ever reached (machine lifetime,
+        #: not reset by lane recycling).  The logical peak depth is
+        #: ``high_water + 1``; the verifier's static bound is checked against
+        #: this exact observable in the depth-equality tests.
+        self.high_water = 0
 
     # -- reads -------------------------------------------------------------
 
@@ -116,6 +121,9 @@ class BatchedStack:
         self.data[sp, idx] = self.cache[idx]
         self.sp[idx] = sp + 1
         self.cache[idx] = values
+        peak = int(sp.max()) + 1
+        if peak > self.high_water:
+            self.high_water = peak
 
     def pop_at(self, idx: np.ndarray) -> np.ndarray:
         """Pop for members in ``idx``; returns their popped top values."""
@@ -165,6 +173,8 @@ class BatchedStack:
             )
         self.data[:, lane] = 0
         self.sp[lane] = sp
+        if sp > self.high_water:
+            self.high_water = sp
         if sp:
             self.data[:sp, lane] = frames[:-1]
         self.cache[lane] = frames[-1]
@@ -209,6 +219,9 @@ class UncachedBatchedStack:
         )
         self.sp = np.zeros(self.batch_size, dtype=np.int64)
         self._lanes = np.arange(self.batch_size)
+        #: Highest saved-frame count any lane ever reached (see
+        #: :attr:`BatchedStack.high_water`).
+        self.high_water = 0
 
     def read(self) -> np.ndarray:
         return self.data[self.sp, self._lanes]
@@ -238,6 +251,9 @@ class UncachedBatchedStack:
             )
         self.sp[idx] = sp + 1
         self.data[sp + 1, idx] = values
+        peak = int(sp.max()) + 1
+        if peak > self.high_water:
+            self.high_water = peak
 
     def pop(self, mask: np.ndarray) -> np.ndarray:
         popped = self.read()
@@ -274,6 +290,8 @@ class UncachedBatchedStack:
             )
         self.data[:, lane] = 0
         self.sp[lane] = sp
+        if sp > self.high_water:
+            self.high_water = sp
         self.data[: sp + 1, lane] = frames
 
     def depths(self) -> np.ndarray:
