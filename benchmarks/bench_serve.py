@@ -1,7 +1,7 @@
 """Serving benchmarks: continuous batching, shard scaling, rebalancing,
 preemption, and observability overhead.
 
-Seven subcommands share one workload generator (``fib`` calls with skewed
+Eight subcommands share one workload generator (``fib`` calls with skewed
 sizes) and one assertion discipline — inequalities are asserted, not just
 printed, and every scenario's outputs must stay bit-identical to the static
 ``run_pc`` batch:
@@ -45,9 +45,16 @@ printed, and every scenario's outputs must stay bit-identical to the static
   wall-clock :class:`AsyncServer` run records its arrival schedule, which
   replayed twice must export Chrome traces byte-identical to the live
   run's.  → ``BENCH_deadline.json`` + ``TRACE_deadline.json``
+* ``recover`` — durable serving: the preempt workload with a resident
+  snapshot cap at 1/4 of the preempted backlog (overflow spills to a
+  store and rehydrates on resume), then the same run journaled, killed
+  mid-flight, and replayed with :func:`repro.serve.recover`.  The cap
+  must never be exceeded, spilling must hold >= 0.8x no-spill
+  throughput, and the recovered run must be bit-identical (outputs,
+  finish ticks, step counts).  → ``BENCH_recover.json``
 
 Run: ``python benchmarks/bench_serve.py
-[serve|cluster|steal|preempt|trace|superblock|deadline] [--quick]
+[serve|cluster|steal|preempt|trace|superblock|deadline|recover] [--quick]
 [--out FILE] ...``
 (the legacy ``--cluster``/``--steal``/``--preempt`` flags are accepted as
 aliases for the subcommands).
@@ -1360,6 +1367,201 @@ def run_deadline(args) -> None:
           "arrivals replay byte-identically on the logical clock")
 
 
+# -- recover: snapshot spilling + journaled crash recovery ---------------------
+
+
+def run_recover(args) -> None:
+    """Durable serving: spilling under a resident cap, journaled recovery.
+
+    The preempt workload (straggler-saturated lanes, then a high-priority
+    burst that evicts every straggler at once) builds a preempted-snapshot
+    backlog of ``num_lanes`` — 4x the resident cap of ``num_lanes // 4``.
+    Asserted: (a) a run journaled, killed mid-flight, and replayed with
+    :func:`repro.serve.recover` completes bit-identically to the
+    uninterrupted run (same outputs, finish ticks, and active step counts);
+    (b) the resident snapshot count never exceeds the cap on any tick while
+    the preempted backlog holds >= 4x the cap; (c) the spilling engine
+    sustains >= 0.8x the no-spill engine's wall-clock throughput
+    (best-of-N walls).
+    """
+    import tempfile
+
+    from repro.serve import Journal, MemorySpillStore, PreemptPolicy, recover
+
+    num_lanes = positive(
+        args.lanes if args.lanes is not None else (4 if args.quick else 8),
+        "--lanes",
+    )
+    n_burst = positive(
+        args.requests if args.requests is not None else (8 if args.quick else 24),
+        "--requests",
+    )
+    straggler_size = 12 if args.quick else 14
+    warmup_ticks = 3
+    cap = max(1, num_lanes // 4)
+    best_of = 2 if args.quick else 3
+
+    rng = np.random.RandomState(args.seed)
+    straggler_sizes = np.full(num_lanes, straggler_size, dtype=np.int64)
+    burst_sizes = rng.randint(3, 8, size=n_burst).astype(np.int64)
+    all_sizes = np.concatenate([straggler_sizes, burst_sizes])
+    expected = fib.run_pc(all_sizes)
+
+    print(f"workload: {num_lanes} stragglers (fib {straggler_size}) then "
+          f"{n_burst} high-priority requests; resident snapshot cap {cap} "
+          f"vs a preempted backlog of {num_lanes} ({num_lanes // cap}x)\n")
+
+    def drive(spill, journal=None, crash_after=None):
+        """Run the workload; returns (engine, handles, wall, backlog stats)."""
+        options = {}
+        if spill:
+            options["max_resident_snapshots"] = cap
+            options["spill_store"] = MemorySpillStore()
+        engine = fib.serve(num_lanes=num_lanes, executor="fused",
+                           preempt=PreemptPolicy(), journal=journal,
+                           checkpoint_interval=8 if journal else None,
+                           **options)
+        handles = [engine.submit(np.int64(n)) for n in straggler_sizes]
+        for _ in range(warmup_ticks):
+            engine.tick()
+        crash_tick = engine.now + (crash_after or 0)
+        handles += [engine.submit(np.int64(n), priority=5) for n in burst_sizes]
+        max_backlog = 0
+        backlog_at_4x = 0
+        cap_violations = 0
+        wall_start = time.perf_counter()
+        while engine.pool.busy_count() or len(engine.queue):
+            engine.tick()
+            backlog = engine.queue.snapshot_count()
+            resident = engine.queue.resident_snapshots()
+            max_backlog = max(max_backlog, backlog)
+            if backlog >= 4 * cap:
+                backlog_at_4x += 1
+                if resident > cap:
+                    cap_violations += 1
+            if crash_after is not None and engine.now >= crash_tick:
+                return engine, handles, None, max_backlog, backlog_at_4x, 0
+        wall = time.perf_counter() - wall_start
+        return engine, handles, wall, max_backlog, backlog_at_4x, cap_violations
+
+    # -- (b) + (c): spill-on vs spill-off, best-of-N walls ---------------------
+    metrics, rows = {}, []
+    for label, spill in (("no_spill", False), ("spill", True)):
+        walls = []
+        for _ in range(best_of):
+            engine, handles, wall, max_backlog, at_4x, violations = drive(spill)
+            check_outputs([h.result() for h in handles], expected, label)
+            walls.append(wall)
+        t = engine.telemetry
+        wall = min(walls)
+        metrics[label] = {
+            "variant": label,
+            "lanes": num_lanes,
+            "resident_cap": cap if spill else None,
+            "ticks": int(t.ticks),
+            "spills": int(t.spills),
+            "rehydrations": int(t.rehydrations),
+            "resident_peak": int(t.resident_peak),
+            "max_preempted_backlog": int(max_backlog),
+            "ticks_with_backlog_4x_cap": int(at_4x),
+            "cap_violations": int(violations),
+            "wall_seconds": wall,
+            "throughput_rps": (num_lanes + n_burst) / wall,
+        }
+        m = metrics[label]
+        rows.append([
+            label, f"{m['ticks']:,}", f"{m['spills']}", f"{m['rehydrations']}",
+            f"{m['resident_peak']}", f"{m['max_preempted_backlog']}",
+            f"{m['wall_seconds']:.3f}",
+        ])
+
+    print(format_table(
+        ["variant", "ticks", "spills", "rehydr", "res peak", "backlog",
+         "wall s"],
+        rows,
+    ))
+
+    spill_m, base_m = metrics["spill"], metrics["no_spill"]
+    throughput_ratio = spill_m["throughput_rps"] / base_m["throughput_rps"]
+    print(f"\nspilling throughput vs no-spill: {throughput_ratio:.2f}x")
+
+    assert spill_m["ticks_with_backlog_4x_cap"] > 0, (
+        "workload never built a preempted backlog >= 4x the resident cap; "
+        "the cap assertion would be vacuous"
+    )
+    assert spill_m["cap_violations"] == 0, (
+        f"resident snapshots exceeded the cap on "
+        f"{spill_m['cap_violations']} ticks while the backlog held >= 4x cap"
+    )
+    assert spill_m["resident_peak"] <= cap
+    assert spill_m["spills"] >= num_lanes - cap, (
+        "evicting every straggler at once must spill the overflow"
+    )
+    assert spill_m["rehydrations"] == spill_m["spills"], (
+        "every spilled snapshot must rehydrate on resume"
+    )
+    assert spill_m["ticks"] == base_m["ticks"], (
+        "spilling must not change the logical schedule"
+    )
+
+    # -- (a) journaled crash recovery is bit-identical -------------------------
+    fingerprint = lambda h: (  # noqa: E731
+        int(np.asarray(h.result())), int(h.finish_tick), int(h.steps_used))
+    baseline_engine, baseline, _, _, _, _ = drive(spill=True, journal=Journal())
+    check_outputs([h.result() for h in baseline], expected, "journaled")
+    reference = {h.request_id: fingerprint(h) for h in baseline}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = os.path.join(tmp, "journal.jsonl")
+        crash_after = max(2, metrics["spill"]["ticks"] // 4)
+        crashed_engine, crashed, _, _, _, _ = drive(
+            spill=True, journal=Journal(journal_path), crash_after=crash_after)
+        unfinished = [h for h in crashed if not h.done()]
+        assert unfinished, "crash must leave work in flight"
+        del crashed_engine  # the process is gone; only the journal survives
+
+        run = recover(
+            Journal.load(journal_path), fib, num_lanes, executor="fused",
+            preempt=PreemptPolicy(), max_resident_snapshots=cap,
+            spill_store=MemorySpillStore(),
+        )
+        recovered = {rid: fingerprint(h) for rid, h in run.handles.items()}
+
+    assert recovered == reference, (
+        "recovered run diverged from the uninterrupted run "
+        "(outputs, finish ticks, or step counts differ)"
+    )
+    print(f"recovery: crashed at tick {crash_after} after the burst with "
+          f"{len(unfinished)} requests in flight; replay finished all "
+          f"{len(recovered)} bit-identically (outputs, finish ticks, steps)")
+
+    result = {
+        "benchmark": "bench_serve_recover",
+        "config": {"lanes": num_lanes, "burst": n_burst,
+                   "straggler_size": int(straggler_size),
+                   "resident_cap": cap, "best_of": best_of,
+                   "seed": args.seed, "quick": bool(args.quick)},
+        "variants": [metrics["no_spill"], metrics["spill"]],
+        "spill_throughput_ratio": throughput_ratio,
+        "recovery": {
+            "crash_after_ticks": int(crash_after),
+            "unfinished_at_crash": len(unfinished),
+            "requests_replayed": len(recovered),
+            "bit_identical": True,
+        },
+    }
+    write_result(result, args, "BENCH_recover.json")
+
+    assert throughput_ratio >= 0.8, (
+        f"spilling held only {throughput_ratio:.2f}x the no-spill "
+        "throughput; expected >= 0.8x"
+    )
+    print(f"OK: resident snapshots stayed <= {cap} under a "
+          f"{spill_m['max_preempted_backlog']}-deep preempted backlog at "
+          f"{throughput_ratio:.2f}x no-spill throughput, and the journaled "
+          "crash replayed bit-identically")
+
+
 # -- CLI -----------------------------------------------------------------------
 
 SCENARIOS = {
@@ -1370,6 +1572,7 @@ SCENARIOS = {
     "trace": run_trace,
     "superblock": run_superblock,
     "deadline": run_deadline,
+    "recover": run_recover,
 }
 
 #: Legacy flag spellings accepted as subcommand aliases.
@@ -1429,6 +1632,11 @@ def build_parser() -> argparse.ArgumentParser:
         "deadline", help="deadline-aware eviction vs priority-only, plus "
                          "wall-clock async arrivals replayed byte-identically")
     _common_flags(p_deadline)
+
+    p_recover = sub.add_parser(
+        "recover", help="snapshot spilling under a resident cap + journaled "
+                        "crash recovery replayed bit-identically")
+    _common_flags(p_recover)
 
     return parser
 

@@ -74,6 +74,21 @@ adds shard elasticity (grow under sustained queue pressure, drain-then-
 retire under sustained slack — new shards bind the same plan, so the
 fused compile count stays at 1).
 
+Durable serving
+---------------
+Snapshots are also *serializable*
+(:meth:`~repro.vm.program_counter.LaneSnapshot.to_bytes`, a versioned
+integrity-checked wire format), which :mod:`repro.serve.durability` turns
+into a production story: ``max_resident_snapshots=`` caps the array memory
+of a preempted backlog by spilling overflow snapshots into a
+:class:`~repro.serve.durability.SpillStore` (in-memory or on-disk) and
+rehydrating them — through the verifier's full static admission — at
+resume; ``journal=`` records every accepted submit and periodic snapshot
+checkpoints into an append-only :class:`~repro.serve.durability.Journal`;
+and :func:`~repro.serve.durability.recover` replays a crashed fleet's
+journal on the logical clock, completing all unfinished work bit-identically
+to an uninterrupted run.
+
 Module map
 ----------
 * :mod:`repro.serve.engine` — :class:`Engine`: the tick loop, admission
@@ -83,6 +98,9 @@ Module map
   policies, spillover admission, one shared execution plan.
 * :mod:`repro.serve.queue` — :class:`ServeRequest`, :class:`ResultHandle`,
   the bounded priority :class:`RequestQueue`, and the serving errors.
+* :mod:`repro.serve.durability` — :class:`SpillStore` backends,
+  :class:`Journal`, :func:`recover`: snapshot spilling under a resident
+  cap, admission journaling, and bit-identical crash recovery.
 * :mod:`repro.serve.lanes` — :class:`LanePool`: deterministic
   lane-to-request assignment.
 * :mod:`repro.serve.telemetry` — :class:`ServeTelemetry` (per engine) and
@@ -119,6 +137,16 @@ from repro.serve.cluster import (
     resolve_policy,
     resolve_steal_policy,
 )
+from repro.serve.durability import (
+    DiskSpillStore,
+    Journal,
+    MemorySpillStore,
+    RecoveredRun,
+    SpillStore,
+    SpilledSnapshot,
+    recover,
+    resolve_spill_store,
+)
 from repro.serve.engine import (
     DeadlinePreemptPolicy,
     Engine,
@@ -146,7 +174,15 @@ __all__ = [
     "Cluster",
     "ClusterTelemetry",
     "DeadlinePreemptPolicy",
+    "DiskSpillStore",
     "Engine",
+    "Journal",
+    "MemorySpillStore",
+    "RecoveredRun",
+    "SpillStore",
+    "SpilledSnapshot",
+    "recover",
+    "resolve_spill_store",
     "NO_PROGRESS_LIMIT",
     "PREEMPT_POLICIES",
     "PreemptPolicy",

@@ -197,6 +197,14 @@ class AsyncServer:
         an accumulating deadline — steady long-run rate, no drift — that
         resets whenever the loop falls behind or goes idle, so an idle gap
         never causes a catch-up burst.
+    journal:
+        An admission :class:`~repro.serve.durability.Journal` attached to
+        the underlying server: every accepted front-door submission is
+        recorded with its logical arrival tick (the durable form of the
+        in-memory ``arrivals`` schedule), so a crashed wall-clock run is
+        replayable bit-identically via
+        :func:`~repro.serve.durability.recover` — wall-clock pacing only
+        decides *when* ticks happen, never what they do.
 
     Usage::
 
@@ -210,13 +218,17 @@ class AsyncServer:
     pass it to :func:`replay_arrivals` for a deterministic re-run.
     """
 
-    def __init__(self, server: Any, tick_interval: float = 0.0):
+    def __init__(
+        self, server: Any, tick_interval: float = 0.0, journal: Any = None
+    ):
         if tick_interval < 0:
             raise ValueError(
                 f"tick_interval must be >= 0 seconds, got {tick_interval}"
             )
         self.server = server
         self.tick_interval = float(tick_interval)
+        if journal is not None:
+            server.set_journal(journal)
         #: Every front-door submission in order, stamped with its logical
         #: tick — the replayable arrival schedule.
         self.arrivals: List[Arrival] = []

@@ -448,6 +448,14 @@ class Cluster:
         gauges under ``shard<N>/``, fleet gauges under ``fleet/``), and a
         merged block profile.  Cross-shard events (``steal``, ``migrate``,
         ``drain``) and cluster-level rejections are recorded here.
+    max_resident_snapshots / spill_store / journal / checkpoint_interval:
+        Durability knobs, as on :class:`~repro.serve.engine.Engine` but
+        fleet-scoped: the cap applies per shard while the resolved
+        :class:`~repro.serve.durability.SpillStore` and the admission
+        :class:`~repro.serve.durability.Journal` are *shared* by every
+        shard (grown ones included) — spilled stubs rehydrate wherever
+        stealing carries them, and one journal replays the whole fleet's
+        schedule through :func:`~repro.serve.durability.recover`.
     executor / optimize / engine options:
         As on :class:`~repro.serve.engine.Engine`; forwarded to every
         shard (they share the compiled plan, not per-machine state).
@@ -470,6 +478,10 @@ class Cluster:
         autoscale: Any = None,
         preempt: Any = None,
         trace: Any = None,
+        max_resident_snapshots: Optional[int] = None,
+        spill_store: Any = None,
+        journal: Any = None,
+        checkpoint_interval: Optional[int] = None,
         **engine_options: Any,
     ):
         if num_engines <= 0:
@@ -513,11 +525,27 @@ class Cluster:
         #: fleet — grown shards included — records into this hub.
         self.trace = resolve_trace(trace)
         self._metric_bufs = None
+        if spill_store is not None or max_resident_snapshots is not None:
+            # One resolved store shared by every shard (grown ones
+            # included): spilled-snapshot stubs carry their store, so a
+            # stolen spilled entry rehydrates on the thief no matter where
+            # it was serialized.
+            from repro.serve.durability import resolve_spill_store
+
+            spill_store = resolve_spill_store(spill_store)
+        #: The fleet's shared admission journal (None = off).  The shards
+        #: record into it directly; ids are fleet-unique and ticks are
+        #: lock-step, so one journal replays the whole fleet's schedule.
+        self.journal = journal
         self._engine_kwargs = dict(
             registry=registry,
             max_queue_depth=max_queue_depth,
             default_step_budget=default_step_budget,
             trace=self.trace,
+            max_resident_snapshots=max_resident_snapshots,
+            spill_store=spill_store,
+            journal=journal,
+            checkpoint_interval=checkpoint_interval,
             **engine_options,
         )
         self._tick = 0
@@ -554,6 +582,13 @@ class Cluster:
         engine._tick = self._tick
         self.telemetry.shards.append(engine.telemetry)
         return engine
+
+    def set_journal(self, journal: Any) -> None:
+        """Attach (or detach, with None) one admission journal fleet-wide."""
+        self.journal = journal
+        self._engine_kwargs["journal"] = journal
+        for engine in self.engines + self.draining:
+            engine.set_journal(journal)
 
     # -- introspection -------------------------------------------------------
 

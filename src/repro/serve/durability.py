@@ -1,0 +1,530 @@
+"""Durable serving: snapshot spilling, admission journaling, crash recovery.
+
+The serving stack (engine, cluster, async front door) runs entirely on a
+logical clock and is deterministic in its admission sequence: given the
+same submits at the same ticks, every tick's scheduling decision — and
+therefore every output bit — is reproducible.  This module exploits that
+twice:
+
+* **Spilling** bounds the memory of a preempted backlog.  A
+  :class:`~repro.vm.program_counter.LaneSnapshot` serializes to a
+  versioned byte string (:mod:`repro.vm.snapshot_codec`), so an engine
+  with ``max_resident_snapshots=N`` keeps at most N queued snapshots as
+  live arrays and parks the overflow in a :class:`SpillStore` (in-memory
+  or on-disk).  A spilled entry is represented in the queue by a
+  :class:`SpilledSnapshot` stub that keeps the ``pc`` visible — resume
+  re-batching, pc-cohort scheduling, and cross-shard stealing all keep
+  working on spilled entries — and is transparently rehydrated (decoded
+  through the full static admission checks) when its handle is popped to
+  resume.
+
+* **Journaling + recovery** make the fleet restartable.  A
+  :class:`Journal` records every accepted submit (inputs, priority,
+  budget, deadline, arrival tick) and periodic snapshot checkpoints of
+  preempted lanes; :func:`recover` rebuilds a fresh engine or cluster and
+  replays the admission schedule on the logical clock, which by the
+  determinism argument completes all unfinished work *bit-identically* to
+  the uninterrupted run.  The journal is an append-only JSONL file (or
+  in-memory record list), so a crashed process recovers from whatever
+  prefix reached disk — a torn final line is discarded, not fatal.
+
+Wiring: ``Engine(..., max_resident_snapshots=, spill_store=, journal=,
+checkpoint_interval=)``, the same keywords on ``Cluster`` (one store and
+journal shared by every shard), and ``AsyncServer(..., journal=)``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.vm.program_counter import LaneSnapshot
+from repro.vm.snapshot_codec import SnapshotDecodeError
+
+#: Ticks between journal checkpoint sweeps when a journal is attached and
+#: no explicit ``checkpoint_interval`` was chosen.
+DEFAULT_CHECKPOINT_INTERVAL = 64
+
+
+# -- spill stores --------------------------------------------------------------
+
+
+class SpillStore:
+    """Keyed byte storage for serialized lane snapshots.
+
+    The contract is deliberately tiny — :meth:`put`, :meth:`get`,
+    :meth:`pop`, ``len()`` — so backends range from a dict to a directory
+    to an object store.  Keys are caller-chosen strings (the engine uses
+    ``"<request_id>-<preemptions>"``, fleet-unique and deterministic).
+    """
+
+    def put(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes:
+        """The stored bytes (``KeyError`` if absent); entry stays stored."""
+        raise NotImplementedError
+
+    def pop(self, key: str) -> bytes:
+        """Remove and return the stored bytes (``KeyError`` if absent)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.get(key)
+        except KeyError:
+            return False
+        return True
+
+
+class MemorySpillStore(SpillStore):
+    """In-process spill backend: bounded *array* memory, not total memory.
+
+    Spilling to a dict still wins — serialized bytes are compact, and the
+    resident cap bounds the number of live array sets — and it is the
+    default store a ``max_resident_snapshots`` cap creates when none is
+    given.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._data[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        return self._data[key]
+
+    def pop(self, key: str) -> bytes:
+        return self._data.pop(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class DiskSpillStore(SpillStore):
+    """On-disk spill backend: one file per snapshot under ``directory``.
+
+    Writes are atomic (temp file + ``os.replace``) so a crash mid-spill
+    never leaves a torn entry; the codec's CRC catches anything else.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._keys: Dict[str, str] = {}
+
+    def _path(self, key: str) -> str:
+        safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in key)
+        return os.path.join(self.directory, f"snap-{safe}.bin")
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+        self._keys[key] = path
+
+    def get(self, key: str) -> bytes:
+        path = self._keys.get(key, self._path(key))
+        try:
+            with open(path, "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def pop(self, key: str) -> bytes:
+        data = self.get(key)
+        path = self._keys.pop(key, self._path(key))
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        return data
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def resolve_spill_store(spec: Any) -> SpillStore:
+    """Normalize a spill-store spec: an instance, ``"memory"``/``None``
+    for :class:`MemorySpillStore`, or a directory path for
+    :class:`DiskSpillStore`."""
+    if spec is None or spec == "memory":
+        return MemorySpillStore()
+    if isinstance(spec, SpillStore):
+        return spec
+    if isinstance(spec, (str, os.PathLike)):
+        return DiskSpillStore(os.fspath(spec))
+    raise TypeError(
+        f"spill_store must be a SpillStore, 'memory', or a directory "
+        f"path, got {type(spec).__name__}"
+    )
+
+
+class SpilledSnapshot:
+    """Queue-resident stub for a snapshot whose arrays left process memory.
+
+    Keeps the scheduling-visible surface of a live
+    :class:`~repro.vm.program_counter.LaneSnapshot` — the ``pc`` (what
+    resume re-batching and pc-cohort scheduling read) — plus the store
+    key needed to get the arrays back.  ``spilled = True`` is the duck
+    type the queue's residency accounting checks.
+
+    The stub carries its own store reference, so a handle stolen onto
+    another shard rehydrates from wherever it was spilled.
+    """
+
+    spilled = True
+
+    __slots__ = ("pc", "key", "store")
+
+    def __init__(self, pc: int, key: str, store: SpillStore):
+        self.pc = int(pc)
+        self.key = key
+        self.store = store
+
+    def load(
+        self,
+        program: Any,
+        *,
+        facts: Any = None,
+        max_stack_depth: Optional[int] = None,
+    ) -> LaneSnapshot:
+        """Rehydrate: fetch, remove, and decode the spilled bytes.
+
+        Decoding runs the full static admission
+        (:func:`~repro.vm.snapshot_codec.decode_snapshot`); unreadable or
+        corrupt entries raise
+        :class:`~repro.vm.snapshot_codec.SnapshotDecodeError` — a
+        ``ValueError`` the engine's resume path turns into a single failed
+        handle, never a crashed tick loop.
+        """
+        try:
+            data = self.store.pop(self.key)
+        except KeyError as error:
+            raise SnapshotDecodeError(
+                f"spilled snapshot {self.key!r} is missing from its spill "
+                "store; the entry was lost or already consumed"
+            ) from error
+        except OSError as error:
+            raise SnapshotDecodeError(
+                f"spilled snapshot {self.key!r} could not be read back: "
+                f"{error}"
+            ) from error
+        return LaneSnapshot.from_bytes(
+            data, program, facts=facts, max_stack_depth=max_stack_depth
+        )
+
+    def __repr__(self) -> str:
+        return f"SpilledSnapshot(pc={self.pc}, key={self.key!r})"
+
+
+# -- journal -------------------------------------------------------------------
+
+
+def _encode_array(array: np.ndarray) -> Dict[str, Any]:
+    array = np.asarray(array)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(record: Dict[str, Any]) -> np.ndarray:
+    raw = base64.b64decode(record["data"])
+    flat = np.frombuffer(raw, dtype=np.dtype(record["dtype"]))
+    return flat.reshape(tuple(record["shape"])).copy()
+
+
+class Journal:
+    """Append-only admission journal: the durable record a fleet replays.
+
+    Three record types, one JSON object per line when backed by a file:
+
+    * ``submit`` — every accepted request: id, arrival tick, priority,
+      step budget, deadline, and the input arrays (base64, bit-exact).
+      Ticks are logical, so the schedule replays exactly (this also
+      persists the arrival schedule the async front door records).
+    * ``complete`` — a request finished (or failed), so recovery knows
+      what is unfinished without re-deriving it.
+    * ``checkpoint`` — periodic serialized snapshots of preempted lanes
+      (the codec bytes, base64), for inspection and warm-start tooling;
+      :func:`recover` itself replays from the submits alone, which is
+      what makes its outputs bit-identical.
+
+    In-memory records and the optional file never diverge: every record
+    is appended to both, and records are stored JSON-ready so a journal
+    loaded from disk behaves exactly like one that never left memory.
+    """
+
+    def __init__(self, path: Optional[Any] = None):
+        self.path = None if path is None else os.fspath(path)
+        self.entries: List[Dict[str, Any]] = []
+
+    # -- recording (engine-side) --------------------------------------------
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self.entries.append(entry)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write(json.dumps(entry, sort_keys=True))
+                f.write("\n")
+
+    def record_submit(self, handle: Any) -> None:
+        request = handle.request
+        self._append({
+            "type": "submit",
+            "tick": int(request.submit_tick),
+            "request_id": int(request.request_id),
+            "priority": int(request.priority),
+            "step_budget": (
+                None if request.step_budget is None else int(request.step_budget)
+            ),
+            "deadline_ticks": (
+                None
+                if request.deadline_ticks is None
+                else int(request.deadline_ticks)
+            ),
+            "inputs": [_encode_array(x) for x in request.inputs],
+        })
+
+    def record_complete(
+        self, request_id: int, tick: int, failed: bool = False
+    ) -> None:
+        self._append({
+            "type": "complete",
+            "tick": int(tick),
+            "request_id": int(request_id),
+            "failed": bool(failed),
+        })
+
+    def record_checkpoint(
+        self, request_id: int, tick: int, data: bytes, steps_used: int = 0
+    ) -> None:
+        self._append({
+            "type": "checkpoint",
+            "tick": int(tick),
+            "request_id": int(request_id),
+            "steps_used": int(steps_used),
+            "snapshot": base64.b64encode(data).decode("ascii"),
+        })
+
+    # -- reading (recovery-side) --------------------------------------------
+
+    def submissions(self) -> List[Dict[str, Any]]:
+        """All ``submit`` records, in admission order."""
+        return [e for e in self.entries if e["type"] == "submit"]
+
+    def completed_ids(self) -> set:
+        return {
+            e["request_id"] for e in self.entries if e["type"] == "complete"
+        }
+
+    def unfinished(self) -> List[Dict[str, Any]]:
+        """Submits with no matching ``complete`` — the crash's lost work."""
+        done = self.completed_ids()
+        return [e for e in self.submissions() if e["request_id"] not in done]
+
+    def checkpoints(self) -> Dict[int, Tuple[int, bytes]]:
+        """Latest checkpoint per request id: ``{id: (tick, bytes)}``."""
+        latest: Dict[int, Tuple[int, bytes]] = {}
+        for e in self.entries:
+            if e["type"] == "checkpoint":
+                latest[e["request_id"]] = (
+                    e["tick"],
+                    base64.b64decode(e["snapshot"]),
+                )
+        return latest
+
+    def restore_checkpoints(
+        self,
+        program: Any,
+        *,
+        facts: Any = None,
+        max_stack_depth: Optional[int] = None,
+    ) -> Dict[int, LaneSnapshot]:
+        """Decode the latest checkpoint of every *unfinished* request.
+
+        Each snapshot goes through the codec's full static admission
+        (integrity, fingerprint, depth vs the verified bound), so a
+        corrupt or forged checkpoint raises a typed error here instead of
+        poisoning a machine later.
+        """
+        done = self.completed_ids()
+        return {
+            rid: LaneSnapshot.from_bytes(
+                data, program, facts=facts, max_stack_depth=max_stack_depth
+            )
+            for rid, (_, data) in sorted(self.checkpoints().items())
+            if rid not in done
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Any) -> None:
+        """Write every record to ``path`` (and journal there from now on)."""
+        self.path = os.fspath(path)
+        with open(self.path, "w", encoding="utf-8") as f:
+            for entry in self.entries:
+                f.write(json.dumps(entry, sort_keys=True))
+                f.write("\n")
+
+    @classmethod
+    def load(cls, path: Any) -> "Journal":
+        """Read a journal file back, tolerating a torn final line.
+
+        A crash can interrupt the append of the last record; that partial
+        line is discarded (the record never durably happened).  A
+        malformed line anywhere *else* means real corruption and raises.
+        """
+        journal = cls()
+        journal.path = os.fspath(path)
+        with open(journal.path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                journal.entries.append(json.loads(line))
+            except ValueError as error:
+                if i == len(lines) - 1:
+                    break  # torn tail from the crash; drop it
+                raise ValueError(
+                    f"journal {journal.path!r} line {i + 1} is corrupt: "
+                    f"{error}"
+                ) from error
+        return journal
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Journal(path={self.path!r}, submits={len(self.submissions())}, "
+            f"completes={len(self.completed_ids())})"
+        )
+
+
+# -- recovery ------------------------------------------------------------------
+
+
+class RecoveredRun:
+    """Outcome of :func:`recover`: the rebuilt server plus every replayed
+    handle, keyed by *original* request id.
+
+    Replay resubmits in recorded order through the fresh server's own id
+    counter, so the new ids coincide with the originals — the mapping is
+    the identity, but callers should still index through ``handles``
+    rather than assume it.
+    """
+
+    def __init__(self, server: Any, handles: Dict[int, Any], journal: Journal):
+        self.server = server
+        self.handles = handles
+        self.journal = journal
+
+    def results(self) -> Dict[int, Any]:
+        """Outputs of every replayed request that completed, by id."""
+        return {
+            rid: h.result() for rid, h in self.handles.items() if h.state == "done"
+        }
+
+    def failures(self) -> Dict[int, BaseException]:
+        """Errors of every replayed request that failed, by id."""
+        return {
+            rid: h.exception()
+            for rid, h in self.handles.items()
+            if h.state == "failed"
+        }
+
+    def unfinished_ids(self) -> List[int]:
+        """Ids the journal marked incomplete at the crash — the work
+        recovery existed to finish."""
+        return [e["request_id"] for e in self.journal.unfinished()]
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveredRun(requests={len(self.handles)}, "
+            f"recovered_unfinished={len(self.unfinished_ids())})"
+        )
+
+
+def recover(
+    journal: Journal,
+    program: Any = None,
+    num_lanes: Optional[int] = None,
+    *,
+    num_engines: Optional[int] = None,
+    server: Any = None,
+    **options: Any,
+) -> RecoveredRun:
+    """Rebuild a server and replay ``journal``'s admission schedule.
+
+    Builds a fresh :class:`~repro.serve.engine.Engine` (``program`` +
+    ``num_lanes``) or :class:`~repro.serve.cluster.Cluster` (also
+    ``num_engines=``) with the given options — pass the same serving
+    configuration the crashed fleet ran, since the configuration is part
+    of what determines the schedule — or replays into a caller-built
+    ``server=``.  Every journaled submit is re-issued at its recorded
+    logical tick, in recorded order, then the server runs to idle.
+
+    The serving stack schedules purely from the logical clock and the
+    admission sequence, so the replayed run — including all work the crash
+    interrupted — is *bit-identical* to an uninterrupted run of the same
+    schedule: same outputs, same per-request step counts, same scheduling
+    telemetry.  This is replay-based recovery: journal checkpoints are
+    validated and exposed (:meth:`Journal.restore_checkpoints`) but not
+    consumed here, because replaying from admission is what makes the
+    bit-identical guarantee unconditional.
+
+    To journal the recovered run onward, pass a *fresh* ``journal=`` in
+    ``options`` — never the one being replayed.
+    """
+    if server is None:
+        if program is None or num_lanes is None:
+            raise ValueError(
+                "recover() needs either server= or (program, num_lanes)"
+            )
+        if options.get("journal") is journal:
+            raise ValueError(
+                "recover() cannot journal into the journal it is replaying; "
+                "pass a fresh Journal to record the recovered run"
+            )
+        if num_engines is None:
+            from repro.serve.engine import Engine
+
+            server = Engine(program, num_lanes, **options)
+        else:
+            from repro.serve.cluster import Cluster
+
+            server = Cluster(program, num_engines, num_lanes, **options)
+    handles: Dict[int, Any] = {}
+    for entry in list(journal.submissions()):
+        tick = entry["tick"]
+        if tick < server.now:
+            raise ValueError(
+                f"journal submit for request {entry['request_id']} at tick "
+                f"{tick} is in the server's past (now={server.now}); replay "
+                "needs a fresh server and a tick-ordered journal"
+            )
+        while server.now < tick:
+            server.tick()
+        handle = server.submit(
+            *[_decode_array(x) for x in entry["inputs"]],
+            priority=entry["priority"],
+            step_budget=entry["step_budget"],
+            deadline_ticks=entry["deadline_ticks"],
+        )
+        handles[entry["request_id"]] = handle
+    server.run_until_idle()
+    return RecoveredRun(server=server, handles=handles, journal=journal)

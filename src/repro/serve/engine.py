@@ -410,6 +410,30 @@ class Engine:
         the proven facts are cached on the plan, and when
         ``max_stack_depth`` is not given the machine's stacks pre-size
         from the proven bound instead of the depth-32 guess.
+    max_resident_snapshots:
+        Cap on queued preempted-lane snapshots held as live arrays.
+        Overflow is serialized (:meth:`LaneSnapshot.to_bytes`) into
+        ``spill_store`` and rehydrated — through the full static admission
+        checks — when popped to resume, so a deep preempted backlog costs
+        bounded array memory while resume re-batching and cross-shard
+        stealing keep working on spilled entries.  ``None`` (default)
+        never spills.
+    spill_store:
+        Where spilled snapshot bytes live: a
+        :class:`~repro.serve.durability.SpillStore`, ``"memory"``, or a
+        directory path for the on-disk backend.  Defaults to a fresh
+        in-memory store when a cap is set.
+    journal:
+        An admission :class:`~repro.serve.durability.Journal`: every
+        accepted submit (inputs, priority, budget, deadline, arrival
+        tick) and every completion is recorded, plus periodic snapshot
+        checkpoints of preempted lanes, so a crashed engine's work is
+        recoverable bit-identically via
+        :func:`~repro.serve.durability.recover`.
+    checkpoint_interval:
+        Ticks between journal checkpoint sweeps of the preempted backlog
+        (default 64 when a journal is attached; 0 disables checkpoints
+        while keeping the submit/complete log).
     """
 
     def __init__(
@@ -434,6 +458,10 @@ class Engine:
         trace: Any = None,
         max_steps: int = 10 ** 12,
         instrumentation: Optional[Instrumentation] = None,
+        max_resident_snapshots: Optional[int] = None,
+        spill_store: Any = None,
+        journal: Any = None,
+        checkpoint_interval: Optional[int] = None,
     ):
         if refill not in REFILL_POLICIES:
             raise ValueError(
@@ -516,6 +544,37 @@ class Engine:
             if self.trace.profile:
                 self.vm.instr.track_blocks = True
             self.trace.attach_engine(self)
+        if max_resident_snapshots is not None and max_resident_snapshots < 0:
+            raise ValueError(
+                f"max_resident_snapshots must be >= 0, got "
+                f"{max_resident_snapshots}"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0, got {checkpoint_interval}"
+            )
+        #: Cap on queued preempted snapshots held as live arrays (None =
+        #: unbounded).  Overflow is serialized into :attr:`spill_store` and
+        #: transparently rehydrated at resume; see
+        #: :mod:`repro.serve.durability`.
+        self.max_resident_snapshots = (
+            None if max_resident_snapshots is None else int(max_resident_snapshots)
+        )
+        if spill_store is not None or self.max_resident_snapshots is not None:
+            from repro.serve.durability import resolve_spill_store
+
+            self.spill_store = resolve_spill_store(spill_store)
+        else:
+            self.spill_store = None
+        #: Admission :class:`~repro.serve.durability.Journal` (None = off):
+        #: every accepted submit and every completion is recorded, plus
+        #: periodic snapshot checkpoints of the preempted backlog.
+        self.journal = journal
+        #: Ticks between journal checkpoint sweeps; None picks the default
+        #: when a journal is attached, 0 disables checkpointing.
+        self.checkpoint_interval = (
+            None if checkpoint_interval is None else int(checkpoint_interval)
+        )
         #: Stable shard identity within a :class:`~repro.serve.cluster.Cluster`
         #: (None for a standalone engine); survives fleet grow/shrink, unlike
         #: a position in the cluster's active-engine list.
@@ -654,6 +713,11 @@ class Engine:
             handle._tracer = self.trace.tracer
         self.queue.push(handle)
         self.telemetry.submitted += 1
+        if self.journal is not None:
+            # Only *accepted* submits are journaled (rejections raised
+            # above), so replaying the journal reproduces the admission
+            # sequence exactly.
+            self.journal.record_submit(handle)
         self._emit("submit", handle)
         return handle
 
@@ -743,12 +807,36 @@ class Engine:
         A failed restore (snapshot migrated onto a machine with a smaller
         ``max_stack_depth``, or a mismatched program) must fail *that
         handle* and vacate the lane — mirroring :meth:`_inject_one` — not
-        leak a half-restored lane out of the pool.
+        leak a half-restored lane out of the pool.  The same discipline
+        covers rehydration: a spilled snapshot whose bytes come back
+        unreadable or corrupt (a ``SnapshotDecodeError``, i.e. a
+        ``ValueError``) fails only this handle — the lane was never
+        touched, so it is simply released — and the tick loop carries on.
         """
         wait = self._tick - handle.preempt_tick
         lane_idx = np.asarray([lane], dtype=np.int64)
+        snapshot = handle.snapshot
+        if getattr(snapshot, "spilled", False):
+            try:
+                snapshot = snapshot.load(
+                    self.vm.program,
+                    facts=getattr(self.plan, "facts", None),
+                    max_stack_depth=self.vm.max_stack_depth,
+                )
+            except (ValueError, TypeError, StackOverflowError) as error:
+                # Decode failed before any machine state was written: no
+                # halt needed, just vacate the lane and fail the handle.
+                self.pool.release(lane)
+                handle.snapshot = None
+                handle._fail(error, self._tick)
+                self.telemetry.failed += 1
+                self._journal_complete(handle, failed=True)
+                self._emit("fail", handle, lane=lane)
+                return
+            handle.snapshot = snapshot
+            self.telemetry.rehydrations += 1
         try:
-            self.vm.restore_lane(lane, handle.snapshot)
+            self.vm.restore_lane(lane, snapshot)
         except (ValueError, TypeError, StackOverflowError) as error:
             # The lane may be partially restored (a live pc over reset
             # storage); halt it back to inert before releasing.
@@ -757,6 +845,7 @@ class Engine:
             handle.snapshot = None
             handle._fail(error, self._tick)
             self.telemetry.failed += 1
+            self._journal_complete(handle, failed=True)
             self._emit("fail", handle, lane=lane)
             return
         handle._mark_resumed(lane, self._tick)
@@ -853,6 +942,7 @@ class Engine:
             self.pool.release(handle.lane)
             handle._fail(error, self._tick)
             self.telemetry.failed += 1
+            self._journal_complete(handle, failed=True)
             self._emit("fail", handle, lane=int(lane[0]))
 
     def _retire_finished(self) -> None:
@@ -870,6 +960,7 @@ class Engine:
             handle = self.pool.release(int(lane))
             value = outputs[0][j] if single else tuple(o[j] for o in outputs)
             handle._resolve(value, self._tick)
+            self._journal_complete(handle)
             deadline = handle.deadline_tick
             self.telemetry.record_completion(
                 self._tick,
@@ -902,7 +993,80 @@ class Engine:
                     self._tick,
                 )
                 self.telemetry.failed += 1
+                self._journal_complete(handle, failed=True)
                 self._emit("fail", handle, lane=int(lane))
+
+    # -- durability (spilling + journaling; see repro.serve.durability) --------
+
+    def _journal_complete(self, handle: ResultHandle, failed: bool = False) -> None:
+        if self.journal is not None:
+            self.journal.record_complete(
+                handle.request_id, self._tick, failed=failed
+            )
+
+    def _spill_one(self, handle: ResultHandle) -> Any:
+        """Serialize one queued snapshot into the spill store; returns the
+        stub, or None when the snapshot cannot leave process memory (an
+        executor stashed unserializable state — counted, never dropped)."""
+        from repro.serve.durability import SpilledSnapshot
+
+        try:
+            data = handle.snapshot.to_bytes()
+        except (TypeError, ValueError):
+            # ExecutorStateError et al.: the snapshot stays resident (and
+            # correct); losing device state silently is the one thing the
+            # codec refuses to do.
+            self.telemetry.spill_errors += 1
+            return None
+        # request_id is fleet-unique and preemptions counts this handle's
+        # evictions, so the key is unique across shards sharing one store.
+        key = f"{handle.request_id}-{handle.preemptions}"
+        self.spill_store.put(key, data)
+        self.telemetry.spills += 1
+        self._emit("spill", handle)
+        return SpilledSnapshot(
+            pc=handle.snapshot.pc, key=key, store=self.spill_store
+        )
+
+    def _spill_step(self) -> None:
+        """Enforce ``max_resident_snapshots`` over the queued backlog."""
+        if self.max_resident_snapshots is None:
+            return
+        self.queue.spill_overflow(self.max_resident_snapshots, self._spill_one)
+        resident = self.queue.resident_snapshots()
+        if resident > self.telemetry.resident_peak:
+            self.telemetry.resident_peak = resident
+
+    def _checkpoint_step(self) -> None:
+        """Journal the serialized snapshot of every queued preempted lane.
+
+        Resident snapshots serialize here; spilled ones copy their
+        already-serialized bytes out of the store.  A snapshot that cannot
+        serialize is counted (``spill_errors``), never silently skipped.
+        """
+        for handle in self.queue.waiting():
+            snapshot = handle.snapshot
+            if snapshot is None:
+                continue
+            if getattr(snapshot, "spilled", False):
+                try:
+                    data = snapshot.store.get(snapshot.key)
+                except KeyError:
+                    continue
+            else:
+                try:
+                    data = snapshot.to_bytes()
+                except (TypeError, ValueError):
+                    self.telemetry.spill_errors += 1
+                    continue
+            self.journal.record_checkpoint(
+                handle.request_id, self._tick, data,
+                steps_used=handle.steps_used,
+            )
+
+    def set_journal(self, journal: Any) -> None:
+        """Attach (or detach, with None) an admission journal."""
+        self.journal = journal
 
     def tick(self) -> bool:
         """One engine step: preempt, admit, step the machine, retire, enforce
@@ -915,6 +1079,9 @@ class Engine:
         if self.preempt is not None:
             self._preempt_step()
         self._admit()
+        # Spill after admission: resumes just drained the hot head of the
+        # backlog, so the cap is enforced over what actually stays queued.
+        self._spill_step()
         busy = self.pool.busy_count()
         self.telemetry.record_tick(busy)
         if self.trace is not None and self.trace.metrics is not None:
@@ -925,6 +1092,14 @@ class Engine:
             self._retire_finished()
             if stepped is not None:
                 self._enforce_budgets(stepped)
+        if self.journal is not None:
+            interval = self.checkpoint_interval
+            if interval is None:
+                from repro.serve.durability import DEFAULT_CHECKPOINT_INTERVAL
+
+                interval = DEFAULT_CHECKPOINT_INTERVAL
+            if interval and self._tick % interval == 0:
+                self._checkpoint_step()
         return bool(self.pool.busy_count() or len(self.queue))
 
     def busy(self) -> bool:

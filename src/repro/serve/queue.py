@@ -18,11 +18,24 @@ re-queues *behind* that waiter despite its older arrival stamp.
 
 Requests can *migrate* between queues (cross-shard work stealing and
 shard drain-retirement in :mod:`repro.serve.cluster`): the first ``push``
-stamps the handle with an arrival key ``(submit_tick, seq)`` that stays
-with it for life, and :meth:`RequestQueue.requeue` re-admits a migrated
-handle under that original key — so a stolen request keeps its place in
-the ``(-priority, arrival)`` order relative to the destination shard's
-natives instead of being demoted to the back of its priority level.
+stamps the handle with an arrival key ``(submit_tick, request_id)`` that
+stays with it for life, and :meth:`RequestQueue.requeue` re-admits a
+migrated handle under that original key — so a stolen request keeps its
+place in the ``(-priority, arrival)`` order relative to the destination
+shard's natives instead of being demoted to the back of its priority
+level.  The stamp's tie-break is the *fleet-unique* request id (a
+cluster's shards share one id counter), never a per-queue counter: an
+earlier stamp built on the source queue's ``_seq`` made same-tick
+migrants tie-break on foreign counters, so two identical runs could
+order a stolen request differently relative to the thief's natives —
+the same colliding-local-counter bug class as the old per-engine
+request ids.
+
+Queued preempted handles may carry their lane snapshot *spilled* — a
+serialized-bytes stub in a :class:`~repro.serve.durability.SpillStore`
+instead of live arrays.  The queue tracks the resident (unspilled) count
+incrementally and :meth:`spill_overflow` evicts from the *back* of
+service order, so the snapshots about to resume stay resident.
 """
 
 from __future__ import annotations
@@ -88,8 +101,10 @@ class ResultHandle:
         #: :class:`~repro.serve.cluster.Cluster`); updated when the request
         #: is stolen or drained onto another shard
         self.shard: Optional[int] = None
-        #: arrival key ``(submit_tick, seq)`` stamped by the first queue
-        #: push; migration preserves it so cross-queue ordering is stable
+        #: arrival key ``(submit_tick, request_id)`` stamped by the first
+        #: queue push; migration preserves it so cross-queue ordering is
+        #: stable (the id tie-break is fleet-unique, so the key means the
+        #: same thing on every shard)
         self.arrival: Optional[Tuple[int, int]] = None
         #: machine steps in which this request's member was active (carried
         #: across preemptions — a resumed request keeps spending the same
@@ -253,9 +268,15 @@ class RequestQueue:
     #: Queued snapshot-carrying handles bucketed by ``(priority, pc)`` —
     #: the index resume re-batching groups on.  Maintained incrementally
     #: under the same invariant as ``_snapshots`` (a handle's snapshot and
-    #: priority never mutate while it sits in a queue), so reading the
-    #: cohort sizes costs O(#distinct pcs), not a heap scan.
+    #: priority never mutate while it sits in a queue — spilling swaps the
+    #: payload for a same-pc stub, never the pc), so reading the cohort
+    #: sizes costs O(#distinct pcs), not a heap scan.
     _pc_buckets: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Of ``_snapshots``, how many are *resident* (live arrays in process
+    #: memory) rather than spilled stubs.  Maintained on push/pop plus the
+    #: explicit swaps in :meth:`spill_overflow`; what a
+    #: ``max_resident_snapshots`` cap bounds.
+    _resident: int = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -294,7 +315,12 @@ class RequestQueue:
 
     def _admit(self, handle: ResultHandle) -> None:
         if handle.arrival is None:
-            handle.arrival = (handle.request.submit_tick, self._seq)
+            # The tie-break must be fleet-unique (the request id — shards
+            # of a cluster share one id counter), not this queue's _seq: a
+            # per-queue counter means nothing on another shard, so same-tick
+            # migrants would tie-break on foreign counters and two identical
+            # runs could interleave a stolen request differently.
+            handle.arrival = (handle.request.submit_tick, handle.request_id)
         deadline = handle.deadline_tick
         heapq.heappush(
             self._heap,
@@ -309,11 +335,15 @@ class RequestQueue:
         self._seq += 1
         if handle.snapshot is not None:
             self._snapshots += 1
+            if not getattr(handle.snapshot, "spilled", False):
+                self._resident += 1
             key = (handle.request.priority, handle.snapshot.pc)
             self._pc_buckets[key] = self._pc_buckets.get(key, 0) + 1
 
     def _bucket_remove(self, handle: ResultHandle) -> None:
         self._snapshots -= 1
+        if not getattr(handle.snapshot, "spilled", False):
+            self._resident -= 1
         key = (handle.request.priority, handle.snapshot.pc)
         remaining = self._pc_buckets.get(key, 0) - 1
         if remaining <= 0:
@@ -401,6 +431,52 @@ class RequestQueue:
         unstealable entries.
         """
         return self._snapshots
+
+    def resident_snapshots(self) -> int:
+        """Queued snapshots held as live arrays (not spilled stubs).
+
+        The memory-pressure observable a ``max_resident_snapshots`` cap
+        bounds; O(1), maintained incrementally like :meth:`snapshot_count`.
+        """
+        return self._resident
+
+    def spill_overflow(self, cap: int, spill: Any) -> int:
+        """Spill resident snapshots beyond ``cap``, back of service order
+        first.
+
+        ``spill(handle)`` serializes ``handle.snapshot`` and returns a
+        spilled stub (same ``pc``, ``spilled = True``) or None when the
+        snapshot cannot leave process memory (the engine counts and
+        reports that; the handle simply stays resident).  Victims are
+        taken from the *back* of service order so the snapshots about to
+        be popped for resume stay live — spilling trades serialization
+        churn on the cold tail for bounded memory, not latency on the hot
+        head.  Returns the number spilled.
+        """
+        excess = self._resident - cap
+        if excess <= 0:
+            return 0
+        resident = sorted(
+            entry
+            for entry in self._heap
+            if entry[-1].snapshot is not None
+            and not getattr(entry[-1].snapshot, "spilled", False)
+        )
+        spilled = 0
+        for entry in reversed(resident):
+            if excess <= 0:
+                break
+            handle = entry[-1]
+            stub = spill(handle)
+            if stub is None:
+                continue
+            # Same pc and priority, so _pc_buckets and _snapshots are
+            # untouched; only residency changes.
+            handle.snapshot = stub
+            self._resident -= 1
+            excess -= 1
+            spilled += 1
+        return spilled
 
 
 def split_request_inputs(inputs: Sequence[Any]) -> Tuple[np.ndarray, ...]:

@@ -100,6 +100,15 @@ class ServeTelemetry:
     #: engine preferred a same-pc cohort member over the queue head so the
     #: resumed stragglers re-converge into shared masked steps
     resume_rebatches: int = 0
+    # -- durability (snapshot spilling; see repro.serve.durability) --
+    spills: int = 0                #: queued snapshots serialized out of memory
+    rehydrations: int = 0          #: spilled snapshots decoded back at resume
+    #: snapshots that could not serialize (unserializable executor state);
+    #: they stay resident — counted loudly, never dropped silently
+    spill_errors: int = 0
+    #: high-water mark of queued snapshots held as live arrays — what a
+    #: ``max_resident_snapshots`` cap bounds (sampled each spill sweep)
+    resident_peak: int = 0
     #: completion latency (finish - submit ticks) per priority level; the
     #: raw material for per-priority SLO attainment
     priority_latencies: Dict[int, List[int]] = field(default_factory=dict)
@@ -268,6 +277,13 @@ class ServeTelemetry:
                 f"(re-batched={self.resume_rebatches}) "
                 f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
             )
+        if self.spills or self.rehydrations or self.spill_errors:
+            lines.append(
+                f"spilling: spills={self.spills} "
+                f"rehydrations={self.rehydrations} "
+                f"errors={self.spill_errors} "
+                f"resident_peak={self.resident_peak}"
+            )
         if self.deadline_outcomes():
             lines.append(
                 f"deadlines: carried={len(self.deadline_outcomes())} "
@@ -356,6 +372,28 @@ class ClusterTelemetry:
         """Fleet-wide resumes; a migrated preemption is evicted on one
         shard and resumed on another, so only the fleet totals balance."""
         return sum(s.resumes for s in self.shards)
+
+    @property
+    def spills(self) -> int:
+        return sum(s.spills for s in self.shards)
+
+    @property
+    def rehydrations(self) -> int:
+        """Fleet-wide rehydrations; a spilled snapshot stolen across
+        shards spills on one and rehydrates on another, so — like
+        resumes — only the fleet totals balance."""
+        return sum(s.rehydrations for s in self.shards)
+
+    @property
+    def spill_errors(self) -> int:
+        return sum(s.spill_errors for s in self.shards)
+
+    @property
+    def resident_peak(self) -> int:
+        """Worst single-shard resident-snapshot peak (the per-shard cap is
+        what ``max_resident_snapshots`` bounds, so the fleet metric is the
+        max, not a sum)."""
+        return max((s.resident_peak for s in self.shards), default=0)
 
     @property
     def ticks(self) -> int:
@@ -522,6 +560,13 @@ class ClusterTelemetry:
                 f"preemption: evictions={self.preemptions} "
                 f"resumes={self.resumes} "
                 f"mean_resume_wait={self.mean_resume_wait():.1f} ticks"
+            )
+        if self.spills or self.rehydrations or self.spill_errors:
+            lines.append(
+                f"spilling: spills={self.spills} "
+                f"rehydrations={self.rehydrations} "
+                f"errors={self.spill_errors} "
+                f"resident_peak={self.resident_peak}"
             )
         if self.deadline_outcomes():
             lines.append(

@@ -11,9 +11,12 @@ Shared machinery: batched stacks with top caching (:mod:`repro.vm.stack`),
 storage classes (:mod:`repro.vm.state`), masking vs gather-scatter primitive
 application (:mod:`repro.vm.masking`), block-selection heuristics
 (:mod:`repro.vm.scheduler`), execution counters
-(:mod:`repro.vm.instrumentation`), and the pluggable block-executor layer
+(:mod:`repro.vm.instrumentation`), the pluggable block-executor layer
 (:mod:`repro.vm.executors`) that lets backends swap how the program-counter
-machine runs each basic block (eager interpretation vs fused codegen).
+machine runs each basic block (eager interpretation vs fused codegen), and
+the versioned lane-snapshot wire format (:mod:`repro.vm.snapshot_codec`)
+that lets a checkpointed lane leave process memory — spilled, journaled,
+or migrated — with integrity and admission checks on the way back in.
 """
 
 from repro.vm.executors import (
@@ -32,6 +35,13 @@ from repro.vm.program_counter import (
     run_program_counter,
 )
 from repro.vm.instrumentation import Instrumentation
+from repro.vm.snapshot_codec import (
+    ExecutorStateError,
+    SnapshotCodecError,
+    SnapshotDecodeError,
+    SnapshotProgramMismatchError,
+    program_fingerprint,
+)
 from repro.vm.stack import BatchedStack, StackOverflowError, UncachedBatchedStack
 
 __all__ = [
@@ -40,6 +50,11 @@ __all__ = [
     "LaneSnapshot",
     "ProgramCounterVM",
     "SnapshotIncompatibleError",
+    "SnapshotCodecError",
+    "SnapshotDecodeError",
+    "SnapshotProgramMismatchError",
+    "ExecutorStateError",
+    "program_fingerprint",
     "Instrumentation",
     "BatchedStack",
     "UncachedBatchedStack",

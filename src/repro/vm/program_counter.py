@@ -67,7 +67,15 @@ class LaneSnapshot:
     captured: a value copy for registers, the logical frames for stacked
     variables, or None while that storage was still unallocated.  Executors
     with per-lane device state may stash extras in ``executor_state`` via
-    the :meth:`~repro.vm.executors.BlockExecutor.on_snapshot_lane` hook.
+    the :meth:`~repro.vm.executors.BlockExecutor.on_snapshot_lane` hook;
+    ``executor`` records which executor captured the lane so transport
+    errors can name it (restore does not require a matching executor —
+    snapshots move freely between eager, fused, and superblock machines).
+
+    :meth:`to_bytes`/:meth:`from_bytes` round-trip the snapshot through a
+    versioned, integrity-checked wire format
+    (:mod:`repro.vm.snapshot_codec`) — the basis for snapshot spilling,
+    journal checkpoints, and cross-process migration.
     """
 
     program: StackProgram
@@ -75,6 +83,7 @@ class LaneSnapshot:
     addr_frames: np.ndarray
     storages: Dict[str, Optional[np.ndarray]]
     executor_state: Dict[str, Any] = field(default_factory=dict)
+    executor: str = ""
 
     def required_depth(self) -> int:
         """Smallest machine ``max_stack_depth`` that can hold these frames.
@@ -90,6 +99,43 @@ class LaneSnapshot:
             if self.program.kind(name) is VarKind.STACKED:
                 required = max(required, int(np.asarray(payload).shape[0]) - 1)
         return required
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format.
+
+        Deterministic: identical snapshots encode to identical bytes.
+        Raises :class:`~repro.vm.snapshot_codec.ExecutorStateError` (a
+        ``TypeError``) if an ``executor_state`` extra cannot round-trip —
+        state stashed by an ``on_snapshot_lane`` hook is never dropped
+        silently.
+        """
+        from repro.vm.snapshot_codec import encode_snapshot
+
+        return encode_snapshot(self)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        program: StackProgram,
+        *,
+        facts: Any = None,
+        max_stack_depth: Optional[int] = None,
+    ) -> "LaneSnapshot":
+        """Decode serialized snapshot bytes against ``program``.
+
+        The bytes are admission-checked *before* any lane state is
+        materialized: integrity (CRC), program fingerprint, pc range, and
+        — when ``facts``/``max_stack_depth`` are given — the same static
+        depth checks :meth:`ProgramCounterVM.restore_lane` performs.  See
+        :func:`repro.vm.snapshot_codec.decode_snapshot` for the typed
+        error taxonomy.
+        """
+        from repro.vm.snapshot_codec import decode_snapshot
+
+        return decode_snapshot(
+            data, program, facts=facts, max_stack_depth=max_stack_depth
+        )
 
     def __repr__(self) -> str:
         return (
@@ -399,6 +445,7 @@ class ProgramCounterVM:
                 name: st.capture_lane(lane)
                 for name, st in self.storages.items()
             },
+            executor=self.plan.name,
         )
         self._bound.on_snapshot_lane(lane, snapshot)
         return snapshot

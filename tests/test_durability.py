@@ -1,0 +1,680 @@
+"""Tests for durable serving: the snapshot wire format, spilling, and
+journal-based crash recovery (repro.serve.durability + repro.vm.snapshot_codec).
+
+Three load-bearing properties:
+
+1. **Codec fidelity** — serialize → deserialize → restore must complete
+   bit-identically to the uninterrupted run, for every corpus program, at
+   any interruption point, under every executor and both stack layouts.
+2. **Admission before allocation** — corrupt, truncated, cross-program, or
+   forged-depth bytes are rejected with typed errors *before* any lane
+   state is touched; a bad spill entry fails only its own handle.
+3. **Replay determinism** — a journaled run recovered after a crash
+   completes all unfinished work bit-identically to an uninterrupted run,
+   including same-tick cross-shard migration under work stealing.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    DiskSpillStore,
+    Journal,
+    MemorySpillStore,
+    PreemptPolicy,
+    RequestQueue,
+    ResultHandle,
+    ServeRequest,
+    SpilledSnapshot,
+    recover,
+    resolve_spill_store,
+)
+from repro.serve.aio import AsyncServer
+from repro.vm import (
+    ExecutorStateError,
+    LaneSnapshot,
+    SnapshotCodecError,
+    SnapshotDecodeError,
+    SnapshotIncompatibleError,
+    SnapshotProgramMismatchError,
+    program_fingerprint,
+)
+from repro.vm.program_counter import ProgramCounterVM
+
+from .helpers import assert_results_equal
+from .programs import ALL_EXAMPLES, fib, gcd
+
+CORPUS = sorted(ALL_EXAMPLES)
+EXECUTORS = ["eager", "fused", "superblock"]
+
+_PLANS = {}
+_TOTALS = {}
+
+
+def plan_for(name, executor):
+    key = (name, executor)
+    if key not in _PLANS:
+        _PLANS[key] = ALL_EXAMPLES[name][0].execution_plan(executor=executor)
+    return _PLANS[key]
+
+
+def total_steps(name, executor, **vm_options):
+    key = (name, executor, tuple(sorted(vm_options.items())))
+    if key not in _TOTALS:
+        fn, inputs = ALL_EXAMPLES[name]
+        vm = ProgramCounterVM(
+            plan_for(name, executor),
+            batch_size=len(np.asarray(inputs[0])),
+            **vm_options,
+        )
+        vm.bind_inputs([np.asarray(x) for x in inputs])
+        steps = 0
+        while vm.step():
+            steps += 1
+        _TOTALS[key] = steps
+    return _TOTALS[key]
+
+
+def snapshots_at(name, executor, stop_at, **vm_options):
+    fn, inputs = ALL_EXAMPLES[name]
+    inputs = [np.asarray(x) for x in inputs]
+    vm = ProgramCounterVM(
+        plan_for(name, executor), batch_size=len(inputs[0]), **vm_options
+    )
+    vm.bind_inputs(inputs)
+    for _ in range(stop_at):
+        vm.step()
+    return [vm.snapshot_lane(b) for b in range(vm.batch_size)]
+
+
+def finish_from(name, executor, snapshots, **vm_options):
+    vm = ProgramCounterVM(
+        plan_for(name, executor), batch_size=len(snapshots), **vm_options
+    )
+    for b, snap in enumerate(snapshots):
+        vm.restore_lane(b, snap)
+    while vm.step():
+        pass
+    outputs = vm.outputs()
+    return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+
+def rows_of(arrays):
+    z = np.asarray(arrays[0]).shape[0]
+    return [tuple(np.asarray(a)[b] for a in arrays) for b in range(z)]
+
+
+class TestSnapshotBytesRoundTrip:
+    """Tentpole property: the wire format is lossless and admission-checked."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_mid_flight_bytes_roundtrip(self, name, executor):
+        fn, inputs = ALL_EXAMPLES[name]
+        expected = fn.run_pc(
+            *[np.asarray(x) for x in inputs], executor=executor, max_stack_depth=64
+        )
+        total = total_steps(name, executor, max_stack_depth=64)
+        plan = plan_for(name, executor)
+        snaps = snapshots_at(name, executor, total // 2, max_stack_depth=64)
+        rehydrated = [
+            LaneSnapshot.from_bytes(
+                s.to_bytes(), plan.program, facts=plan.facts, max_stack_depth=64
+            )
+            for s in snaps
+        ]
+        got = finish_from(name, executor, rehydrated, max_stack_depth=64)
+        assert_results_equal(got, expected, context=f"{name}/{executor}")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        name=st.sampled_from(CORPUS),
+        executor=st.sampled_from(EXECUTORS),
+        src_cache=st.booleans(),
+        dst_cache=st.booleans(),
+        frac=st.floats(0.0, 1.0),
+    )
+    def test_roundtrip_property(self, name, executor, src_cache, dst_cache, frac):
+        """Hypothesis-chosen interruption point × executor × both stack
+        layouts on both sides of the wire — completion stays bit-identical."""
+        fn, inputs = ALL_EXAMPLES[name]
+        expected = fn.run_pc(
+            *[np.asarray(x) for x in inputs], executor=executor, max_stack_depth=64
+        )
+        total = total_steps(
+            name, executor, max_stack_depth=64, top_cache=src_cache
+        )
+        stop_at = int(round(frac * total))
+        plan = plan_for(name, executor)
+        snaps = snapshots_at(
+            name, executor, stop_at, max_stack_depth=64, top_cache=src_cache
+        )
+        blobs = [s.to_bytes() for s in snaps]
+        # Determinism: re-encoding yields byte-identical blobs.
+        assert blobs == [s.to_bytes() for s in snaps]
+        rehydrated = [
+            LaneSnapshot.from_bytes(
+                b, plan.program, facts=plan.facts, max_stack_depth=64
+            )
+            for b in blobs
+        ]
+        got = finish_from(
+            name, executor, rehydrated, max_stack_depth=64, top_cache=dst_cache
+        )
+        assert_results_equal(
+            got, expected, context=f"{name}/{executor}@{stop_at}/{total}"
+        )
+
+    def test_executor_tag_roundtrips(self):
+        plan = plan_for("fib", "fused")
+        snap = snapshots_at("fib", "fused", 10, max_stack_depth=32)[0]
+        assert snap.executor == plan.name
+        back = LaneSnapshot.from_bytes(snap.to_bytes(), plan.program)
+        assert back.executor == snap.executor
+
+
+class TestSnapshotBytesRejection:
+    """Mutation tests: every corruption is rejected with a typed error
+    before any lane state is allocated."""
+
+    def _blob(self):
+        snap = snapshots_at("fib", "eager", 12, max_stack_depth=32)[0]
+        return snap, snap.to_bytes()
+
+    def test_every_flipped_byte_rejected(self):
+        snap, blob = self._blob()
+        program = plan_for("fib", "eager").program
+        for i in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[i] ^= 0xFF
+            with pytest.raises(SnapshotCodecError):
+                LaneSnapshot.from_bytes(bytes(mutated), program)
+
+    def test_truncation_rejected(self):
+        snap, blob = self._blob()
+        program = plan_for("fib", "eager").program
+        for cut in (0, 1, 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(SnapshotDecodeError):
+                LaneSnapshot.from_bytes(blob[:cut], program)
+        with pytest.raises(SnapshotDecodeError):
+            LaneSnapshot.from_bytes(blob + b"\x00", program)
+
+    def test_cross_program_bytes_rejected(self):
+        snap, blob = self._blob()
+        wrong = plan_for("gcd", "eager").program
+        assert program_fingerprint(wrong) != program_fingerprint(
+            plan_for("fib", "eager").program
+        )
+        with pytest.raises(SnapshotProgramMismatchError):
+            LaneSnapshot.from_bytes(blob, wrong)
+
+    def test_forged_depth_rejected_by_cap_and_verifier(self):
+        plan = plan_for("fib", "eager")
+        snap = snapshots_at("fib", "eager", 12, max_stack_depth=32)[0]
+        # Forge a return-address stack far deeper than the verifier's bound.
+        deep = LaneSnapshot(
+            program=snap.program,
+            pc=snap.pc,
+            addr_frames=np.concatenate(
+                [snap.addr_frames, np.zeros(200, dtype=snap.addr_frames.dtype)]
+            ),
+            storages=snap.storages,
+            executor_state=dict(snap.executor_state),
+            executor=snap.executor,
+        )
+        blob = deep.to_bytes()
+        with pytest.raises(SnapshotIncompatibleError):
+            LaneSnapshot.from_bytes(blob, plan.program, max_stack_depth=32)
+
+    def test_forged_depth_rejected_by_verifier_bound(self):
+        """A snapshot claiming more frames than the verifier proved this
+        program can ever produce is refused even on a deep machine.  (This
+        needs a *bounded* program — recursion makes the proven bound None.)"""
+        plan = plan_for("poly", "eager")
+        facts = plan.verify()
+        assert facts.required_stack_depth is not None
+        snap = snapshots_at("poly", "eager", 2, max_stack_depth=32)[0]
+        forged = facts.required_stack_depth + 8
+        deep = LaneSnapshot(
+            program=snap.program,
+            pc=snap.pc,
+            addr_frames=np.concatenate(
+                [
+                    snap.addr_frames,
+                    np.zeros(
+                        forged - (snap.addr_frames.shape[0] - 1),
+                        dtype=snap.addr_frames.dtype,
+                    ),
+                ]
+            ),
+            storages=snap.storages,
+            executor_state=dict(snap.executor_state),
+            executor=snap.executor,
+        )
+        blob = deep.to_bytes()
+        with pytest.raises(ValueError):
+            LaneSnapshot.from_bytes(blob, plan.program, facts=facts)
+        # Without facts a deep enough machine would admit it — the verifier
+        # bound is what catches the forgery.
+        LaneSnapshot.from_bytes(blob, plan.program, max_stack_depth=forged + 8)
+
+    def test_rejected_before_arrays_materialize(self, monkeypatch):
+        """Admission runs on parsed headers only — a corrupt blob never
+        triggers array materialization."""
+        import repro.vm.snapshot_codec as codec
+
+        snap, blob = self._blob()
+        program = plan_for("fib", "eager").program
+
+        calls = []
+        original = codec._Reader.materialize
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(codec._Reader, "materialize", counting)
+        mutated = bytearray(blob)
+        mutated[-1] ^= 0xFF  # break the CRC
+        with pytest.raises(SnapshotCodecError):
+            LaneSnapshot.from_bytes(bytes(mutated), program)
+        wrong = plan_for("gcd", "eager").program
+        with pytest.raises(SnapshotProgramMismatchError):
+            LaneSnapshot.from_bytes(blob, wrong)
+        assert calls == []
+        # The pristine blob does materialize.
+        LaneSnapshot.from_bytes(blob, program)
+        assert calls
+
+
+class TestExecutorStateExtras:
+    """Satellite: executor extras round-trip exactly or fail loudly."""
+
+    def test_extras_roundtrip(self):
+        plan = plan_for("fib", "fused")
+        snap = snapshots_at("fib", "fused", 8, max_stack_depth=32)[0]
+        snap.executor_state = {
+            "counters": np.arange(5, dtype=np.int64),
+            "flags": {"warm": True, "epoch": 3},
+            "scale": 1.5,
+        }
+        back = LaneSnapshot.from_bytes(snap.to_bytes(), plan.program)
+        np.testing.assert_array_equal(
+            back.executor_state["counters"], snap.executor_state["counters"]
+        )
+        assert back.executor_state["counters"].dtype == np.int64
+        assert back.executor_state["flags"] == {"warm": True, "epoch": 3}
+        assert back.executor_state["scale"] == 1.5
+
+    def test_unserializable_extra_fails_loudly(self):
+        snap = snapshots_at("fib", "fused", 8, max_stack_depth=32)[0]
+        snap.executor_state = {"handle": object()}
+        with pytest.raises(ExecutorStateError) as exc:
+            snap.to_bytes()
+        message = str(exc.value)
+        assert "handle" in message
+        # The error names the executor whose state could not be encoded.
+        assert snap.executor in message
+
+
+class TestArrivalStampDeterminism:
+    """Satellite bugfix: the queue tie-break is the fleet-unique request id,
+    not the admitting queue's local sequence counter."""
+
+    @staticmethod
+    def _handle(request_id, submit_tick):
+        return ResultHandle(
+            ServeRequest(request_id, (np.int64(1),), submit_tick=submit_tick)
+        )
+
+    def test_admit_stamps_submit_tick_and_request_id(self):
+        queue = RequestQueue()
+        handle = self._handle(7, submit_tick=3)
+        queue.push(handle)
+        assert handle.arrival == (3, 7)
+
+    def test_same_tick_cross_shard_migration_orders_by_request_id(self):
+        """Two requests admitted on different shards in the same tick must
+        keep one global service order after migration, regardless of each
+        shard's local _seq history."""
+        shard_a, shard_b = RequestQueue(), RequestQueue()
+        late = self._handle(5, submit_tick=3)
+        early = self._handle(2, submit_tick=3)
+        shard_a.push(late)  # shard A stamps it first (local seq 0)
+        migrated = shard_a.pop()
+        shard_b.requeue(migrated)  # lands on B before B admits anything
+        shard_b.push(early)  # B's local seq would order `late` first
+        assert shard_b.pop() is early
+        assert shard_b.pop() is late
+
+    def test_requeue_preserves_original_arrival(self):
+        queue = RequestQueue()
+        handle = self._handle(4, submit_tick=1)
+        queue.push(handle)
+        stamped = handle.arrival
+        popped = queue.pop()
+        queue.requeue(popped)
+        assert popped.arrival == stamped == (1, 4)
+
+
+class TestSpilling:
+    """Tentpole: a resident cap bounds preempted-snapshot memory; overflow
+    spills to a store and rehydrates transparently on resume."""
+
+    def _drive(self, store, cap, lanes=4):
+        engine = fib.serve(
+            num_lanes=lanes,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            max_resident_snapshots=cap,
+            spill_store=store,
+        )
+        handles = [engine.submit(np.int64(n)) for n in (10, 11, 12, 13)]
+        for _ in range(3):
+            engine.tick()
+        handles += [
+            engine.submit(np.int64(n), priority=5) for n in (5, 6, 7, 8, 9, 10)
+        ]
+        max_backlog = 0
+        max_resident = 0
+        for _ in range(50000):
+            engine.tick()
+            max_backlog = max(max_backlog, engine.queue.snapshot_count())
+            max_resident = max(max_resident, engine.queue.resident_snapshots())
+            if all(h.done() for h in handles):
+                break
+        assert all(h.done() for h in handles)
+        return engine, handles, max_backlog, max_resident
+
+    def _expected(self):
+        ns = np.array([10, 11, 12, 13, 5, 6, 7, 8, 9, 10], dtype=np.int64)
+        return [int(v) for v in fib.run_pc(ns)]
+
+    def test_memory_spill_respects_cap(self):
+        store = MemorySpillStore()
+        engine, handles, backlog, resident = self._drive(store, cap=1)
+        assert [int(h.result()) for h in handles] == self._expected()
+        assert backlog >= 4, "workload must build a real preempted backlog"
+        assert resident <= 1
+        assert engine.telemetry.resident_peak <= 1
+        assert engine.telemetry.spills >= 3
+        assert engine.telemetry.rehydrations == engine.telemetry.spills
+        assert len(store) == 0, "every spilled entry was reclaimed"
+
+    def test_disk_spill_respects_cap(self, tmp_path):
+        store = DiskSpillStore(str(tmp_path / "spill"))
+        engine, handles, backlog, resident = self._drive(store, cap=1)
+        assert [int(h.result()) for h in handles] == self._expected()
+        assert resident <= 1
+        assert engine.telemetry.spills >= 3
+        assert len(store) == 0
+
+    def test_results_match_uncapped_run(self):
+        capped_engine, capped, _, _ = self._drive(MemorySpillStore(), cap=1)
+        uncapped_engine, uncapped, _, _ = self._drive(None, cap=10**9)
+        assert uncapped_engine.telemetry.spills == 0
+        assert [int(h.result()) for h in capped] == [
+            int(h.result()) for h in uncapped
+        ]
+        assert [h.finish_tick for h in capped] == [h.finish_tick for h in uncapped]
+
+    def test_resolve_spill_store_specs(self, tmp_path):
+        assert isinstance(resolve_spill_store(None), MemorySpillStore)
+        assert isinstance(resolve_spill_store("memory"), MemorySpillStore)
+        disk = resolve_spill_store(str(tmp_path / "d"))
+        assert isinstance(disk, DiskSpillStore)
+        store = MemorySpillStore()
+        assert resolve_spill_store(store) is store
+        with pytest.raises(TypeError):
+            resolve_spill_store(123)
+
+    def test_truncated_spill_entry_fails_only_that_handle(self):
+        """Satellite bugfix: a corrupt spill entry fails its own handle and
+        vacates the lane; every other request completes normally."""
+        store = MemorySpillStore()
+        engine = fib.serve(
+            num_lanes=2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            max_resident_snapshots=0,
+            spill_store=store,
+        )
+        stragglers = [engine.submit(np.int64(n)) for n in (15, 16)]
+        for _ in range(3):
+            engine.tick()
+        burst = [engine.submit(np.int64(n), priority=5) for n in (5, 6, 7, 8)]
+        while not store:
+            engine.tick()
+        for key in list(store._data):
+            store._data[key] = store._data[key][:10]
+        engine.run_until_idle()
+        doomed = [h for h in stragglers if h.state == "failed"]
+        assert doomed, "at least one spilled straggler must have been corrupted"
+        for handle in doomed:
+            with pytest.raises(SnapshotDecodeError):
+                handle.result()
+        survivors = [h for h in stragglers + burst if h.state == "done"]
+        expected = {
+            5: 8, 6: 13, 7: 21, 8: 34, 15: 987, 16: 1597,
+        }
+        for handle in survivors:
+            n = int(handle.request.inputs[0])
+            assert int(handle.result()) == expected[n]
+        for handle in burst:
+            assert handle.state == "done"
+        assert engine.pool.busy_count() == 0, "failed rehydration vacated lanes"
+        assert engine.telemetry.failed == len(doomed)
+
+    def test_cluster_spills_with_stealing(self, tmp_path):
+        cluster = fib.serve_cluster(
+            num_engines=2,
+            num_lanes=2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            steal=True,
+            max_resident_snapshots=1,
+            spill_store=str(tmp_path / "spill"),
+        )
+        handles = [cluster.submit(np.int64(n)) for n in (13, 14, 15, 16)]
+        for _ in range(3):
+            cluster.tick()
+        handles += [
+            cluster.submit(np.int64(n), priority=5)
+            for n in (5, 6, 7, 8, 9, 10, 11, 12)
+        ]
+        cluster.run_until_idle()
+        ns = np.array([13, 14, 15, 16, 5, 6, 7, 8, 9, 10, 11, 12], dtype=np.int64)
+        assert [int(h.result()) for h in handles] == [
+            int(v) for v in fib.run_pc(ns)
+        ]
+        assert cluster.telemetry.spills > 0
+        assert cluster.telemetry.resident_peak <= 1
+
+
+class TestJournalRecovery:
+    """Tentpole: replaying the admission journal reproduces the run
+    bit-identically, completing all unfinished work."""
+
+    SCHEDULE = [
+        (0, [(14, 0), (15, 0)]),
+        (3, [(5, 5), (6, 5), (7, 5), (8, 5)]),
+        (5, [(9, 0)]),
+    ]
+
+    def _run(self, journal, crash_after=None, **options):
+        engine = fib.serve(
+            num_lanes=2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            journal=journal,
+            checkpoint_interval=2,
+            **options,
+        )
+        handles = []
+        for tick, batch in self.SCHEDULE:
+            while engine.now < tick:
+                engine.tick()
+            for n, priority in batch:
+                handles.append(engine.submit(np.int64(n), priority=priority))
+        if crash_after is None:
+            engine.run_until_idle()
+        else:
+            for _ in range(crash_after):
+                engine.tick()
+        return engine, handles
+
+    def test_recover_bit_identical_engine(self):
+        baseline_journal = Journal()
+        _, baseline = self._run(baseline_journal)
+        expected = {
+            h.request_id: (int(h.result()), h.finish_tick) for h in baseline
+        }
+
+        crash_journal = Journal()
+        self._run(crash_journal, crash_after=6)
+        assert crash_journal.unfinished(), "crash must leave work in flight"
+        run = recover(
+            crash_journal,
+            fib,
+            2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+        )
+        recovered = {
+            rid: (int(h.result()), h.finish_tick) for rid, h in run.handles.items()
+        }
+        assert recovered == expected
+        assert run.failures() == {}
+        # unfinished_ids() is the crash-time view: the work recovery
+        # existed to finish — and every one of those requests is now done.
+        crashed = set(run.unfinished_ids())
+        assert crashed
+        assert all(run.handles[rid].state == "done" for rid in crashed)
+
+    def test_recover_with_spilling_and_checkpoints(self, tmp_path):
+        baseline_journal = Journal()
+        _, baseline = self._run(
+            baseline_journal,
+            max_resident_snapshots=1,
+            spill_store=MemorySpillStore(),
+        )
+        expected = {h.request_id: int(h.result()) for h in baseline}
+
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        engine, _ = self._run(
+            journal,
+            crash_after=8,
+            max_resident_snapshots=1,
+            spill_store=str(tmp_path / "spill"),
+        )
+        del engine
+        reloaded = Journal.load(str(tmp_path / "j.jsonl"))
+        assert len(reloaded) == len(journal)
+        run = recover(
+            reloaded,
+            fib,
+            2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            max_resident_snapshots=1,
+            spill_store=MemorySpillStore(),
+        )
+        assert {rid: int(h.result()) for rid, h in run.handles.items()} == expected
+
+    def test_recover_bit_identical_cluster_with_stealing(self, tmp_path):
+        """Regression for the arrival-stamp fix: same-tick submissions that
+        migrate across shards keep one global order on replay."""
+
+        def drive(journal, crash_after=None):
+            cluster = fib.serve_cluster(
+                num_engines=2,
+                num_lanes=2,
+                executor="fused",
+                preempt=PreemptPolicy(),
+                steal=True,
+                journal=journal,
+                checkpoint_interval=2,
+            )
+            handles = [cluster.submit(np.int64(n)) for n in (13, 14, 15, 16)]
+            for _ in range(3):
+                cluster.tick()
+            # Same-tick burst fans out across both shards; stealing then
+            # migrates some of them — order must still be fleet-global.
+            handles += [
+                cluster.submit(np.int64(n), priority=5)
+                for n in (5, 6, 7, 8, 9, 10, 11, 12)
+            ]
+            if crash_after is None:
+                cluster.run_until_idle()
+            else:
+                for _ in range(crash_after):
+                    cluster.tick()
+            return cluster, handles
+
+        _, baseline = drive(Journal())
+        expected = {
+            h.request_id: (int(h.result()), h.finish_tick) for h in baseline
+        }
+
+        journal = Journal(str(tmp_path / "cluster.jsonl"))
+        drive(journal, crash_after=5)
+        run = recover(
+            Journal.load(str(tmp_path / "cluster.jsonl")),
+            fib,
+            2,
+            num_engines=2,
+            executor="fused",
+            preempt=PreemptPolicy(),
+            steal=True,
+        )
+        recovered = {
+            rid: (int(h.result()), h.finish_tick) for rid, h in run.handles.items()
+        }
+        assert recovered == expected
+
+    def test_journal_tolerates_torn_final_line(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        self._run(journal, crash_after=6)
+        with open(str(tmp_path / "j.jsonl"), "a") as f:
+            f.write('{"type": "sub')  # torn mid-record by the crash
+        reloaded = Journal.load(str(tmp_path / "j.jsonl"))
+        assert len(reloaded) == len(journal)
+        run = recover(reloaded, fib, 2, executor="fused", preempt=PreemptPolicy())
+        assert all(h.state == "done" for h in run.handles.values())
+
+    def test_journal_rejects_mid_file_corruption(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        self._run(journal, crash_after=4)
+        lines = open(path).read().splitlines()
+        assert len(lines) >= 3
+        lines[1] = "not json at all"
+        with open(path, "w") as f:
+            f.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            Journal.load(path)
+
+    def test_recover_records_failures(self):
+        journal = Journal()
+        engine = fib.serve(num_lanes=1, executor="fused", journal=journal)
+        doomed = engine.submit(np.int64(16), step_budget=5)
+        fine = engine.submit(np.int64(6))
+        engine.run_until_idle()
+        assert doomed.state == "failed"
+        # Completions (including failures) are journaled; replaying the
+        # journal reproduces the same failure.
+        run = recover(journal, fib, 1, executor="fused")
+        assert set(run.failures()) == {doomed.request_id}
+        assert int(run.handles[fine.request_id].result()) == 13
+
+    def test_async_server_threads_journal(self):
+        journal = Journal()
+        engine = fib.serve(num_lanes=2, executor="fused")
+        server = AsyncServer(engine, journal=journal)
+        assert engine.journal is journal
+        engine.submit(np.int64(5))
+        assert len(journal.submissions()) == 1
